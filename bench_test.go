@@ -1,0 +1,341 @@
+package crisp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/data"
+	"repro/internal/energy"
+	"repro/internal/exp"
+	"repro/internal/format"
+	"repro/internal/inference"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// Figure/table benchmarks: each regenerates one of the paper's evaluation
+// artifacts at quick scale (DESIGN.md §4 maps benchmarks to figures; see
+// EXPERIMENTS.md for recorded outputs). They report one op per full
+// regeneration.
+
+func benchHarness() *exp.Harness {
+	return exp.NewHarness(exp.Config{Scale: exp.Quick, Seed: 1})
+}
+
+// BenchmarkFig1_NMRatios regenerates Fig. 1 (accuracy at N:M ∈ {1,2,3}:4
+// for the three model families).
+func BenchmarkFig1_NMRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.Figure1()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig2_LayerSparsity regenerates Fig. 2 (layer-wise sparsity
+// distribution after global CRISP pruning).
+func BenchmarkFig2_LayerSparsity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.Figure2()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig3_CRISPvsBlock regenerates Fig. 3 (CRISP vs block pruning
+// across sparsity levels).
+func BenchmarkFig3_CRISPvsBlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.Figure3()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig4_Metadata regenerates Fig. 4 right (metadata overhead of
+// CSR/ELLPACK vs the CRISP format on full-size layers).
+func BenchmarkFig4_Metadata(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		rows, _ := h.Figure4()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig7_AccuracyVsClasses regenerates Fig. 7 (accuracy and FLOPs
+// ratio vs the number of user classes, CRISP vs channel pruning vs dense).
+func BenchmarkFig7_AccuracyVsClasses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.Figure7()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig8_SpeedupEnergy regenerates Fig. 8 (layer-wise speedup and
+// energy of CRISP-STC vs NVIDIA-STC, DSTC and dense on ResNet-50).
+func BenchmarkFig8_SpeedupEnergy(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		rows, _ := h.Figure8()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkAblation_Iterative regenerates ablation A (one-shot vs
+// iterative pruning).
+func BenchmarkAblation_Iterative(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.AblationIterative()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkAblation_Saliency regenerates ablation B (class-aware vs
+// magnitude saliency).
+func BenchmarkAblation_Saliency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.AblationSaliency()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkAblation_Balance regenerates ablation C (balanced vs
+// unconstrained block pruning with load-imbalance accounting).
+func BenchmarkAblation_Balance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.AblationBalance()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkExt_Transformer regenerates the transformer extension experiment
+// (the paper's future-work direction: CRISP on attention architectures).
+func BenchmarkExt_Transformer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.ExtTransformer()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkExt_NetworkTable regenerates the end-to-end network latency and
+// energy table (whole-network sums over the full-size shape tables).
+func BenchmarkExt_NetworkTable(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		rows, _ := h.NetworkTable()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkMem_ModelSize regenerates the deployed-model-size table (the
+// paper's memory-consumption claim, quantified per model family).
+func BenchmarkMem_ModelSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.MemoryTable()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// Micro-benchmarks of the core kernels.
+
+// BenchmarkGEMM measures the parallel dense GEMM on a conv-sized problem.
+func BenchmarkGEMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, k, n := 128, 576, 784
+	a := tensor.Randn(rng, 1, m, k)
+	x := tensor.Randn(rng, 1, k, n)
+	c := make([]float64, m*n)
+	b.ReportMetric(float64(2*m*k*n), "flop/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Gemm(false, false, m, n, k, 1, a.Data, x.Data, 0, c)
+	}
+}
+
+// benchHybridMatrix builds a CRISP-invariant sparse matrix for the format
+// and kernel benchmarks.
+func benchHybridMatrix(rows, cols, blk int, nm sparsity.NM) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(2))
+	scores := tensor.New(rows, cols)
+	for i := range scores.Data {
+		scores.Data[i] = math.Abs(rng.NormFloat64()) + 0.01
+	}
+	mask := tensor.New(rows, cols)
+	sparsity.ApplyNM(mask, scores, nm)
+	g := sparsity.NewBlockGrid(rows, cols, blk)
+	rcs := sparsity.RankColumns(sparsity.BlockScores(tensor.Mul(scores, mask), g))
+	for i := 0; i < g.GridCols()/2; i++ {
+		sparsity.PruneRankColumn(mask, g, rcs[i])
+	}
+	w := tensor.Randn(rng, 1, rows, cols)
+	w.MulInPlace(mask)
+	return w
+}
+
+// BenchmarkSpMM_CRISPFormat measures the CRISP-format sparse kernel.
+func BenchmarkSpMM_CRISPFormat(b *testing.B) {
+	nm := sparsity.NM{N: 2, M: 4}
+	w := benchHybridMatrix(128, 512, 16, nm)
+	e, err := format.EncodeCRISP(w, 16, nm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.Randn(rng, 1, 512, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MatMul(x)
+	}
+}
+
+// BenchmarkSpMM_CSR measures the CSR sparse kernel on the same matrix.
+func BenchmarkSpMM_CSR(b *testing.B) {
+	w := benchHybridMatrix(128, 512, 16, sparsity.NM{N: 2, M: 4})
+	e := format.EncodeCSR(w)
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.Randn(rng, 1, 512, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MatMul(x)
+	}
+}
+
+// BenchmarkApplyNM measures N:M mask generation on a large layer.
+func BenchmarkApplyNM(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	scores := tensor.Randn(rng, 1, 512, 4608)
+	mask := tensor.New(512, 4608)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparsity.ApplyNM(mask, scores, sparsity.NM{N: 2, M: 4})
+	}
+}
+
+// BenchmarkRankColumns measures the rank-column aggregation (Algorithm 1
+// lines 6–7) on a full-size layer grid.
+func BenchmarkRankColumns(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	bs := tensor.Randn(rng, 1, 32, 72) // 2048×4608 at B=64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparsity.RankColumns(bs)
+	}
+}
+
+// BenchmarkAccelSimulate measures the full four-architecture layer sweep.
+func BenchmarkAccelSimulate(b *testing.B) {
+	hw := accel.EdgeHW()
+	e := energy.Default()
+	archs := []accel.Arch{
+		accel.NewDense(hw, e), accel.NewNvidiaSTC(hw, e),
+		accel.NewDSTC(hw, e), accel.NewCRISPSTC(hw, e),
+	}
+	layers := models.ResNet50Shapes()
+	sp := accel.Sparsity{NM: sparsity.NM{N: 2, M: 4}, KeptColFrac: 0.3, BlockSize: 64, ActDensity: 0.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range layers {
+			for _, a := range archs {
+				a.Simulate(l, sp)
+			}
+		}
+	}
+}
+
+// BenchmarkInference_MaskedDense measures inference through masked dense
+// GEMMs (the training-time representation).
+func BenchmarkInference_MaskedDense(b *testing.B) {
+	clf, x := benchPrunedModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.Logits(x, false)
+	}
+}
+
+// BenchmarkInference_SparseEngine measures inference through the CRISP
+// storage format's SpMM kernels (the deployed representation).
+func BenchmarkInference_SparseEngine(b *testing.B) {
+	clf, x := benchPrunedModel(b)
+	eng, err := inference.New(clf, 4, sparsity.NM{N: 2, M: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Logits(x)
+	}
+}
+
+// benchPrunedModel builds a 90%-sparse classifier and an input batch.
+func benchPrunedModel(b *testing.B) (*nn.Classifier, *tensor.Tensor) {
+	b.Helper()
+	cfg := data.Config{Name: "bench-inf", NumClasses: 8, Channels: 3, H: 8, W: 8, Noise: 0.25, Jitter: 1, Seed: 9}
+	ds := data.New(cfg)
+	clf := models.Build(models.ResNet, rand.New(rand.NewSource(51)), cfg.NumClasses, 2)
+	p := pruner.NewCRISP(pruner.Options{
+		Target: 0.9, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+		Iterations: 2, FinetuneEpochs: 1, BatchSize: 16, LR: 0.01,
+	})
+	p.Prune(clf, ds.MakeSplit("user", []int{1, 5}, 12))
+	test := ds.MakeSplit("test", []int{1, 5}, 8)
+	return clf, test.X
+}
+
+// BenchmarkAblation_Schedule regenerates ablation D (linear vs cubic κ_p
+// schedule).
+func BenchmarkAblation_Schedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.AblationSchedule()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkAblation_MixedNM regenerates ablation E (CRISP's global ranking
+// vs a per-layer N:M search).
+func BenchmarkAblation_MixedNM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := benchHarness()
+		rows, _ := h.AblationMixedNM()
+		if len(rows) != 2 {
+			b.Fatal("bad rows")
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command crisp-bench regenerates the CRISP paper's tables and figures as
+// text tables on the reproduction substrate (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	crisp-bench                # all figures, quick scale
+//	crisp-bench -fig 8         # one figure
+//	crisp-bench -full          # full scale (slower)
+//	crisp-bench -fig ablations # the three ablation studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crisp-bench: ")
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,7,8,ablations,all")
+		full   = flag.Bool("full", false, "run the full-scale configuration")
+		seed   = flag.Int64("seed", 1, "random seed")
+		format = flag.String("format", "text", "output format: text, csv, md")
+	)
+	flag.Parse()
+
+	scale := exp.Quick
+	if *full {
+		scale = exp.Full
+	}
+	h := exp.NewHarness(exp.Config{Scale: scale, Seed: *seed})
+
+	run := func(name string, fn func() *exp.Table) {
+		start := time.Now()
+		t := fn()
+		fmt.Println(t.Render(*format))
+		if *format == "text" {
+			fmt.Printf("(%s generated in %.1fs)\n\n", name, time.Since(start).Seconds())
+		}
+	}
+
+	figures := map[string]func(){
+		"1": func() {
+			run("fig1", func() *exp.Table { _, t := h.Figure1(); return t })
+		},
+		"2": func() {
+			run("fig2", func() *exp.Table { _, t := h.Figure2(); return t })
+		},
+		"3": func() {
+			run("fig3", func() *exp.Table { _, t := h.Figure3(); return t })
+		},
+		"4": func() {
+			run("fig4", func() *exp.Table { _, t := h.Figure4(); return t })
+		},
+		"7": func() {
+			run("fig7", func() *exp.Table { _, t := h.Figure7(); return t })
+		},
+		"8": func() {
+			run("fig8", func() *exp.Table { _, t := h.Figure8(); return t })
+		},
+		"ablations": func() {
+			run("ablation-A", func() *exp.Table { _, t := h.AblationIterative(); return t })
+			run("ablation-B", func() *exp.Table { _, t := h.AblationSaliency(); return t })
+			run("ablation-C", func() *exp.Table { _, t := h.AblationBalance(); return t })
+			run("ablation-D", func() *exp.Table { _, t := h.AblationSchedule(); return t })
+			run("ablation-E", func() *exp.Table { _, t := h.AblationMixedNM(); return t })
+		},
+		"ext": func() {
+			run("ext-transformer", func() *exp.Table { _, t := h.ExtTransformer(); return t })
+			run("ext-network", func() *exp.Table { _, t := h.NetworkTable(); return t })
+		},
+		"mem": func() {
+			run("memory", func() *exp.Table { _, t := h.MemoryTable(); return t })
+		},
+		"validate": func() {
+			run("tile-sim", func() *exp.Table { _, t := h.ValidateTileSim(); return t })
+			run("sweep", func() *exp.Table { _, t := h.SweepSparsity(); return t })
+			run("quant", func() *exp.Table { _, t := h.AblationQuant(); return t })
+		},
+	}
+
+	if *fig == "all" {
+		for _, k := range []string{"1", "2", "3", "4", "7", "8", "ablations", "ext", "mem", "validate"} {
+			figures[k]()
+		}
+		return
+	}
+	fn, ok := figures[*fig]
+	if !ok {
+		log.Fatalf("unknown figure %q (want 1,2,3,4,7,8,ablations,ext,mem,validate,all)", *fig)
+	}
+	fn()
+}

@@ -1,0 +1,176 @@
+// Package crisp is the public facade of this reproduction of "CRISP:
+// Hybrid Structured Sparsity for Class-aware Model Pruning" (DATE 2024).
+//
+// The library prunes a classifier down to the classes a specific user
+// encounters, using the paper's hybrid pattern: fine-grained N:M sparsity
+// composed with coarse-grained, per-row-balanced block sparsity, driven by
+// a gradient-based class-aware saliency score and an iterative
+// prune→fine-tune loop.
+//
+// Quick start:
+//
+//	ds := crisp.NewDataset(crisp.SynthImageNet())
+//	model := crisp.NewModel(crisp.ResNet, ds.NumClasses, 2, 1)
+//	// ... pre-train or load weights, then personalize:
+//	result := crisp.Personalize(model, ds, []int{3, 17, 42}, crisp.DefaultConfig(0.9))
+//	fmt.Println(result.Report, result.Accuracy)
+//
+// The heavy lifting lives in the internal packages (tensor, nn, sparsity,
+// saliency, pruner, format, accel, energy, data, models, exp); this package
+// re-exports the workflow a downstream user needs.
+package crisp
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/checkpoint"
+	"repro/internal/data"
+	"repro/internal/export"
+	"repro/internal/inference"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+	"repro/internal/sparsity"
+)
+
+// Model families mirroring the paper's three networks, plus the vision
+// transformer of the future-work extension.
+const (
+	ResNet            = models.ResNet
+	VGG               = models.VGG
+	MobileNet         = models.MobileNet
+	TransformerFamily = models.Transformer
+)
+
+// NM re-exports the N:M pattern descriptor.
+type NM = sparsity.NM
+
+// Config re-exports the pruning options.
+type Config = pruner.Options
+
+// Report re-exports the pruning report.
+type Report = pruner.Report
+
+// Dataset re-exports the synthetic dataset type.
+type Dataset = data.Dataset
+
+// Classifier re-exports the trainable model wrapper.
+type Classifier = nn.Classifier
+
+// SynthImageNet returns the ImageNet-scale synthetic dataset configuration.
+func SynthImageNet() data.Config { return data.SynthImageNet() }
+
+// SynthCIFAR returns the CIFAR-scale synthetic dataset configuration.
+func SynthCIFAR() data.Config { return data.SynthCIFAR() }
+
+// NewDataset materializes a synthetic dataset.
+func NewDataset(cfg data.Config) *Dataset { return data.New(cfg) }
+
+// NewModel builds a trainable classifier of the given family and width.
+func NewModel(f models.Family, numClasses, width int, seed int64) *Classifier {
+	return models.Build(f, rand.New(rand.NewSource(seed)), numClasses, width)
+}
+
+// DefaultConfig returns the paper-default pruning configuration for a
+// global sparsity target: 2:4 fine-grained sparsity, iterative schedule,
+// SGD with momentum 0.9 and weight decay 4e-5.
+func DefaultConfig(target float64) Config {
+	return Config{
+		Target: target,
+		NM:     NM{N: 2, M: 4},
+	}
+}
+
+// Pretrain trains the model on all classes of ds — the "universal model"
+// the paper starts from.
+func Pretrain(model *Classifier, ds *Dataset, epochs, samplesPerClass int, seed int64) {
+	all := make([]int, ds.NumClasses)
+	for i := range all {
+		all[i] = i
+	}
+	split := ds.MakeSplit("pretrain", all, samplesPerClass)
+	opt := nn.NewSGD(0.05, 0.9, 4e-5)
+	pruner.Finetune(model, split, epochs, 16, opt, rand.New(rand.NewSource(seed)))
+}
+
+// Result bundles the outcome of Personalize.
+type Result struct {
+	// Report is the pruning run summary (achieved sparsity, FLOPs ratio,
+	// per-layer stats, per-iteration trace).
+	Report Report
+	// Accuracy is top-1 accuracy on held-out samples of the user classes.
+	Accuracy float64
+	// Classes echoes the personalization target.
+	Classes []int
+}
+
+// Personalize runs the CRISP framework: starting from the given (ideally
+// pre-trained) model, it iteratively prunes toward cfg.Target using
+// samples of the user's classes and returns the pruned model's report and
+// held-out accuracy. The model is mutated in place.
+func Personalize(model *Classifier, ds *Dataset, userClasses []int, cfg Config) Result {
+	train := ds.MakeSplit("user-train", userClasses, 32)
+	test := ds.MakeSplit("user-test", userClasses, 16)
+	rep := pruner.NewCRISP(cfg).Prune(model, train)
+	return Result{
+		Report:   rep,
+		Accuracy: model.Accuracy(test.X, test.Labels),
+		Classes:  userClasses,
+	}
+}
+
+// SaveCheckpoint writes the model's weights, pruning masks and
+// normalization statistics to w in the versioned binary format.
+func SaveCheckpoint(w io.Writer, model *Classifier) error {
+	return checkpoint.Save(w, model)
+}
+
+// LoadCheckpoint restores a checkpoint written by SaveCheckpoint into an
+// architecturally identical model.
+func LoadCheckpoint(r io.Reader, model *Classifier) error {
+	return checkpoint.Load(r, model)
+}
+
+// Deployment summarizes a pruned model's deployable artifacts.
+type Deployment struct {
+	// DenseBytes and CRISPBytes are deployed sizes at 8-bit weights.
+	DenseBytes, CRISPBytes int64
+	// Compression is DenseBytes / CRISPBytes.
+	Compression float64
+	// Engine executes inference from the compressed representation; its
+	// outputs are bit-identical to the masked dense model.
+	Engine *inference.Engine
+}
+
+// Deploy compresses the pruned model into the CRISP storage format and
+// builds the sparse inference engine over it.
+func Deploy(model *Classifier, cfg Config) (Deployment, error) {
+	cfg = fillDeployDefaults(cfg)
+	sizes, err := export.Sizes(model, cfg.BlockSize, cfg.NM, 8)
+	if err != nil {
+		return Deployment{}, err
+	}
+	eng, err := inference.New(model, cfg.BlockSize, cfg.NM)
+	if err != nil {
+		return Deployment{}, err
+	}
+	return Deployment{
+		DenseBytes:  sizes.DenseBytes,
+		CRISPBytes:  sizes.FormatBytes["crisp"],
+		Compression: sizes.CompressionRatio("crisp"),
+		Engine:      eng,
+	}, nil
+}
+
+// fillDeployDefaults mirrors the pruner's defaulting for the two fields
+// Deploy consumes.
+func fillDeployDefaults(cfg Config) Config {
+	if cfg.NM.M == 0 {
+		cfg.NM = NM{N: 2, M: 4}
+	}
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 4
+	}
+	return cfg
+}

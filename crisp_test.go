@@ -1,0 +1,110 @@
+package crisp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as README's quickstart
+// does: dataset → model → pretrain → personalize.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds := NewDataset(data.Config{
+		Name: "api-test", NumClasses: 8, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 21,
+	})
+	model := NewModel(ResNet, ds.NumClasses, 1, 22)
+	Pretrain(model, ds, 3, 10, 23)
+
+	user := ds.UserClasses(24, 3)
+	cfg := DefaultConfig(0.85)
+	cfg.BlockSize = 4
+	cfg.Iterations = 2
+	cfg.FinetuneEpochs = 1
+	cfg.BatchSize = 16
+	cfg.LR = 0.01
+
+	res := Personalize(model, ds, user, cfg)
+	if res.Report.AchievedSparsity < 0.78 {
+		t.Fatalf("achieved sparsity %v", res.Report.AchievedSparsity)
+	}
+	if res.Accuracy < 0 || res.Accuracy > 1 {
+		t.Fatalf("accuracy %v", res.Accuracy)
+	}
+	if len(res.Classes) != 3 {
+		t.Fatalf("classes %v", res.Classes)
+	}
+	// The pruned model must satisfy the hybrid invariants end to end.
+	for _, p := range model.PrunableParams() {
+		if err := sparsity.VerifyNM(p.MaskMatrixView(), cfg.NM); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(0.9)
+	if cfg.Target != 0.9 {
+		t.Fatalf("target %v", cfg.Target)
+	}
+	if cfg.NM != (NM{N: 2, M: 4}) {
+		t.Fatalf("default NM %v", cfg.NM)
+	}
+}
+
+func TestDatasetConfigsExported(t *testing.T) {
+	in := SynthImageNet()
+	if in.NumClasses != 1000 {
+		t.Fatalf("synth imagenet classes %d", in.NumClasses)
+	}
+	cf := SynthCIFAR()
+	if cf.NumClasses != 100 {
+		t.Fatalf("synth cifar classes %d", cf.NumClasses)
+	}
+}
+
+func TestFacadeDeployWorkflow(t *testing.T) {
+	ds := NewDataset(data.Config{
+		Name: "deploy-test", NumClasses: 8, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 31,
+	})
+	model := NewModel(ResNet, ds.NumClasses, 1, 32)
+	Pretrain(model, ds, 2, 8, 33)
+	user := ds.UserClasses(34, 3)
+	cfg := DefaultConfig(0.8)
+	cfg.BlockSize = 4
+	cfg.Iterations = 2
+	cfg.FinetuneEpochs = 1
+	cfg.BatchSize = 16
+	cfg.LR = 0.01
+	Personalize(model, ds, user, cfg)
+
+	// Checkpoint round trip through the facade.
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, model); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewModel(ResNet, ds.NumClasses, 1, 99)
+	if err := LoadCheckpoint(&buf, restored); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deployment: compression + bit-identical sparse inference.
+	dep, err := Deploy(restored, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Compression <= 1.5 {
+		t.Fatalf("compression %v too small at κ=0.8", dep.Compression)
+	}
+	test := ds.MakeSplit("user-test", user, 4)
+	x, _ := test.Sample(0)
+	dense := restored.Logits(x, false)
+	sparse := dep.Engine.Logits(x)
+	if !tensor.Equal(dense, sparse, 1e-9) {
+		t.Fatal("deployed engine disagrees with restored model")
+	}
+}

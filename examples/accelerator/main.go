@@ -1,0 +1,60 @@
+// Accelerator comparison: sweep the representative ResNet-50 layers (exact
+// full-size ImageNet shapes) across the four simulated architectures —
+// dense, NVIDIA-STC, DSTC and CRISP-STC — reproducing the structure of the
+// paper's Fig. 8.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/energy"
+	"repro/internal/models"
+	"repro/internal/sparsity"
+)
+
+func main() {
+	hw := accel.EdgeHW()
+	e := energy.Default()
+	dense := accel.NewDense(hw, e)
+	archs := []accel.Arch{
+		accel.NewNvidiaSTC(hw, e),
+		accel.NewDSTC(hw, e),
+		accel.NewCRISPSTC(hw, e),
+	}
+
+	nm := sparsity.NM{N: 2, M: 4}
+	fmt.Printf("hybrid sparsity: %s, kept block columns 30%%, B=64 (≈85%% weight sparsity)\n\n", nm)
+	fmt.Printf("%-12s %-12s %10s %9s %12s %9s\n", "layer", "arch", "cycles", "speedup", "energy(uJ)", "en-gain")
+
+	for _, l := range models.RepresentativeResNet50Layers() {
+		base := dense.Simulate(l, accel.Dense())
+		fmt.Printf("%-12s %-12s %10.0f %8.1fx %12.1f %8.1fx\n",
+			l.Name, "dense", base.Cycles, 1.0, base.EnergyUJ(), 1.0)
+		for _, a := range archs {
+			sp := accel.Sparsity{NM: nm, KeptColFrac: 0.3, BlockSize: 64, ActDensity: 1}
+			if a.Name() == "dstc" {
+				sp.ActDensity = 0.6 // DSTC also exploits activation sparsity
+			}
+			p := a.Simulate(l, sp)
+			fmt.Printf("%-12s %-12s %10.0f %8.1fx %12.1f %8.1fx\n",
+				l.Name, a.Name(), p.Cycles, base.Cycles/p.Cycles, p.EnergyUJ(), base.EnergyUJ()/p.EnergyUJ())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("block-size sweep on conv4_2.b (CRISP-STC, 2:4, 30% kept):")
+	crisp := accel.NewCRISPSTC(hw, e)
+	var conv models.LayerShape
+	for _, l := range models.RepresentativeResNet50Layers() {
+		if l.Name == "conv4_2.b" {
+			conv = l
+		}
+	}
+	base := dense.Simulate(conv, accel.Dense())
+	for _, b := range []int{16, 32, 64} {
+		p := crisp.Simulate(conv, accel.Sparsity{NM: nm, KeptColFrac: 0.3, BlockSize: b, ActDensity: 1})
+		fmt.Printf("  B=%-3d  cycles %10.0f  speedup %5.1fx  energy %8.1f uJ\n",
+			b, p.Cycles, base.Cycles/p.Cycles, p.EnergyUJ())
+	}
+}

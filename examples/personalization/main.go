@@ -1,0 +1,72 @@
+// Personalization scenario: the paper's motivating workload. A "camera
+// roll" user encounters only a handful of ImageNet classes; we compare
+// CRISP against the dense fine-tuned reference and the OCAP/CAPNN-style
+// channel-pruning baseline at a matched sparsity target, for several
+// user-class counts.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	crisp "repro"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+)
+
+func main() {
+	ds := crisp.NewDataset(data.Config{
+		Name: "personalization", NumClasses: 30, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 5,
+	})
+
+	fmt.Println("pre-training the universal model (once)...")
+	universal := crisp.NewModel(crisp.ResNet, ds.NumClasses, 2, 11)
+	crisp.Pretrain(universal, ds, 5, 12, 12)
+
+	fmt.Printf("%-8s  %-10s  %-9s  %-9s  %-6s\n", "classes", "method", "accuracy", "sparsity", "flops")
+	for _, k := range []int{2, 5, 10} {
+		user := ds.UserClasses(int64(100+k), k)
+		train := ds.MakeSplit("user-train", user, 48)
+		test := ds.MakeSplit("user-test", user, 16)
+		target := 0.9
+		if k >= 10 {
+			target = 0.85
+		}
+
+		// Dense fine-tuned reference with the same epoch budget as pruning.
+		ref := crisp.NewModel(crisp.ResNet, ds.NumClasses, 2, 11)
+		universal.CloneWeightsTo(ref)
+		opt := nn.NewSGD(0.01, 0.9, 4e-5)
+		pruner.Finetune(ref, train, 10, 16, opt, rand.New(rand.NewSource(int64(k))))
+		report(k, "dense-ft", ref.Accuracy(test.X, test.Labels), 0, 1)
+
+		// CRISP.
+		m := crisp.NewModel(crisp.ResNet, ds.NumClasses, 2, 11)
+		universal.CloneWeightsTo(m)
+		cfg := crisp.DefaultConfig(target)
+		cfg.BlockSize = 4
+		cfg.Iterations = 3
+		cfg.FinetuneEpochs = 2
+		cfg.FinalFinetuneEpochs = 4
+		rep := pruner.NewCRISP(cfg).Prune(m, train)
+		report(k, "crisp", m.Accuracy(test.X, test.Labels), rep.AchievedSparsity, rep.FLOPsRatio)
+
+		// Channel-pruning baseline (OCAP/CAPNN-style) at the same target.
+		c := crisp.NewModel(crisp.ResNet, ds.NumClasses, 2, 11)
+		universal.CloneWeightsTo(c)
+		ccfg := crisp.DefaultConfig(target)
+		ccfg.Iterations = 3
+		ccfg.FinetuneEpochs = 2
+		ccfg.FinalFinetuneEpochs = 4
+		crep := pruner.NewChannel(ccfg).Prune(c, train)
+		report(k, "channel", c.Accuracy(test.X, test.Labels), crep.AchievedSparsity, crep.FLOPsRatio)
+	}
+	_ = models.ResNet
+}
+
+func report(k int, method string, acc, sparsity, flops float64) {
+	fmt.Printf("%-8d  %-10s  %-9.3f  %-9.3f  %-6.3f\n", k, method, acc, sparsity, flops)
+}

@@ -1,0 +1,50 @@
+// Transformer extension: the paper's stated future work, demonstrated. A
+// small vision transformer (patch embedding, two pre-norm encoder blocks
+// with multi-head attention and MLPs) is pre-trained, then personalized
+// with CRISP's hybrid N:M + block pattern — the same code path the conv
+// models use, because every projection is an ordinary prunable matrix.
+package main
+
+import (
+	"fmt"
+
+	crisp "repro"
+	"repro/internal/data"
+	"repro/internal/sparsity"
+)
+
+func main() {
+	ds := crisp.NewDataset(data.Config{
+		Name: "vit-demo", NumClasses: 16, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 17,
+	})
+
+	model := crisp.NewModel(crisp.TransformerFamily, ds.NumClasses, 2, 18)
+	fmt.Println("pre-training the vision transformer...")
+	crisp.Pretrain(model, ds, 6, 12, 19)
+
+	user := ds.UserClasses(20, 4)
+	fmt.Printf("personalizing to classes %v with 2:4 + block sparsity...\n", user)
+	cfg := crisp.DefaultConfig(0.8)
+	cfg.BlockSize = 4
+	cfg.Iterations = 3
+	cfg.FinetuneEpochs = 2
+
+	res := crisp.Personalize(model, ds, user, cfg)
+	fmt.Println()
+	fmt.Println(res.Report.String())
+	fmt.Printf("held-out accuracy: %.1f%%\n", 100*res.Accuracy)
+
+	fmt.Println("\nattention/MLP projection sparsity:")
+	for _, ls := range res.Report.Layers {
+		fmt.Printf("  %-20s %4dx%-4d sparsity %.3f\n", ls.Name, ls.Rows, ls.Cols, ls.Sparsity)
+	}
+
+	// The masks satisfy the same hardware invariants as the conv models.
+	for _, p := range model.PrunableParams() {
+		if err := sparsity.VerifyNM(p.MaskMatrixView(), cfg.NM); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("\nall projections satisfy the 2:4 invariant — CRISP-STC ready")
+}

@@ -1,0 +1,125 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/sparsity"
+)
+
+func TestTileSimTraceInvariants(t *testing.T) {
+	hw := EdgeHW()
+	for _, arch := range []string{"dense", "crisp-stc"} {
+		for _, name := range []string{"conv2_1.b", "conv4_2.b", "conv5_1.b"} {
+			l := layerByName(t, name)
+			sp := crispSparsity(sparsity.NM{N: 2, M: 4}, 0.3, 64)
+			tr, err := TileSim(hw, arch, l, sp)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", arch, name, err)
+			}
+			if tr.Tiles != len(tr.Events) || tr.Tiles == 0 {
+				t.Fatalf("%s/%s: bad tile count", arch, name)
+			}
+			var prevLoadEnd, prevComputeEnd float64
+			for i, ev := range tr.Events {
+				if ev.Index != i {
+					t.Fatalf("event order broken at %d", i)
+				}
+				if ev.LoadStart < prevLoadEnd-1e-9 {
+					t.Fatalf("%s/%s: load %d starts before previous finished", arch, name, i)
+				}
+				if ev.ComputeStart < ev.LoadEnd-1e-9 {
+					t.Fatalf("%s/%s: compute %d starts before its load", arch, name, i)
+				}
+				if ev.ComputeStart < prevComputeEnd-1e-9 {
+					t.Fatalf("%s/%s: compute %d overlaps previous compute", arch, name, i)
+				}
+				if ev.ComputeEnd <= ev.ComputeStart || ev.LoadEnd <= ev.LoadStart {
+					t.Fatalf("%s/%s: zero-length phase at %d", arch, name, i)
+				}
+				prevLoadEnd = ev.LoadEnd
+				prevComputeEnd = ev.ComputeEnd
+			}
+			if tr.ComputeBusy <= 0 || tr.ComputeBusy > 1 || tr.MemBusy <= 0 || tr.MemBusy > 1.0001 {
+				t.Fatalf("%s/%s: busy fractions out of range: %+v", arch, name, tr)
+			}
+			if tr.Cycles < prevComputeEnd {
+				t.Fatalf("%s/%s: total cycles below last compute end", arch, name)
+			}
+		}
+	}
+}
+
+func TestTileSimAgreesWithClosedForm(t *testing.T) {
+	// The event-driven schedule must land within a modest factor of the
+	// closed-form max(compute, memory) bound: never faster than the bound's
+	// dominant term, never more than ~2.5× slower.
+	hw := EdgeHW()
+	e := energy.Default()
+	dense := NewDense(hw, e)
+	crisp := NewCRISPSTC(hw, e)
+	sp := crispSparsity(sparsity.NM{N: 2, M: 4}, 0.3, 64)
+	for _, name := range []string{"conv2_1.b", "conv3_2.b", "conv4_2.b", "conv5_1.b"} {
+		l := layerByName(t, name)
+		dTrace, err := TileSim(hw, "dense", l, Dense())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dClosed := dense.Simulate(l, Dense())
+		if ratio := dTrace.Cycles / dClosed.Cycles; ratio < 0.8 || ratio > 2.5 {
+			t.Fatalf("dense %s: tile sim %.0f vs closed form %.0f (ratio %.2f)",
+				name, dTrace.Cycles, dClosed.Cycles, ratio)
+		}
+		cTrace, err := TileSim(hw, "crisp-stc", l, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cClosed := crisp.Simulate(l, sp)
+		if ratio := cTrace.Cycles / cClosed.Cycles; ratio < 0.5 || ratio > 2.5 {
+			t.Fatalf("crisp %s: tile sim %.0f vs closed form %.0f (ratio %.2f)",
+				name, cTrace.Cycles, cClosed.Cycles, ratio)
+		}
+	}
+}
+
+func TestTileSimSparsitySpeedsUp(t *testing.T) {
+	hw := EdgeHW()
+	l := layerByName(t, "conv4_2.b")
+	d, err := TileSim(hw, "dense", l, Dense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := TileSim(hw, "crisp-stc", l, crispSparsity(sparsity.NM{N: 2, M: 4}, 0.3, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles >= d.Cycles {
+		t.Fatalf("sparse tile schedule (%.0f) not faster than dense (%.0f)", c.Cycles, d.Cycles)
+	}
+}
+
+func TestTileSimComputeBoundLayersBusy(t *testing.T) {
+	// A big dense conv on this HW is compute-bound: the fabric should be
+	// busy most of the time under double buffering.
+	hw := EdgeHW()
+	l := layerByName(t, "conv4_2.b")
+	tr, err := TileSim(hw, "dense", l, Dense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ComputeBusy < 0.5 {
+		t.Fatalf("dense compute busy only %.2f", tr.ComputeBusy)
+	}
+}
+
+func TestTileSimRejectsUnknownArch(t *testing.T) {
+	hw := EdgeHW()
+	l := layerByName(t, "conv2_1.b")
+	if _, err := TileSim(hw, "warp9", l, Dense()); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+	bad := Sparsity{KeptColFrac: 7}
+	if _, err := TileSim(hw, "dense", l, bad); err == nil {
+		t.Fatal("invalid sparsity accepted")
+	}
+}

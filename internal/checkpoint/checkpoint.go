@@ -1,0 +1,275 @@
+// Package checkpoint serializes classifiers — weights, pruning masks and
+// batch-norm running statistics — to a compact self-describing binary
+// stream, so a pre-trained universal model can be saved once and
+// personalized many times (the deployment story of the paper).
+//
+// The format is versioned and endian-fixed (little endian):
+//
+//	magic "CRSP" | u32 version | u32 #params
+//	per param: name | u32 #dims | dims | f64 weights | u8 hasMask | packed mask bits
+//	u32 #bnStats; per stat: name | u32 len | f64 means | f64 vars
+//
+// Masks are bit-packed (8 elements per byte); weights are raw float64.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nn"
+)
+
+const (
+	magic   = "CRSP"
+	version = 1
+)
+
+// Save writes the classifier's parameters, masks and batch-norm running
+// statistics to w.
+func Save(w io.Writer, clf *nn.Classifier) error {
+	bw := &errWriter{w: w}
+	bw.bytes([]byte(magic))
+	bw.u32(version)
+
+	params := clf.Params()
+	bw.u32(uint32(len(params)))
+	for _, p := range params {
+		bw.str(p.Name)
+		bw.u32(uint32(len(p.W.Shape)))
+		for _, d := range p.W.Shape {
+			bw.u32(uint32(d))
+		}
+		for _, v := range p.W.Data {
+			bw.f64(v)
+		}
+		if p.Mask == nil {
+			bw.bytes([]byte{0})
+		} else {
+			bw.bytes([]byte{1})
+			bw.bytes(packBits(p.Mask.Data))
+		}
+	}
+
+	stats := bnStats(clf)
+	bw.u32(uint32(len(stats)))
+	for _, s := range stats {
+		bw.str(s.name)
+		bw.u32(uint32(len(s.mean)))
+		for _, v := range s.mean {
+			bw.f64(v)
+		}
+		for _, v := range s.variance {
+			bw.f64(v)
+		}
+	}
+	return bw.err
+}
+
+// Load restores a checkpoint written by Save into clf, whose architecture
+// must match (same parameters in the same order with the same shapes).
+func Load(r io.Reader, clf *nn.Classifier) error {
+	br := &errReader{r: r}
+	head := br.bytes(4)
+	if br.err != nil {
+		return br.err
+	}
+	if string(head) != magic {
+		return fmt.Errorf("checkpoint: bad magic %q", head)
+	}
+	if v := br.u32(); v != version {
+		return fmt.Errorf("checkpoint: unsupported version %d", v)
+	}
+
+	params := clf.Params()
+	n := br.u32()
+	if br.err != nil {
+		return br.err
+	}
+	if int(n) != len(params) {
+		return fmt.Errorf("checkpoint: %d stored params, model has %d", n, len(params))
+	}
+	for _, p := range params {
+		name := br.str()
+		if br.err != nil {
+			return br.err
+		}
+		if name != p.Name {
+			return fmt.Errorf("checkpoint: stored param %q does not match model param %q", name, p.Name)
+		}
+		nd := int(br.u32())
+		if nd != len(p.W.Shape) {
+			return fmt.Errorf("checkpoint: %s rank %d, model rank %d", name, nd, len(p.W.Shape))
+		}
+		for i := 0; i < nd; i++ {
+			if d := int(br.u32()); d != p.W.Shape[i] {
+				return fmt.Errorf("checkpoint: %s dim %d is %d, model has %d", name, i, d, p.W.Shape[i])
+			}
+		}
+		for i := range p.W.Data {
+			p.W.Data[i] = br.f64()
+		}
+		hasMask := br.bytes(1)
+		if br.err != nil {
+			return br.err
+		}
+		if hasMask[0] == 1 {
+			bits := br.bytes((p.W.Len() + 7) / 8)
+			if br.err != nil {
+				return br.err
+			}
+			unpackBits(bits, p.EnsureMask().Data)
+		} else {
+			p.ClearMask()
+		}
+	}
+
+	stats := bnStats(clf)
+	ns := int(br.u32())
+	if br.err != nil {
+		return br.err
+	}
+	if ns != len(stats) {
+		return fmt.Errorf("checkpoint: %d stored norm stats, model has %d", ns, len(stats))
+	}
+	for _, s := range stats {
+		name := br.str()
+		if name != s.name {
+			return fmt.Errorf("checkpoint: norm stat %q does not match %q", name, s.name)
+		}
+		l := int(br.u32())
+		if l != len(s.mean) {
+			return fmt.Errorf("checkpoint: norm stat %s length %d, model has %d", name, l, len(s.mean))
+		}
+		for i := range s.mean {
+			s.mean[i] = br.f64()
+		}
+		for i := range s.variance {
+			s.variance[i] = br.f64()
+		}
+	}
+	return br.err
+}
+
+// stat aliases one batch-norm layer's running buffers.
+type stat struct {
+	name     string
+	mean     []float64
+	variance []float64
+}
+
+// bnStats collects batch-norm running statistics in execution order.
+func bnStats(clf *nn.Classifier) []stat {
+	var out []stat
+	nn.Walk(clf.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			out = append(out, stat{
+				name:     bn.Gamma.Name, // unique per layer
+				mean:     bn.RunMean.Data,
+				variance: bn.RunVar.Data,
+			})
+		}
+	})
+	return out
+}
+
+// packBits packs a {0,1} float slice into bytes, LSB first.
+func packBits(vals []float64) []byte {
+	out := make([]byte, (len(vals)+7)/8)
+	for i, v := range vals {
+		if v != 0 {
+			out[i/8] |= 1 << (i % 8)
+		}
+	}
+	return out
+}
+
+// unpackBits expands packed bytes into a {0,1} float slice.
+func unpackBits(bits []byte, dst []float64) {
+	for i := range dst {
+		if bits[i/8]&(1<<(i%8)) != 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// errWriter accumulates the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) bytes(b []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(b)
+}
+
+func (e *errWriter) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	e.bytes(buf[:])
+}
+
+func (e *errWriter) f64(v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	e.bytes(buf[:])
+}
+
+func (e *errWriter) str(s string) {
+	e.u32(uint32(len(s)))
+	e.bytes([]byte(s))
+}
+
+// errReader accumulates the first read error.
+type errReader struct {
+	r   io.Reader
+	err error
+}
+
+func (e *errReader) bytes(n int) []byte {
+	if e.err != nil {
+		return nil
+	}
+	if n < 0 || n > 1<<30 {
+		e.err = errors.New("checkpoint: implausible field length")
+		return nil
+	}
+	buf := make([]byte, n)
+	_, e.err = io.ReadFull(e.r, buf)
+	return buf
+}
+
+func (e *errReader) u32() uint32 {
+	b := e.bytes(4)
+	if e.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (e *errReader) f64() float64 {
+	b := e.bytes(8)
+	if e.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (e *errReader) str() string {
+	n := e.u32()
+	if e.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		e.err = errors.New("checkpoint: implausible string length")
+		return ""
+	}
+	return string(e.bytes(int(n)))
+}

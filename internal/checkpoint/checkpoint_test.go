@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// trainedModel returns a model with non-trivial weights, masks and BN stats.
+func trainedModel(t *testing.T, f models.Family, seed int64) *nn.Classifier {
+	t.Helper()
+	clf := models.Build(f, rand.New(rand.NewSource(seed)), 6, 1)
+	rng := rand.New(rand.NewSource(seed + 1))
+	x := tensor.Randn(rng, 1, 4, 3, 8, 8)
+	clf.TrainBatch(x, []int{0, 1, 2, 3})
+	nn.ZeroGrad(clf.Params())
+	// Mask part of the first prunable layer.
+	m := clf.PrunableParams()[0].EnsureMask()
+	for i := 0; i < m.Len(); i += 3 {
+		m.Data[i] = 0
+	}
+	return clf
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, f := range []models.Family{models.ResNet, models.VGG, models.MobileNet, models.Transformer} {
+		src := trainedModel(t, f, 10)
+		var buf bytes.Buffer
+		if err := Save(&buf, src); err != nil {
+			t.Fatalf("%s: save: %v", f, err)
+		}
+		dst := models.Build(f, rand.New(rand.NewSource(99)), 6, 1)
+		if err := Load(&buf, dst); err != nil {
+			t.Fatalf("%s: load: %v", f, err)
+		}
+		// Outputs must match exactly (weights, masks and BN stats restored).
+		rng := rand.New(rand.NewSource(11))
+		x := tensor.Randn(rng, 1, 2, 3, 8, 8)
+		ya := src.Logits(x, false)
+		yb := dst.Logits(x, false)
+		if !tensor.Equal(ya, yb, 0) {
+			t.Fatalf("%s: restored model disagrees", f)
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	src := trainedModel(t, models.ResNet, 12)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.Build(models.VGG, rand.New(rand.NewSource(1)), 6, 1)
+	if err := Load(&buf, dst); err == nil {
+		t.Fatal("cross-architecture load accepted")
+	}
+}
+
+func TestLoadRejectsCorruptHeader(t *testing.T) {
+	dst := models.Build(models.ResNet, rand.New(rand.NewSource(2)), 6, 1)
+	if err := Load(bytes.NewReader([]byte("NOPE....")), dst); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := Load(bytes.NewReader(nil), dst); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	src := trainedModel(t, models.ResNet, 13)
+	var buf bytes.Buffer
+	if err := Save(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, len(full) / 3, len(full) - 1} {
+		dst := models.Build(models.ResNet, rand.New(rand.NewSource(3)), 6, 1)
+		if err := Load(bytes.NewReader(full[:cut]), dst); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestMaskAbsencePreserved(t *testing.T) {
+	clf := models.Build(models.ResNet, rand.New(rand.NewSource(14)), 6, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, clf); err != nil {
+		t.Fatal(err)
+	}
+	dst := models.Build(models.ResNet, rand.New(rand.NewSource(15)), 6, 1)
+	// Give dst a mask that the load must clear.
+	dst.PrunableParams()[0].EnsureMask()
+	if err := Load(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range dst.Params() {
+		if p.Mask != nil {
+			t.Fatalf("mask on %s not cleared", p.Name)
+		}
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	vals := []float64{1, 0, 0, 1, 1, 1, 0, 1, 0, 1, 1}
+	packed := packBits(vals)
+	if len(packed) != 2 {
+		t.Fatalf("packed %d bytes", len(packed))
+	}
+	out := make([]float64, len(vals))
+	unpackBits(packed, out)
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("bit %d: %v != %v", i, out[i], vals[i])
+		}
+	}
+}

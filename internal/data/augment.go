@@ -1,0 +1,131 @@
+package data
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Transform mutates one [C,H,W] image in place using rng. Transforms
+// compose left to right via Augment.
+type Transform interface {
+	Apply(rng *rand.Rand, img []float64, c, h, w int)
+}
+
+// HFlip mirrors the image horizontally with probability P.
+type HFlip struct {
+	// P is the flip probability (0.5 when zero).
+	P float64
+}
+
+// Apply implements Transform.
+func (t HFlip) Apply(rng *rand.Rand, img []float64, c, h, w int) {
+	p := t.P
+	if p == 0 {
+		p = 0.5
+	}
+	if rng.Float64() >= p {
+		return
+	}
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			row := img[(ch*h+y)*w : (ch*h+y+1)*w]
+			for x := 0; x < w/2; x++ {
+				row[x], row[w-1-x] = row[w-1-x], row[x]
+			}
+		}
+	}
+}
+
+// Shift translates the image by up to Max pixels along each axis with
+// zero padding (a crop-and-pad augmentation).
+type Shift struct {
+	Max int
+}
+
+// Apply implements Transform.
+func (t Shift) Apply(rng *rand.Rand, img []float64, c, h, w int) {
+	if t.Max <= 0 {
+		return
+	}
+	dy := rng.Intn(2*t.Max+1) - t.Max
+	dx := rng.Intn(2*t.Max+1) - t.Max
+	if dy == 0 && dx == 0 {
+		return
+	}
+	src := append([]float64(nil), img...)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				sy, sx := y-dy, x-dx
+				v := 0.0
+				if sy >= 0 && sy < h && sx >= 0 && sx < w {
+					v = src[(ch*h+sy)*w+sx]
+				}
+				img[(ch*h+y)*w+x] = v
+			}
+		}
+	}
+}
+
+// GaussianNoise adds N(0, Std²) noise per pixel.
+type GaussianNoise struct {
+	Std float64
+}
+
+// Apply implements Transform.
+func (t GaussianNoise) Apply(rng *rand.Rand, img []float64, c, h, w int) {
+	if t.Std <= 0 {
+		return
+	}
+	for i := range img {
+		img[i] += rng.NormFloat64() * t.Std
+	}
+}
+
+// Contrast scales the image by a factor drawn uniformly from [Lo, Hi].
+type Contrast struct {
+	Lo, Hi float64
+}
+
+// Apply implements Transform.
+func (t Contrast) Apply(rng *rand.Rand, img []float64, c, h, w int) {
+	lo, hi := t.Lo, t.Hi
+	if lo == 0 && hi == 0 {
+		lo, hi = 0.8, 1.2
+	}
+	f := lo + rng.Float64()*(hi-lo)
+	for i := range img {
+		img[i] *= f
+	}
+}
+
+// Augment returns a new split with every sample passed through the
+// transforms in order. The input split is unchanged.
+func Augment(rng *rand.Rand, s Split, transforms ...Transform) Split {
+	c, h, w := s.X.Shape[1], s.X.Shape[2], s.X.Shape[3]
+	vol := c * h * w
+	x := tensor.New(s.X.Shape...)
+	copy(x.Data, s.X.Data)
+	for b := 0; b < s.Len(); b++ {
+		img := x.Data[b*vol : (b+1)*vol]
+		for _, t := range transforms {
+			t.Apply(rng, img, c, h, w)
+		}
+	}
+	labels := append([]int(nil), s.Labels...)
+	return Split{X: x, Labels: labels}
+}
+
+// Concat appends the samples of b to a (shapes must match).
+func Concat(a, b Split) Split {
+	if len(a.X.Shape) != 4 || len(b.X.Shape) != 4 ||
+		a.X.Shape[1] != b.X.Shape[1] || a.X.Shape[2] != b.X.Shape[2] || a.X.Shape[3] != b.X.Shape[3] {
+		panic("data: Concat requires matching sample shapes")
+	}
+	x := tensor.New(a.Len()+b.Len(), a.X.Shape[1], a.X.Shape[2], a.X.Shape[3])
+	copy(x.Data, a.X.Data)
+	copy(x.Data[a.X.Len():], b.X.Data)
+	labels := append(append([]int(nil), a.Labels...), b.Labels...)
+	return Split{X: x, Labels: labels}
+}

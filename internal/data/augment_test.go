@@ -1,0 +1,140 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestHFlipMirrors(t *testing.T) {
+	img := []float64{1, 2, 3, 4, 5, 6}
+	HFlip{P: 1}.Apply(rand.New(rand.NewSource(1)), img, 1, 2, 3)
+	want := []float64{3, 2, 1, 6, 5, 4}
+	for i := range want {
+		if img[i] != want[i] {
+			t.Fatalf("flip[%d] = %v, want %v", i, img[i], want[i])
+		}
+	}
+}
+
+func TestHFlipIdempotentTwice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig := []float64{1, 2, 3, 4}
+	img := append([]float64(nil), orig...)
+	HFlip{P: 1}.Apply(rng, img, 1, 2, 2)
+	HFlip{P: 1}.Apply(rng, img, 1, 2, 2)
+	for i := range orig {
+		if img[i] != orig[i] {
+			t.Fatal("double flip must restore the image")
+		}
+	}
+}
+
+func TestShiftZeroPads(t *testing.T) {
+	// Deterministic: Max=1 with a seed whose first draws give dy=1, dx=1.
+	img := []float64{1, 2, 3, 4}
+	var rng *rand.Rand
+	for seed := int64(0); ; seed++ {
+		rng = rand.New(rand.NewSource(seed))
+		if rng.Intn(3)-1 == 1 && rng.Intn(3)-1 == 1 {
+			rng = rand.New(rand.NewSource(seed))
+			break
+		}
+	}
+	Shift{Max: 1}.Apply(rng, img, 1, 2, 2)
+	// Shift down-right by (1,1): only top-left survives at bottom-right.
+	want := []float64{0, 0, 0, 1}
+	for i := range want {
+		if img[i] != want[i] {
+			t.Fatalf("shift = %v, want %v", img, want)
+		}
+	}
+}
+
+func TestGaussianNoiseChangesPixels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	img := make([]float64, 16)
+	GaussianNoise{Std: 0.5}.Apply(rng, img, 1, 4, 4)
+	sum := 0.0
+	for _, v := range img {
+		sum += math.Abs(v)
+	}
+	if sum == 0 {
+		t.Fatal("noise did nothing")
+	}
+}
+
+func TestContrastScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	img := []float64{1, -2, 3, -4}
+	orig := append([]float64(nil), img...)
+	Contrast{Lo: 2, Hi: 2}.Apply(rng, img, 1, 2, 2)
+	for i := range img {
+		if math.Abs(img[i]-2*orig[i]) > 1e-12 {
+			t.Fatalf("contrast[%d] = %v, want %v", i, img[i], 2*orig[i])
+		}
+	}
+}
+
+func TestAugmentPreservesInputAndLabels(t *testing.T) {
+	d := New(smallCfg())
+	s := d.MakeSplit("train", []int{1, 2}, 3)
+	before := append([]float64(nil), s.X.Data...)
+	out := Augment(rand.New(rand.NewSource(5)), s, HFlip{P: 1}, GaussianNoise{Std: 0.1})
+	for i := range before {
+		if s.X.Data[i] != before[i] {
+			t.Fatal("Augment mutated its input")
+		}
+	}
+	if out.Len() != s.Len() {
+		t.Fatalf("augmented length %d", out.Len())
+	}
+	for i := range out.Labels {
+		if out.Labels[i] != s.Labels[i] {
+			t.Fatal("labels changed")
+		}
+	}
+	changed := false
+	for i := range before {
+		if out.X.Data[i] != before[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("augmentation was a no-op")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	d := New(smallCfg())
+	a := d.MakeSplit("train", []int{0}, 2)
+	b := d.MakeSplit("train", []int{3}, 3)
+	c := Concat(a, b)
+	if c.Len() != 5 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if c.Labels[0] != 0 || c.Labels[4] != 3 {
+		t.Fatalf("labels %v", c.Labels)
+	}
+	// First samples equal a's, later equal b's.
+	if c.X.Data[0] != a.X.Data[0] {
+		t.Fatal("head mismatch")
+	}
+	if c.X.Data[c.X.Len()-1] != b.X.Data[b.X.Len()-1] {
+		t.Fatal("tail mismatch")
+	}
+}
+
+func TestConcatShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := Split{X: tensor.New(1, 1, 2, 2), Labels: []int{0}}
+	b := Split{X: tensor.New(1, 1, 3, 3), Labels: []int{0}}
+	Concat(a, b)
+}

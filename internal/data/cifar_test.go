@@ -1,0 +1,85 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fakeCIFAR builds n synthetic CIFAR-100 records with deterministic
+// contents: record i has fine label i%100 and pixel bytes (i+j)%256.
+func fakeCIFAR(n int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < n; i++ {
+		buf.WriteByte(byte(i % 20))  // coarse label (ignored)
+		buf.WriteByte(byte(i % 100)) // fine label
+		for j := 0; j < cifarPixels; j++ {
+			buf.WriteByte(byte((i + j) % 256))
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestLoadCIFAR100ParsesRecords(t *testing.T) {
+	s, err := LoadCIFAR100(bytes.NewReader(fakeCIFAR(5)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("records %d", s.Len())
+	}
+	if s.X.Shape[1] != 3 || s.X.Shape[2] != 32 || s.X.Shape[3] != 32 {
+		t.Fatalf("shape %v", s.X.Shape)
+	}
+	for i := 0; i < 5; i++ {
+		if s.Labels[i] != i%100 {
+			t.Fatalf("label[%d] = %d", i, s.Labels[i])
+		}
+	}
+	// Pixel 0 of record 2 is byte 2 → 2/127.5−1.
+	want := 2.0/127.5 - 1
+	if math.Abs(s.X.At(2, 0, 0, 0)-want) > 1e-12 {
+		t.Fatalf("pixel = %v, want %v", s.X.At(2, 0, 0, 0), want)
+	}
+}
+
+func TestLoadCIFAR100MaxRecords(t *testing.T) {
+	s, err := LoadCIFAR100(bytes.NewReader(fakeCIFAR(10)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("records %d, want 3", s.Len())
+	}
+}
+
+func TestLoadCIFAR100PixelRange(t *testing.T) {
+	s, err := LoadCIFAR100(bytes.NewReader(fakeCIFAR(2)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.X.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("pixel %v outside [-1,1]", v)
+		}
+	}
+}
+
+func TestLoadCIFAR100Truncated(t *testing.T) {
+	raw := fakeCIFAR(2)
+	if _, err := LoadCIFAR100(bytes.NewReader(raw[:len(raw)-10]), 0); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestLoadCIFAR100Empty(t *testing.T) {
+	if _, err := LoadCIFAR100(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestLoadCIFAR100FileMissing(t *testing.T) {
+	if _, err := LoadCIFAR100File("/nonexistent/cifar.bin", 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadCIFAR100 feeds arbitrary bytes to the CIFAR-100 parser: it must
+// return an error or a well-formed split — never panic.
+func FuzzLoadCIFAR100(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(fakeCIFAR(1))
+	f.Add(fakeCIFAR(2)[:100])
+	bad := fakeCIFAR(1)
+	bad[1] = 200 // fine label out of range
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadCIFAR100(bytes.NewReader(data), 4)
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 {
+			t.Fatal("nil error with empty split")
+		}
+		if s.X.Len() != s.Len()*cifarPixels {
+			t.Fatalf("inconsistent split: %d labels, %d pixels", s.Len(), s.X.Len())
+		}
+		for _, l := range s.Labels {
+			if l < 0 || l > 99 {
+				t.Fatalf("label %d out of range", l)
+			}
+		}
+	})
+}

@@ -1,0 +1,59 @@
+// Package energy provides the CACTI-P-inspired per-access energy model the
+// accelerator simulator integrates (the paper evaluates energy with the
+// CACTI plugin of Sparseloop). Constants are first-order 22–32 nm figures;
+// absolute values matter less than their ratios (DRAM ≫ SMEM ≫ RF ≫ MAC),
+// which drive every qualitative conclusion in Fig. 8.
+package energy
+
+// Model holds per-access energies in picojoules.
+type Model struct {
+	// DRAMPerByte is off-chip access energy (LPDDR4-class).
+	DRAMPerByte float64
+	// SMEMPerByte is the shared-memory (large SRAM) access energy.
+	SMEMPerByte float64
+	// RFPerByte is the register-file access energy.
+	RFPerByte float64
+	// MACOp is one 8-bit multiply-accumulate.
+	MACOp float64
+	// MuxOp is one N:M activation-select multiplexer operation (CRISP-STC).
+	MuxOp float64
+	// GatherOp is one gather/scatter element operation (DSTC's dual-side
+	// intersection machinery).
+	GatherOp float64
+}
+
+// Default returns the reproduction's reference constants (pJ).
+func Default() Model {
+	return Model{
+		DRAMPerByte: 160,
+		SMEMPerByte: 2.5,
+		RFPerByte:   0.08,
+		MACOp:       0.4,
+		MuxOp:       0.02,
+		GatherOp:    1.2,
+	}
+}
+
+// Breakdown itemizes the energy of one simulated layer in microjoules.
+type Breakdown struct {
+	DRAM, SMEM, RF, Compute, Overhead float64
+}
+
+// TotalUJ sums the components.
+func (b Breakdown) TotalUJ() float64 { return b.DRAM + b.SMEM + b.RF + b.Compute + b.Overhead }
+
+// picoToMicro converts pJ to µJ.
+const picoToMicro = 1e-6
+
+// Integrate builds a Breakdown from raw activity counts: bytes moved per
+// level, MAC count, and architecture-specific overhead ops with their
+// per-op energy.
+func (m Model) Integrate(dramBytes, smemBytes, rfBytes, macs, overheadOps, overheadPerOp float64) Breakdown {
+	return Breakdown{
+		DRAM:     dramBytes * m.DRAMPerByte * picoToMicro,
+		SMEM:     smemBytes * m.SMEMPerByte * picoToMicro,
+		RF:       rfBytes * m.RFPerByte * picoToMicro,
+		Compute:  macs * m.MACOp * picoToMicro,
+		Overhead: overheadOps * overheadPerOp * picoToMicro,
+	}
+}

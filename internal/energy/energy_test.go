@@ -1,0 +1,61 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultOrdering(t *testing.T) {
+	m := Default()
+	// The memory-hierarchy ordering every conclusion depends on.
+	if !(m.DRAMPerByte > m.SMEMPerByte && m.SMEMPerByte > m.RFPerByte) {
+		t.Fatalf("hierarchy ordering broken: %+v", m)
+	}
+	if m.MACOp <= 0 || m.MuxOp <= 0 || m.GatherOp <= 0 {
+		t.Fatalf("non-positive op energies: %+v", m)
+	}
+	// A mux select must be far cheaper than a gather (CRISP's structural
+	// advantage over DSTC's machinery).
+	if m.MuxOp >= m.GatherOp {
+		t.Fatalf("mux (%v) should cost less than gather (%v)", m.MuxOp, m.GatherOp)
+	}
+}
+
+func TestIntegrateKnownValues(t *testing.T) {
+	m := Model{DRAMPerByte: 100, SMEMPerByte: 10, RFPerByte: 1, MACOp: 2, MuxOp: 0.5}
+	b := m.Integrate(1e6, 2e6, 3e6, 4e6, 5e6, 0.5)
+	if math.Abs(b.DRAM-100) > 1e-9 { // 1e6 B × 100 pJ = 1e8 pJ = 100 µJ
+		t.Fatalf("DRAM %v", b.DRAM)
+	}
+	if math.Abs(b.SMEM-20) > 1e-9 {
+		t.Fatalf("SMEM %v", b.SMEM)
+	}
+	if math.Abs(b.RF-3) > 1e-9 {
+		t.Fatalf("RF %v", b.RF)
+	}
+	if math.Abs(b.Compute-8) > 1e-9 {
+		t.Fatalf("Compute %v", b.Compute)
+	}
+	if math.Abs(b.Overhead-2.5) > 1e-9 {
+		t.Fatalf("Overhead %v", b.Overhead)
+	}
+	if math.Abs(b.TotalUJ()-133.5) > 1e-9 {
+		t.Fatalf("Total %v", b.TotalUJ())
+	}
+}
+
+// Property: Integrate is monotone in every activity count.
+func TestIntegrateMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw)
+		d := float64(bRaw)
+		base := m.Integrate(a, a, a, a, a, m.MuxOp).TotalUJ()
+		more := m.Integrate(a+d, a, a, a, a, m.MuxOp).TotalUJ()
+		return more >= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

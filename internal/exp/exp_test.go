@@ -1,0 +1,325 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+)
+
+func quickHarness() *Harness {
+	return NewHarness(Config{Scale: Quick, Seed: 1})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"yy", "2"}},
+		Notes:   []string{"note text"},
+	}
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "long-column") || !strings.Contains(s, "note: note text") {
+		t.Fatalf("table rendering broken:\n%s", s)
+	}
+}
+
+func TestPretrainedCachedAndCloned(t *testing.T) {
+	h := quickHarness()
+	a := h.Pretrained(models.ResNet, h.ImageNetLike)
+	b := h.Pretrained(models.ResNet, h.ImageNetLike)
+	if a == b {
+		t.Fatal("Pretrained must return fresh clones")
+	}
+	// Same weights.
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatal("clones disagree")
+			}
+		}
+	}
+	// Mutating one must not affect the cache.
+	pa[0].W.Data[0] = 999
+	c := h.Pretrained(models.ResNet, h.ImageNetLike)
+	if c.Params()[0].W.Data[0] == 999 {
+		t.Fatal("cache was mutated through a clone")
+	}
+}
+
+func TestScenarioShapes(t *testing.T) {
+	h := quickHarness()
+	sc := h.Scenario(h.ImageNetLike, 4)
+	if len(sc.Classes) != 4 {
+		t.Fatalf("classes %v", sc.Classes)
+	}
+	if sc.Train.Len() != 4*16 || sc.Test.Len() != 4*8 {
+		t.Fatalf("split sizes %d/%d", sc.Train.Len(), sc.Test.Len())
+	}
+}
+
+func TestPretrainedModelBeatsChance(t *testing.T) {
+	h := quickHarness()
+	sc := h.Scenario(h.ImageNetLike, 5)
+	clf := h.Pretrained(models.ResNet, h.ImageNetLike)
+	acc := clf.Accuracy(sc.Test.X, sc.Test.Labels)
+	// 20-way classifier on 5-class test data; chance = 1/20.
+	if acc < 0.3 {
+		t.Fatalf("pretrained accuracy %v too weak to support pruning experiments", acc)
+	}
+}
+
+func TestFigure4MetadataShape(t *testing.T) {
+	h := quickHarness()
+	rows, tb := h.Figure4()
+	if len(rows) == 0 {
+		t.Fatal("no Fig 4 rows")
+	}
+	for _, r := range rows {
+		if r.CRISPBits <= 0 {
+			t.Fatalf("%s/%s: non-positive CRISP bits", r.Model, r.Layer)
+		}
+		if r.CSRRatio < 2 || r.CSRRatio > 12 {
+			t.Fatalf("%s/%s: CSR ratio %.2f outside plausible band", r.Model, r.Layer, r.CSRRatio)
+		}
+		if r.ELLPACKRatio < r.CSRRatio {
+			t.Fatalf("%s/%s: ELLPACK ratio %.2f below CSR %.2f", r.Model, r.Layer, r.ELLPACKRatio, r.CSRRatio)
+		}
+	}
+	if !strings.Contains(tb.String(), "ellpack/crisp") {
+		t.Fatal("table missing columns")
+	}
+}
+
+func TestFigure8Bands(t *testing.T) {
+	h := quickHarness()
+	rows, _ := h.Figure8()
+	if len(rows) == 0 {
+		t.Fatal("no Fig 8 rows")
+	}
+	// Collect per-pattern CRISP-STC b64 speedup ranges and verify the
+	// paper's qualitative bands and orderings.
+	type key struct{ n int }
+	minS := map[int]float64{}
+	maxS := map[int]float64{}
+	maxEnergyGain := 0.0
+	for _, r := range rows {
+		if r.Arch == "nvidia-stc" && r.Speedup > 2.05 {
+			t.Fatalf("NVIDIA-STC speedup %v exceeds 2x", r.Speedup)
+		}
+		if r.Arch != "crisp-stc-b64" {
+			continue
+		}
+		n := r.NM.N
+		if _, ok := minS[n]; !ok {
+			minS[n], maxS[n] = r.Speedup, r.Speedup
+		}
+		if r.Speedup < minS[n] {
+			minS[n] = r.Speedup
+		}
+		if r.Speedup > maxS[n] {
+			maxS[n] = r.Speedup
+		}
+		if r.EnergyGain > maxEnergyGain {
+			maxEnergyGain = r.EnergyGain
+		}
+	}
+	// Paper bands: 7–14× (1:4), 5–12× (2:4), 2–8× (3:4). Allow slack.
+	if maxS[1] < 7 || maxS[1] > 22 {
+		t.Fatalf("1:4 peak speedup %v outside [7,22]", maxS[1])
+	}
+	if maxS[2] < 5 || maxS[2] > 18 {
+		t.Fatalf("2:4 peak speedup %v outside [5,18]", maxS[2])
+	}
+	if maxS[3] < 2 || maxS[3] > 12 {
+		t.Fatalf("3:4 peak speedup %v outside [2,12]", maxS[3])
+	}
+	// Ordering: sparser patterns are at least as fast at the peak.
+	if !(maxS[1] >= maxS[2] && maxS[2] >= maxS[3]) {
+		t.Fatalf("speedup ordering violated: %v", maxS)
+	}
+	// Energy: up to ≈30× (accept 10–60×).
+	if maxEnergyGain < 10 || maxEnergyGain > 60 {
+		t.Fatalf("peak energy gain %v outside [10,60]", maxEnergyGain)
+	}
+	_ = key{}
+}
+
+func TestFigure8Block64Best(t *testing.T) {
+	h := quickHarness()
+	rows, _ := h.Figure8()
+	// Average speedup per block size for 2:4.
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for _, r := range rows {
+		if r.NM.N != 2 || r.BlockSize == 0 {
+			continue
+		}
+		sum[r.BlockSize] += r.Speedup
+		cnt[r.BlockSize]++
+	}
+	avg := func(b int) float64 { return sum[b] / float64(cnt[b]) }
+	if !(avg(64) >= avg(32) && avg(32) >= avg(16)) {
+		t.Fatalf("block-size ordering violated: 16=%v 32=%v 64=%v", avg(16), avg(32), avg(64))
+	}
+}
+
+func TestFigure8DSTCEarlyLateContrast(t *testing.T) {
+	h := quickHarness()
+	rows, _ := h.Figure8()
+	var early, late float64
+	for _, r := range rows {
+		if r.Arch != "dstc" || r.NM.N != 2 {
+			continue
+		}
+		switch r.Layer {
+		case "conv2_1.b":
+			early = r.Speedup
+		case "conv5_3.c":
+			late = r.Speedup
+		}
+	}
+	if early == 0 || late == 0 {
+		t.Fatal("missing DSTC rows")
+	}
+	if late >= early {
+		t.Fatalf("DSTC late speedup %v should trail early %v", late, early)
+	}
+}
+
+func TestKappaForClassesMonotone(t *testing.T) {
+	prev := 1.0
+	for _, k := range []int{1, 5, 20, 60, 100} {
+		cur := kappaForClasses(k, 100)
+		if cur > prev {
+			t.Fatalf("kappa must not grow with class count: k=%d κ=%v prev=%v", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestKeptFracForDepthMonotone(t *testing.T) {
+	n := 9
+	prev := 1.0
+	for i := 0; i < n; i++ {
+		cur := keptFracForDepth(i, n)
+		if cur > prev {
+			t.Fatal("kept fraction must decrease with depth")
+		}
+		if cur <= 0 || cur > 1 {
+			t.Fatalf("kept fraction %v out of range", cur)
+		}
+		prev = cur
+	}
+}
+
+func TestNetworkTableShape(t *testing.T) {
+	h := quickHarness()
+	rows, tb := h.NetworkTable()
+	// 3 networks × 4 architectures.
+	if len(rows) != 12 {
+		t.Fatalf("rows %d, want 12", len(rows))
+	}
+	bySpeed := map[string]map[string]float64{}
+	for _, r := range rows {
+		if bySpeed[r.Network] == nil {
+			bySpeed[r.Network] = map[string]float64{}
+		}
+		bySpeed[r.Network][r.Arch] = r.Speedup
+	}
+	for net, m := range bySpeed {
+		if m["crisp-stc"] <= m["nvidia-stc"] {
+			t.Fatalf("%s: CRISP-STC (%.2fx) must beat NVIDIA-STC (%.2fx) end to end", net, m["crisp-stc"], m["nvidia-stc"])
+		}
+		if m["crisp-stc"] <= 2 {
+			t.Fatalf("%s: end-to-end CRISP speedup %.2fx too small", net, m["crisp-stc"])
+		}
+		if m["nvidia-stc"] > 2.05 {
+			t.Fatalf("%s: NVIDIA-STC end-to-end speedup %.2fx exceeds 2x", net, m["nvidia-stc"])
+		}
+	}
+	if tb.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestTableCSVAndMarkdown(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x,y", `he said "hi"`}, {"plain", "2"}},
+		Notes:   []string{"a note"},
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"he said ""hi"""`) {
+		t.Fatalf("CSV quoting broken:\n%s", csv)
+	}
+	if !strings.HasPrefix(csv, "# demo") {
+		t.Fatalf("CSV missing title comment:\n%s", csv)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "|---|---|") {
+		t.Fatalf("Markdown header broken:\n%s", md)
+	}
+	if !strings.Contains(md, "> a note") {
+		t.Fatalf("Markdown note missing:\n%s", md)
+	}
+	if tb.Render("csv") != csv || tb.Render("md") != md || tb.Render("text") != tb.String() {
+		t.Fatal("Render dispatch broken")
+	}
+}
+
+func TestActivationDensitySupportsDSTCAssumption(t *testing.T) {
+	// The Fig 8 DSTC configuration assumes 40% activation sparsity
+	// (density 0.6, the paper's setting). Cross-validate against the
+	// post-ReLU densities our own trained models produce.
+	h := quickHarness()
+	clf := h.Pretrained(models.ResNet, h.ImageNetLike)
+	stats := nn.CollectActivationStats(clf.Net)
+	sc := h.Scenario(h.ImageNetLike, 5)
+	clf.Logits(sc.Test.X, false)
+	d := stats.Density()
+	if d < 0.25 || d > 0.9 {
+		t.Fatalf("trained-model activation density %.3f outside the plausible band around the paper's 0.6", d)
+	}
+	t.Logf("measured post-ReLU activation density: %.3f (DSTC simulation assumes 0.6)", d)
+}
+
+func TestValidateTileSimAgreement(t *testing.T) {
+	h := quickHarness()
+	rows, _ := h.ValidateTileSim()
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.Ratio < 0.5 || r.Ratio > 2.5 {
+			t.Fatalf("%s/%s: tile-sim ratio %.2f outside [0.5, 2.5]", r.Arch, r.Layer, r.Ratio)
+		}
+		if r.Utilization <= 0 || r.Utilization > 1 {
+			t.Fatalf("%s/%s: utilization %v", r.Arch, r.Layer, r.Utilization)
+		}
+	}
+}
+
+func TestSweepSparsityCrossover(t *testing.T) {
+	h := quickHarness()
+	rows, _ := h.SweepSparsity()
+	// Speedup is monotone in sparsity and the bound eventually flips to
+	// memory.
+	prev := 0.0
+	sawMemory := false
+	for _, r := range rows {
+		if r.Speedup < prev-1e-9 {
+			t.Fatalf("speedup decreased along the sweep: %+v", rows)
+		}
+		prev = r.Speedup
+		if r.Bound == "memory" {
+			sawMemory = true
+		}
+	}
+	if !sawMemory {
+		t.Fatal("sweep never became memory-bound — the crossover is missing")
+	}
+}

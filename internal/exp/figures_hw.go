@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/energy"
+	"repro/internal/format"
+	"repro/internal/models"
+	"repro/internal/sparsity"
+)
+
+// Fig4Row is one layer's metadata accounting across formats.
+type Fig4Row struct {
+	Model, Layer string
+	CRISPBits    int64
+	CSRBits      int64
+	ELLPACKBits  int64
+	CSRRatio     float64
+	ELLPACKRatio float64
+	KeptColFrac  float64
+	NM           sparsity.NM
+	BlockSize    int
+}
+
+// Figure4 reproduces Fig. 4 (right): metadata storage of CSR and ELLPACK
+// relative to the CRISP format, evaluated analytically on the exact
+// full-size layer shapes of ResNet-50 and VGG-16 under 2:4 + block
+// sparsity (B = 32, half the block columns kept).
+func (h *Harness) Figure4() ([]Fig4Row, *Table) {
+	nm := sparsity.NM{N: 2, M: 4}
+	const b = 32
+	const kept = 0.5
+	var rows []Fig4Row
+	add := func(model string, shapes []models.LayerShape) {
+		for _, l := range shapes {
+			if l.Kind == models.KindDepthwise {
+				continue // block-exempt in CRISP
+			}
+			m, k, _ := l.GEMMDims()
+			if k < b || m < b {
+				continue // too small for the coarse grid at full scale
+			}
+			g := sparsity.NewBlockGrid(m, k, b)
+			keptPerRow := int(kept * float64(g.GridCols()))
+			if keptPerRow < 1 {
+				keptPerRow = 1
+			}
+			// Non-zeros per matrix row under the hybrid pattern.
+			nnzPerRow := keptPerRow * b * nm.N / nm.M
+			nnz := m * nnzPerRow
+			crispBits := format.CRISPMetadataBits(m, k, b, keptPerRow, nm)
+			csrBits := format.CSRMetadataBits(m, k, nnz)
+			ellBits := format.ELLPACKMetadataBits(m, nnzPerRow)
+			rows = append(rows, Fig4Row{
+				Model: model, Layer: l.Name,
+				CRISPBits: crispBits, CSRBits: csrBits, ELLPACKBits: ellBits,
+				CSRRatio:     float64(csrBits) / float64(crispBits),
+				ELLPACKRatio: float64(ellBits) / float64(crispBits),
+				KeptColFrac:  kept, NM: nm, BlockSize: b,
+			})
+		}
+	}
+	add("resnet50", models.RepresentativeResNet50Layers())
+	add("vgg16", models.VGG16Shapes()[8:13]) // late conv layers + fc entries filtered above
+	t := &Table{
+		Title:   "Fig 4: metadata overhead vs CRISP format (analytical, full-size layers)",
+		Columns: []string{"model", "layer", "crisp-bits", "csr-bits", "ellpack-bits", "csr/crisp", "ellpack/crisp"},
+	}
+	var csrSum, ellSum float64
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Model, r.Layer,
+			fmt.Sprintf("%d", r.CRISPBits), fmt.Sprintf("%d", r.CSRBits), fmt.Sprintf("%d", r.ELLPACKBits),
+			f1(r.CSRRatio), f1(r.ELLPACKRatio),
+		})
+		csrSum += r.CSRRatio
+		ellSum += r.ELLPACKRatio
+	}
+	if len(rows) > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("mean overhead: CSR %.1fx, ELLPACK %.1fx (paper: ≈5x and ≈7x)",
+			csrSum/float64(len(rows)), ellSum/float64(len(rows))))
+	}
+	return rows, t
+}
+
+// Fig8Row is one (layer, arch, pattern, block size) hardware point.
+type Fig8Row struct {
+	Layer     string
+	Arch      string
+	NM        sparsity.NM
+	BlockSize int
+	// LayerSparsity is the per-layer weight sparsity simulated.
+	LayerSparsity float64
+	Cycles        float64
+	Speedup       float64 // vs dense
+	EnergyUJ      float64
+	EnergyGain    float64 // dense energy / this energy
+}
+
+// Figure8 reproduces Fig. 8: layer-wise speedup and energy of CRISP-STC
+// (B ∈ {16,32,64}) against NVIDIA-STC, DSTC and dense on representative
+// full-size ResNet-50 layers, for N:M ∈ {1:4, 2:4, 3:4}.
+//
+// Per-layer sparsity follows the paper's setting of 80–90% global sparsity
+// with depth-dependent variation: later layers are more over-parameterized
+// and prune harder (kept block-column fraction interpolates 0.55 → 0.12
+// with depth).
+func (h *Harness) Figure8() ([]Fig8Row, *Table) {
+	hw := accel.EdgeHW()
+	e := energy.Default()
+	dense := accel.NewDense(hw, e)
+	stc := accel.NewNvidiaSTC(hw, e)
+	dstc := accel.NewDSTC(hw, e)
+	crisp := accel.NewCRISPSTC(hw, e)
+
+	layers := models.RepresentativeResNet50Layers()
+	patterns := []sparsity.NM{{N: 1, M: 4}, {N: 2, M: 4}, {N: 3, M: 4}}
+	blockSizes := []int{16, 32, 64}
+
+	var rows []Fig8Row
+	for _, nm := range patterns {
+		for li, l := range layers {
+			kept := keptFracForDepth(li, len(layers))
+			d := dense.Simulate(l, accel.Dense())
+			emit := func(arch string, p accel.Perf, b int) {
+				rows = append(rows, Fig8Row{
+					Layer: l.Name, Arch: arch, NM: nm, BlockSize: b,
+					LayerSparsity: 1 - kept*nm.Density(),
+					Cycles:        p.Cycles,
+					Speedup:       d.Cycles / p.Cycles,
+					EnergyUJ:      p.EnergyUJ(),
+					EnergyGain:    d.EnergyUJ() / p.EnergyUJ(),
+				})
+			}
+			emit("dense", d, 0)
+			sp := accel.Sparsity{NM: nm, KeptColFrac: kept, BlockSize: 64, ActDensity: 1}
+			emit("nvidia-stc", stc.Simulate(l, sp), 0)
+			spD := sp
+			spD.ActDensity = 0.6 // the paper reserves 40% activation sparsity for DSTC
+			emit("dstc", dstc.Simulate(l, spD), 0)
+			for _, b := range blockSizes {
+				spB := sp
+				spB.BlockSize = b
+				emit(fmt.Sprintf("crisp-stc-b%d", b), crisp.Simulate(l, spB), b)
+			}
+		}
+	}
+	t := &Table{
+		Title:   "Fig 8: ResNet-50 layer-wise speedup and energy vs dense",
+		Columns: []string{"N:M", "layer", "arch", "sparsity", "cycles", "speedup", "energy-uJ", "energy-gain"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.NM.String(), r.Layer, r.Arch, f3(r.LayerSparsity),
+			fmt.Sprintf("%.0f", r.Cycles), f1(r.Speedup) + "x",
+			f1(r.EnergyUJ), f1(r.EnergyGain) + "x",
+		})
+	}
+	t.Notes = append(t.Notes,
+		"kept block-column fraction interpolates 0.55 (early) to 0.20 (late) — 80–90% global sparsity",
+		"DSTC additionally exploits 40% activation sparsity, as in the paper")
+	return rows, t
+}
+
+// keptFracForDepth interpolates the per-layer kept block-column fraction by
+// relative depth (later layers prune harder, per the paper's Fig. 2). The
+// range 0.55 → 0.20 corresponds to the 80–90% global sparsity of the
+// paper's Fig. 8 setting.
+func keptFracForDepth(i, n int) float64 {
+	if n <= 1 {
+		return 0.3
+	}
+	t := float64(i) / float64(n-1)
+	return 0.55 - 0.35*t
+}

@@ -1,0 +1,27 @@
+package exp
+
+import "testing"
+
+// TestFullScaleConstruction smoke-tests the full-scale configuration paths
+// that need no training: harness construction, scenario sizing and the
+// analytical figures.
+func TestFullScaleConstruction(t *testing.T) {
+	h := NewHarness(Config{Scale: Full, Seed: 2})
+	if h.ImageNetLike.NumClasses != 100 || h.CIFARLike.NumClasses != 60 {
+		t.Fatalf("full-scale datasets wrong: %d/%d", h.ImageNetLike.NumClasses, h.CIFARLike.NumClasses)
+	}
+	sc := h.Scenario(h.ImageNetLike, 10)
+	if sc.Train.Len() != 10*32 || sc.Test.Len() != 10*16 {
+		t.Fatalf("full-scale split sizes %d/%d", sc.Train.Len(), sc.Test.Len())
+	}
+	if rows, _ := h.Figure4(); len(rows) == 0 {
+		t.Fatal("Figure4 empty at full scale")
+	}
+	if rows, _ := h.Figure8(); len(rows) == 0 {
+		t.Fatal("Figure8 empty at full scale")
+	}
+	o := h.pruneOpts(0.9)
+	if o.Iterations != 4 || o.FinetuneEpochs != 2 {
+		t.Fatalf("full-scale prune opts %+v", o)
+	}
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"strings"
+)
+
+// CSV renders the table as RFC-4180-style comma-separated values (title and
+// notes become '#' comment lines).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("# " + t.Title + "\n")
+	writeCSVRow(&b, t.Columns)
+	for _, r := range t.Rows {
+		writeCSVRow(&b, r)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("# " + n + "\n")
+	}
+	return b.String()
+}
+
+// writeCSVRow quotes cells containing commas or quotes.
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("### " + t.Title + "\n\n")
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, r := range t.Rows {
+		cells := make([]string, len(r))
+		for i, c := range r {
+			cells[i] = strings.ReplaceAll(c, "|", `\|`)
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		b.WriteString("\n> " + n + "\n")
+	}
+	return b.String()
+}
+
+// Render dispatches on a format name: "text" (default), "csv" or "md".
+func (t *Table) Render(format string) string {
+	switch format {
+	case "csv":
+		return t.CSV()
+	case "md", "markdown":
+		return t.Markdown()
+	default:
+		return t.String()
+	}
+}

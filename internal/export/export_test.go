@@ -1,0 +1,116 @@
+package export
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+	"repro/internal/sparsity"
+)
+
+// prunedModel returns a CRISP-pruned classifier.
+func prunedModel(t *testing.T, f models.Family, target float64) *nn.Classifier {
+	t.Helper()
+	cfg := data.Config{Name: "exp", NumClasses: 8, Channels: 3, H: 8, W: 8, Noise: 0.25, Jitter: 1, Seed: 9}
+	ds := data.New(cfg)
+	clf := models.Build(f, rand.New(rand.NewSource(41)), cfg.NumClasses, 1)
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	opt := nn.NewSGD(0.05, 0.9, 4e-5)
+	pruner.Finetune(clf, ds.MakeSplit("pre", all, 8), 2, 16, opt, rand.New(rand.NewSource(42)))
+	p := pruner.NewCRISP(pruner.Options{
+		Target: target, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+		Iterations: 2, FinetuneEpochs: 1, BatchSize: 16, LR: 0.01,
+	})
+	p.Prune(clf, ds.MakeSplit("user", []int{2, 6}, 12))
+	return clf
+}
+
+func TestSizesCompressionOrdering(t *testing.T) {
+	clf := prunedModel(t, models.ResNet, 0.85)
+	ms, err := Sizes(clf, 4, sparsity.NM{N: 2, M: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.DenseBytes <= 0 {
+		t.Fatal("no dense bytes")
+	}
+	crisp := ms.FormatBytes["crisp"]
+	csr := ms.FormatBytes["csr"]
+	ell := ms.FormatBytes["ellpack"]
+	if !(crisp < csr && csr <= ell) {
+		t.Fatalf("ordering violated: crisp %d csr %d ellpack %d", crisp, csr, ell)
+	}
+	if crisp >= ms.DenseBytes {
+		t.Fatalf("compressed (%d) not smaller than dense (%d)", crisp, ms.DenseBytes)
+	}
+	// At 85% sparsity and 8-bit values the CRISP model should compress
+	// several-fold (metadata costs keep it below the 1/0.15 ideal).
+	ratio := ms.CompressionRatio("crisp")
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("compression ratio %.2f outside [2,8]", ratio)
+	}
+}
+
+func TestSizesMoreSparsityCompressesMore(t *testing.T) {
+	lo := prunedModel(t, models.ResNet, 0.6)
+	hi := prunedModel(t, models.ResNet, 0.9)
+	msLo, err := Sizes(lo, 4, sparsity.NM{N: 2, M: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msHi, err := Sizes(hi, 4, sparsity.NM{N: 2, M: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msHi.FormatBytes["crisp"] >= msLo.FormatBytes["crisp"] {
+		t.Fatalf("90%% sparse (%d B) not smaller than 60%% sparse (%d B)",
+			msHi.FormatBytes["crisp"], msLo.FormatBytes["crisp"])
+	}
+}
+
+func TestSizesDepthwiseFallback(t *testing.T) {
+	clf := prunedModel(t, models.MobileNet, 0.8)
+	ms, err := Sizes(clf, 4, sparsity.NM{N: 2, M: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFallback := false
+	for _, ls := range ms.Layers {
+		if ls.Fallback {
+			foundFallback = true
+			if ls.FormatBytes["crisp"] != ls.FormatBytes["csr"] {
+				t.Fatalf("fallback layer %s crisp bytes != csr bytes", ls.Name)
+			}
+		}
+	}
+	if !foundFallback {
+		t.Fatal("MobileNet depthwise layers should fall back")
+	}
+}
+
+func TestSizesLayerAccounting(t *testing.T) {
+	clf := prunedModel(t, models.VGG, 0.8)
+	ms, err := Sizes(clf, 4, sparsity.NM{N: 2, M: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Layers) != len(clf.PrunableParams()) {
+		t.Fatalf("%d layer rows for %d prunable params", len(ms.Layers), len(clf.PrunableParams()))
+	}
+	// Totals must equal the sum of parts plus the dense non-prunables.
+	var sumCrisp, sumDense int64
+	for _, ls := range ms.Layers {
+		sumCrisp += ls.FormatBytes["crisp"]
+		sumDense += ls.DenseBytes
+	}
+	nonPrunable := ms.DenseBytes - sumDense
+	if nonPrunable < 0 {
+		t.Fatalf("negative non-prunable bytes")
+	}
+	if ms.FormatBytes["crisp"] != sumCrisp+nonPrunable {
+		t.Fatalf("total %d != parts %d + dense %d", ms.FormatBytes["crisp"], sumCrisp, nonPrunable)
+	}
+}

@@ -1,0 +1,134 @@
+package format
+
+import (
+	"fmt"
+
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// BlockedELL is the Blocked-ELLPACK layout: the matrix is tiled into B×B
+// blocks with a *uniform* number of kept blocks per block row; kept blocks
+// are stored densely with one block-column index each.
+type BlockedELL struct {
+	Rows, Cols, B int
+	// KeptPerRow is the uniform kept-block count per block row.
+	KeptPerRow int
+	// BlockCols lists, for each block row, the kept block columns ascending
+	// (gridRows × KeptPerRow).
+	BlockCols []int32
+	// Val stores each kept block densely in listing order (B×B each; edge
+	// blocks are zero-padded to full size).
+	Val []float64
+}
+
+// EncodeBlockedELL encodes m, requiring the uniform row-balance invariant.
+func EncodeBlockedELL(m *tensor.Tensor, b int) (*BlockedELL, error) {
+	rows, cols := checkMatrix(m)
+	g := sparsity.NewBlockGrid(rows, cols, b)
+	counts := sparsity.KeptBlocksPerRow(m, g)
+	kept := 0
+	if len(counts) > 0 {
+		kept = counts[0]
+	}
+	for i, c := range counts {
+		if c != kept {
+			return nil, fmt.Errorf("format: blocked-ell requires row balance; block row %d keeps %d, row 0 keeps %d", i, c, kept)
+		}
+	}
+	e := &BlockedELL{Rows: rows, Cols: cols, B: b, KeptPerRow: kept}
+	for br := 0; br < g.GridRows(); br++ {
+		for bc := 0; bc < g.GridCols(); bc++ {
+			if !sparsity.BlockKept(m, g, br, bc) {
+				continue
+			}
+			e.BlockCols = append(e.BlockCols, int32(bc))
+			r0, r1, c0, c1 := g.Bounds(br, bc)
+			for r := r0; r < r0+b; r++ {
+				for cc := c0; cc < c0+b; cc++ {
+					if r < r1 && cc < c1 {
+						e.Val = append(e.Val, m.Data[r*cols+cc])
+					} else {
+						e.Val = append(e.Val, 0) // edge padding
+					}
+				}
+			}
+		}
+	}
+	return e, nil
+}
+
+// Name implements Encoded.
+func (e *BlockedELL) Name() string { return "blocked-ell" }
+
+// grid reconstructs the block grid.
+func (e *BlockedELL) grid() sparsity.BlockGrid {
+	return sparsity.NewBlockGrid(e.Rows, e.Cols, e.B)
+}
+
+// MetadataBits implements Encoded.
+func (e *BlockedELL) MetadataBits() int64 {
+	return BlockedELLMetadataBits(e.grid().GridRows(), e.grid().GridCols(), e.KeptPerRow)
+}
+
+// DataBits implements Encoded: kept blocks are stored densely.
+func (e *BlockedELL) DataBits(valueBits int) int64 {
+	return int64(len(e.Val)) * int64(valueBits)
+}
+
+// Decode implements Encoded.
+func (e *BlockedELL) Decode() *tensor.Tensor {
+	out := tensor.New(e.Rows, e.Cols)
+	g := e.grid()
+	bi := 0
+	for br := 0; br < g.GridRows(); br++ {
+		for k := 0; k < e.KeptPerRow; k++ {
+			bc := int(e.BlockCols[br*e.KeptPerRow+k])
+			r0, r1, c0, c1 := g.Bounds(br, bc)
+			blk := e.Val[bi*e.B*e.B : (bi+1)*e.B*e.B]
+			for r := r0; r < r1; r++ {
+				for cc := c0; cc < c1; cc++ {
+					out.Data[r*e.Cols+cc] = blk[(r-r0)*e.B+(cc-c0)]
+				}
+			}
+			bi++
+		}
+	}
+	return out
+}
+
+// MatMul implements Encoded.
+func (e *BlockedELL) MatMul(b *tensor.Tensor) *tensor.Tensor {
+	_, n := checkSpMM(b, e.Cols)
+	out := tensor.New(e.Rows, n)
+	g := e.grid()
+	bi := 0
+	for br := 0; br < g.GridRows(); br++ {
+		for k := 0; k < e.KeptPerRow; k++ {
+			bc := int(e.BlockCols[br*e.KeptPerRow+k])
+			r0, r1, c0, c1 := g.Bounds(br, bc)
+			blk := e.Val[bi*e.B*e.B : (bi+1)*e.B*e.B]
+			for r := r0; r < r1; r++ {
+				dst := out.Data[r*n : (r+1)*n]
+				for cc := c0; cc < c1; cc++ {
+					v := blk[(r-r0)*e.B+(cc-c0)]
+					if v == 0 {
+						continue
+					}
+					src := b.Data[cc*n : (cc+1)*n]
+					for j, bv := range src {
+						dst[j] += v * bv
+					}
+				}
+			}
+			bi++
+		}
+	}
+	return out
+}
+
+// BlockedELLMetadataBits is the analytical model: one ⌈log2 gridCols⌉-bit
+// index per kept block.
+func BlockedELLMetadataBits(gridRows, gridCols, keptPerRow int) int64 {
+	return int64(gridRows) * int64(keptPerRow) * int64(bitsFor(gridCols))
+}

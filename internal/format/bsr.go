@@ -1,0 +1,115 @@
+package format
+
+import (
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// BSR is Block Compressed Sparse Row: kept B×B blocks stored densely with
+// one block-column index each and a per-block-row pointer array. Unlike
+// Blocked-ELLPACK it tolerates arbitrary per-row block counts — the format
+// a CRISP-style accelerator would need if the mask were *not* row-balanced,
+// paying a row-pointer array and losing the fixed per-row schedule.
+type BSR struct {
+	Rows, Cols, B int
+	RowPtr        []int32 // gridRows+1 entries
+	BlockCol      []int32 // one per kept block
+	Val           []float64
+}
+
+// EncodeBSR encodes the non-zero blocks of m (no balance requirement).
+func EncodeBSR(m *tensor.Tensor, b int) *BSR {
+	rows, cols := checkMatrix(m)
+	g := sparsity.NewBlockGrid(rows, cols, b)
+	e := &BSR{Rows: rows, Cols: cols, B: b, RowPtr: make([]int32, g.GridRows()+1)}
+	for br := 0; br < g.GridRows(); br++ {
+		for bc := 0; bc < g.GridCols(); bc++ {
+			if !sparsity.BlockKept(m, g, br, bc) {
+				continue
+			}
+			e.BlockCol = append(e.BlockCol, int32(bc))
+			r0, r1, c0, c1 := g.Bounds(br, bc)
+			for r := r0; r < r0+b; r++ {
+				for cc := c0; cc < c0+b; cc++ {
+					if r < r1 && cc < c1 {
+						e.Val = append(e.Val, m.Data[r*cols+cc])
+					} else {
+						e.Val = append(e.Val, 0)
+					}
+				}
+			}
+		}
+		e.RowPtr[br+1] = int32(len(e.BlockCol))
+	}
+	return e
+}
+
+// Name implements Encoded.
+func (e *BSR) Name() string { return "bsr" }
+
+// grid reconstructs the block grid.
+func (e *BSR) grid() sparsity.BlockGrid {
+	return sparsity.NewBlockGrid(e.Rows, e.Cols, e.B)
+}
+
+// MetadataBits implements Encoded: block-column indices plus 32-bit row
+// pointers (the overhead row balance removes).
+func (e *BSR) MetadataBits() int64 {
+	g := e.grid()
+	return int64(len(e.BlockCol))*int64(bitsFor(g.GridCols())) + int64(len(e.RowPtr))*32
+}
+
+// DataBits implements Encoded.
+func (e *BSR) DataBits(valueBits int) int64 { return int64(len(e.Val)) * int64(valueBits) }
+
+// Decode implements Encoded.
+func (e *BSR) Decode() *tensor.Tensor {
+	out := tensor.New(e.Rows, e.Cols)
+	g := e.grid()
+	for br := 0; br < g.GridRows(); br++ {
+		for bi := e.RowPtr[br]; bi < e.RowPtr[br+1]; bi++ {
+			bc := int(e.BlockCol[bi])
+			r0, r1, c0, c1 := g.Bounds(br, bc)
+			blk := e.Val[int(bi)*e.B*e.B : (int(bi)+1)*e.B*e.B]
+			for r := r0; r < r1; r++ {
+				for cc := c0; cc < c1; cc++ {
+					out.Data[r*e.Cols+cc] = blk[(r-r0)*e.B+(cc-c0)]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatMul implements Encoded.
+func (e *BSR) MatMul(b *tensor.Tensor) *tensor.Tensor {
+	_, n := checkSpMM(b, e.Cols)
+	out := tensor.New(e.Rows, n)
+	g := e.grid()
+	for br := 0; br < g.GridRows(); br++ {
+		for bi := e.RowPtr[br]; bi < e.RowPtr[br+1]; bi++ {
+			bc := int(e.BlockCol[bi])
+			r0, r1, c0, c1 := g.Bounds(br, bc)
+			blk := e.Val[int(bi)*e.B*e.B : (int(bi)+1)*e.B*e.B]
+			for r := r0; r < r1; r++ {
+				dst := out.Data[r*n : (r+1)*n]
+				for cc := c0; cc < c1; cc++ {
+					v := blk[(r-r0)*e.B+(cc-c0)]
+					if v == 0 {
+						continue
+					}
+					src := b.Data[cc*n : (cc+1)*n]
+					for j, bv := range src {
+						dst[j] += v * bv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BSRMetadataBits is the analytical model.
+func BSRMetadataBits(gridRows, gridCols, keptBlocks int) int64 {
+	return int64(keptBlocks)*int64(bitsFor(gridCols)) + int64(gridRows+1)*32
+}

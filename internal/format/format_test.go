@@ -1,0 +1,280 @@
+package format
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// hybridMatrix builds a random matrix satisfying both CRISP invariants:
+// N:M within rows and a uniform number of kept blocks per block row.
+func hybridMatrix(rng *rand.Rand, rows, cols, b int, nm sparsity.NM, prunedRanks int) *tensor.Tensor {
+	scores := tensor.New(rows, cols)
+	for i := range scores.Data {
+		scores.Data[i] = math.Abs(rng.NormFloat64()) + 0.01
+	}
+	mask := tensor.New(rows, cols)
+	sparsity.ApplyNM(mask, scores, nm)
+	g := sparsity.NewBlockGrid(rows, cols, b)
+	bs := sparsity.BlockScores(tensor.Mul(scores, mask), g)
+	rcs := sparsity.RankColumns(bs)
+	for i := 0; i < prunedRanks && i < len(rcs); i++ {
+		sparsity.PruneRankColumn(mask, g, rcs[i])
+	}
+	w := tensor.Randn(rng, 1, rows, cols)
+	w.MulInPlace(mask)
+	// Ensure no accidental zeros among kept entries (mask determines structure).
+	for i := range w.Data {
+		if mask.Data[i] != 0 && w.Data[i] == 0 {
+			w.Data[i] = 0.5
+		}
+	}
+	return w
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := hybridMatrix(rng, 8, 16, 4, sparsity.NM{N: 2, M: 4}, 1)
+	c := EncodeCSR(m)
+	if !tensor.Equal(c.Decode(), m, 0) {
+		t.Fatal("CSR decode mismatch")
+	}
+}
+
+func TestELLPACKRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := hybridMatrix(rng, 8, 16, 4, sparsity.NM{N: 2, M: 4}, 1)
+	e := EncodeELLPACK(m)
+	if !tensor.Equal(e.Decode(), m, 0) {
+		t.Fatal("ELLPACK decode mismatch")
+	}
+}
+
+func TestELLPACKPadsRaggedRows(t *testing.T) {
+	m := tensor.New(2, 4)
+	m.Set(1, 0, 0)
+	m.Set(2, 0, 1)
+	m.Set(3, 0, 2)
+	m.Set(4, 1, 3) // row 1 has a single non-zero
+	e := EncodeELLPACK(m)
+	if e.Width != 3 {
+		t.Fatalf("width %d, want 3", e.Width)
+	}
+	if !tensor.Equal(e.Decode(), m, 0) {
+		t.Fatal("ragged decode mismatch")
+	}
+	// Metadata charges all padded slots.
+	if e.MetadataBits() != int64(2*3*16) {
+		t.Fatalf("metadata bits %d", e.MetadataBits())
+	}
+}
+
+func TestBlockedELLRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := hybridMatrix(rng, 8, 16, 4, sparsity.NM{N: 4, M: 4}, 2) // blocks only
+	e, err := EncodeBlockedELL(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(e.Decode(), m, 0) {
+		t.Fatal("BlockedELL decode mismatch")
+	}
+}
+
+func TestBlockedELLRejectsImbalance(t *testing.T) {
+	m := tensor.New(8, 8)
+	m.Set(1, 0, 0) // block row 0 keeps 1 block, block row 1 keeps 0
+	if _, err := EncodeBlockedELL(m, 4); err == nil {
+		t.Fatal("imbalanced matrix accepted")
+	}
+}
+
+func TestCRISPRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, nm := range []sparsity.NM{{N: 1, M: 4}, {N: 2, M: 4}, {N: 3, M: 4}} {
+		m := hybridMatrix(rng, 12, 24, 4, nm, 2)
+		e, err := EncodeCRISP(m, 4, nm)
+		if err != nil {
+			t.Fatalf("%s: %v", nm, err)
+		}
+		if !tensor.Equal(e.Decode(), m, 0) {
+			t.Fatalf("%s: CRISP decode mismatch", nm)
+		}
+	}
+}
+
+func TestCRISPRejectsViolations(t *testing.T) {
+	dense := tensor.Full(1, 8, 8)
+	if _, err := EncodeCRISP(dense, 4, sparsity.NM{N: 2, M: 4}); err == nil {
+		t.Fatal("dense matrix accepted as 2:4")
+	}
+	if _, err := EncodeCRISP(tensor.New(8, 8), 6, sparsity.NM{N: 2, M: 4}); err == nil {
+		t.Fatal("B not multiple of M accepted")
+	}
+}
+
+func TestSpMMMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nm := sparsity.NM{N: 2, M: 4}
+	m := hybridMatrix(rng, 8, 16, 4, nm, 1)
+	x := tensor.Randn(rng, 1, 16, 5)
+	want := tensor.MatMul(m, x)
+
+	encs := []Encoded{EncodeCSR(m), EncodeELLPACK(m)}
+	if be, err := EncodeBlockedELL(m, 4); err == nil {
+		encs = append(encs, be)
+	} else {
+		t.Fatal(err)
+	}
+	if ce, err := EncodeCRISP(m, 4, nm); err == nil {
+		encs = append(encs, ce)
+	} else {
+		t.Fatal(err)
+	}
+	for _, e := range encs {
+		got := e.MatMul(x)
+		if !tensor.Equal(got, want, 1e-9) {
+			t.Fatalf("%s SpMM mismatch", e.Name())
+		}
+	}
+}
+
+func TestMetadataOrdering(t *testing.T) {
+	// On a realistically sized hybrid matrix the paper's ordering must hold:
+	// CRISP < CSR < ELLPACK metadata.
+	rng := rand.New(rand.NewSource(6))
+	nm := sparsity.NM{N: 2, M: 4}
+	m := hybridMatrix(rng, 64, 256, 16, nm, 8) // half the block columns pruned
+	csr := EncodeCSR(m)
+	ell := EncodeELLPACK(m)
+	cr, err := EncodeCRISP(m, 16, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(cr.MetadataBits() < csr.MetadataBits()) {
+		t.Fatalf("CRISP %d not < CSR %d", cr.MetadataBits(), csr.MetadataBits())
+	}
+	if !(csr.MetadataBits() < ell.MetadataBits()) {
+		t.Fatalf("CSR %d not < ELLPACK %d", csr.MetadataBits(), ell.MetadataBits())
+	}
+	// Overhead ratios in the paper's ballpark (≈5× and ≈7×): accept 3–10×.
+	csrRatio := float64(csr.MetadataBits()) / float64(cr.MetadataBits())
+	ellRatio := float64(ell.MetadataBits()) / float64(cr.MetadataBits())
+	if csrRatio < 2.5 || csrRatio > 12 {
+		t.Fatalf("CSR/CRISP ratio %.2f outside plausible band", csrRatio)
+	}
+	if ellRatio < csrRatio {
+		t.Fatalf("ELLPACK ratio %.2f below CSR ratio %.2f", ellRatio, csrRatio)
+	}
+}
+
+func TestAnalyticalModelsMatchEncoders(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nm := sparsity.NM{N: 2, M: 4}
+	rows, cols, b := 16, 32, 4
+	m := hybridMatrix(rng, rows, cols, b, nm, 3)
+	csr := EncodeCSR(m)
+	if got, want := csr.MetadataBits(), CSRMetadataBits(rows, cols, csr.NNZ()); got != want {
+		t.Fatalf("CSR analytical %d vs encoder %d", want, got)
+	}
+	ell := EncodeELLPACK(m)
+	if got, want := ell.MetadataBits(), ELLPACKMetadataBits(rows, ell.Width); got != want {
+		t.Fatalf("ELLPACK analytical %d vs encoder %d", want, got)
+	}
+	cr, err := EncodeCRISP(m, b, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cr.MetadataBits(), CRISPMetadataBits(rows, cols, b, cr.KeptPerRow, nm); got != want {
+		t.Fatalf("CRISP analytical %d vs encoder %d", want, got)
+	}
+}
+
+// Property: decode ∘ encode is the identity for every format on random
+// hybrid matrices.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, ranksRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nm := sparsity.NM{N: int(nRaw)%3 + 1, M: 4}
+		ranks := int(ranksRaw) % 3
+		m := hybridMatrix(rng, 8, 16, 4, nm, ranks)
+		if !tensor.Equal(EncodeCSR(m).Decode(), m, 0) {
+			return false
+		}
+		if !tensor.Equal(EncodeELLPACK(m).Decode(), m, 0) {
+			return false
+		}
+		be, err := EncodeBlockedELL(m, 4)
+		if err != nil || !tensor.Equal(be.Decode(), m, 0) {
+			return false
+		}
+		ce, err := EncodeCRISP(m, 4, nm)
+		if err != nil || !tensor.Equal(ce.Decode(), m, 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := bitsFor(n); got != want {
+			t.Fatalf("bitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBSRRoundTripAndSpMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Unbalanced matrix: BSR must handle it (BlockedELL would refuse).
+	m := tensor.New(8, 16)
+	m.Set(1.5, 0, 0)
+	m.Set(-2, 1, 3)
+	m.Set(3, 5, 9)
+	m.Set(0.5, 7, 15)
+	e := EncodeBSR(m, 4)
+	if !tensor.Equal(e.Decode(), m, 0) {
+		t.Fatal("BSR decode mismatch")
+	}
+	x := tensor.Randn(rng, 1, 16, 5)
+	if !tensor.Equal(e.MatMul(x), tensor.MatMul(m, x), 1e-9) {
+		t.Fatal("BSR SpMM mismatch")
+	}
+}
+
+func TestBSRVsBlockedELLMetadata(t *testing.T) {
+	// On a balanced matrix both encode the same blocks, but BSR pays the
+	// row-pointer array — the cost CRISP's uniform structure removes.
+	rng := rand.New(rand.NewSource(9))
+	m := hybridMatrix(rng, 16, 32, 4, sparsity.NM{N: 4, M: 4}, 3)
+	be, err := EncodeBlockedELL(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsr := EncodeBSR(m, 4)
+	if bsr.MetadataBits() <= be.MetadataBits() {
+		t.Fatalf("BSR metadata %d should exceed BlockedELL %d", bsr.MetadataBits(), be.MetadataBits())
+	}
+	if !tensor.Equal(bsr.Decode(), be.Decode(), 0) {
+		t.Fatal("formats disagree on content")
+	}
+}
+
+func TestBSRAnalyticalMatchesEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := hybridMatrix(rng, 16, 32, 4, sparsity.NM{N: 2, M: 4}, 2)
+	e := EncodeBSR(m, 4)
+	g := sparsity.NewBlockGrid(16, 32, 4)
+	want := BSRMetadataBits(g.GridRows(), g.GridCols(), len(e.BlockCol))
+	if e.MetadataBits() != want {
+		t.Fatalf("analytical %d vs encoder %d", want, e.MetadataBits())
+	}
+}

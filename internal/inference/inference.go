@@ -1,0 +1,282 @@
+// Package inference executes a pruned classifier using compressed sparse
+// weights: convolution and fully connected layers run their GEMMs through
+// the CRISP storage format's SpMM kernel (falling back to CSR where the
+// hybrid structure does not apply), instead of multiplying masked dense
+// matrices. It is the software analogue of deploying the pruned model on
+// CRISP-STC, and doubles as an end-to-end validation that the compressed
+// representation computes exactly what the masked dense model computes.
+//
+// The engine is inference-only: layers run in evaluation mode and no
+// gradients exist. Multi-head attention keeps masked-dense projections
+// (its four GEMMs interleave with the attention pattern); every other
+// weight-bearing layer executes from its compressed encoding.
+package inference
+
+import (
+	"fmt"
+
+	"repro/internal/format"
+	"repro/internal/nn"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// Engine is a compiled sparse-execution plan for one classifier.
+type Engine struct {
+	clf  *nn.Classifier
+	root nn.Layer
+	// CompressedLayers counts the layers running from sparse encodings.
+	CompressedLayers int
+}
+
+// New compiles clf's current masks into a sparse execution plan. The
+// classifier must already be pruned; non-exempt layers are encoded in the
+// CRISP format at the given block size and N:M pattern, exempt ones in CSR.
+func New(clf *nn.Classifier, blockSize int, nm sparsity.NM) (*Engine, error) {
+	e := &Engine{clf: clf}
+	root, err := e.compile(clf.Net, blockSize, nm)
+	if err != nil {
+		return nil, err
+	}
+	e.root = root
+	return e, nil
+}
+
+// Logits runs the sparse forward pass.
+func (e *Engine) Logits(x *tensor.Tensor) *tensor.Tensor {
+	return e.root.Forward(x, false)
+}
+
+// compile mirrors the layer tree, swapping weight-bearing layers for
+// sparse executors.
+func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (nn.Layer, error) {
+	switch v := l.(type) {
+	case *nn.Sequential:
+		out := &nn.Sequential{}
+		for _, c := range v.Layers {
+			cc, err := e.compile(c, b, nm)
+			if err != nil {
+				return nil, err
+			}
+			out.Layers = append(out.Layers, cc)
+		}
+		return out, nil
+	case *nn.Residual:
+		main, err := e.compile(v.Main, b, nm)
+		if err != nil {
+			return nil, err
+		}
+		var short nn.Layer
+		if v.Shortcut != nil {
+			short, err = e.compile(v.Shortcut, b, nm)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nn.NewResidual(main, short), nil
+	case *nn.Conv2D:
+		enc, err := encodeParam(v.Weight, b, nm)
+		if err != nil {
+			return nil, err
+		}
+		return &sparseConv{conv: v, enc: enc, engine: e}, nil
+	case *nn.Linear:
+		enc, err := encodeParam(v.Weight, b, nm)
+		if err != nil {
+			return nil, err
+		}
+		return &sparseLinear{lin: v, enc: enc, engine: e}, nil
+	case *nn.TokenLinear:
+		enc, err := encodeParam(v.Weight, b, nm)
+		if err != nil {
+			return nil, err
+		}
+		return &sparseTokenLinear{lin: v, enc: enc, engine: e}, nil
+	case *nn.PatchEmbed:
+		enc, err := encodeParam(v.Weight, b, nm)
+		if err != nil {
+			return nil, err
+		}
+		return &sparsePatchEmbed{pe: v, enc: enc, engine: e}, nil
+	default:
+		// Stateless or statistics-only layers execute as-is (eval mode).
+		return l, nil
+	}
+}
+
+// encodeParam compresses one parameter's masked weights. Dense and exempt
+// parameters use CSR; hybrid-masked ones use the CRISP format.
+func encodeParam(p *nn.Param, b int, nm sparsity.NM) (format.Encoded, error) {
+	masked := tensor.Mul(p.MatrixView(), p.MaskMatrixView())
+	if p.BlockExempt || p.Mask == nil || !p.Prunable {
+		return format.EncodeCSR(masked), nil
+	}
+	enc, err := format.EncodeCRISP(masked, b, nm)
+	if err != nil {
+		// Dense or non-conforming masks (e.g. a baseline pruner) still
+		// execute, just without the hybrid layout.
+		return format.EncodeCSR(masked), nil
+	}
+	return enc, nil
+}
+
+// inferenceOnly panics for backward passes.
+func inferenceOnly() *tensor.Tensor {
+	panic("inference: engine layers do not support backward")
+}
+
+// sparseConv runs Conv2D from a compressed weight matrix.
+type sparseConv struct {
+	conv   *nn.Conv2D
+	enc    format.Encoded
+	engine *Engine
+}
+
+// Forward implements nn.Layer.
+func (s *sparseConv) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if s.engine != nil {
+		s.engine.CompressedLayers++
+		s.engine = nil // count once
+	}
+	g := s.conv.Geom
+	g.InH, g.InW = x.Shape[2], x.Shape[3]
+	n := x.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	cols := tensor.Im2Col(x, g)
+	outMat := s.enc.MatMul(cols) // [S, N*OH*OW]
+	p := oh * ow
+	y := tensor.New(n, s.conv.OutC, oh, ow)
+	for oc := 0; oc < s.conv.OutC; oc++ {
+		bias := 0.0
+		if s.conv.Bias != nil {
+			bias = s.conv.Bias.W.Data[oc]
+		}
+		src := outMat.Data[oc*n*p : (oc+1)*n*p]
+		for b := 0; b < n; b++ {
+			dst := y.Data[(b*s.conv.OutC+oc)*p : (b*s.conv.OutC+oc+1)*p]
+			for i, v := range src[b*p : (b+1)*p] {
+				dst[i] = v + bias
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements nn.Layer.
+func (s *sparseConv) Backward(*tensor.Tensor) *tensor.Tensor { return inferenceOnly() }
+
+// Params implements nn.Layer.
+func (s *sparseConv) Params() []*nn.Param { return nil }
+
+// sparseLinear runs Linear from a compressed weight matrix: y = (W·xᵀ)ᵀ+b.
+type sparseLinear struct {
+	lin    *nn.Linear
+	enc    format.Encoded
+	engine *Engine
+}
+
+// Forward implements nn.Layer.
+func (s *sparseLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if s.engine != nil {
+		s.engine.CompressedLayers++
+		s.engine = nil
+	}
+	n := x.Shape[0]
+	// SpMM computes W·B for B = xᵀ [In, N].
+	xt := transpose(x)
+	out := s.enc.MatMul(xt) // [Out, N]
+	y := tensor.New(n, s.lin.Out)
+	for j := 0; j < s.lin.Out; j++ {
+		for b := 0; b < n; b++ {
+			y.Data[b*s.lin.Out+j] = out.Data[j*n+b] + s.lin.Bias.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements nn.Layer.
+func (s *sparseLinear) Backward(*tensor.Tensor) *tensor.Tensor { return inferenceOnly() }
+
+// Params implements nn.Layer.
+func (s *sparseLinear) Params() []*nn.Param { return nil }
+
+// sparseTokenLinear runs TokenLinear from a compressed weight matrix.
+type sparseTokenLinear struct {
+	lin    *nn.TokenLinear
+	enc    format.Encoded
+	engine *Engine
+}
+
+// Forward implements nn.Layer.
+func (s *sparseTokenLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if s.engine != nil {
+		s.engine.CompressedLayers++
+		s.engine = nil
+	}
+	n, t := x.Shape[0], x.Shape[1]
+	flat := x.Reshape(n*t, s.lin.In)
+	xt := transpose(flat)
+	out := s.enc.MatMul(xt) // [Out, N*T]
+	y := tensor.New(n*t, s.lin.Out)
+	for j := 0; j < s.lin.Out; j++ {
+		for r := 0; r < n*t; r++ {
+			y.Data[r*s.lin.Out+j] = out.Data[j*n*t+r] + s.lin.Bias.W.Data[j]
+		}
+	}
+	return y.Reshape(n, t, s.lin.Out)
+}
+
+// Backward implements nn.Layer.
+func (s *sparseTokenLinear) Backward(*tensor.Tensor) *tensor.Tensor { return inferenceOnly() }
+
+// Params implements nn.Layer.
+func (s *sparseTokenLinear) Params() []*nn.Param { return nil }
+
+// sparsePatchEmbed runs PatchEmbed from a compressed weight matrix.
+type sparsePatchEmbed struct {
+	pe     *nn.PatchEmbed
+	enc    format.Encoded
+	engine *Engine
+}
+
+// Forward implements nn.Layer.
+func (s *sparsePatchEmbed) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if s.engine != nil {
+		s.engine.CompressedLayers++
+		s.engine = nil
+	}
+	// Reuse the dense patch extraction, then the sparse projection.
+	patches := s.pe.ExtractPatches(x) // [N*T, C*P*P]
+	nt := patches.Shape[0]
+	xt := transpose(patches)
+	out := s.enc.MatMul(xt) // [D, N*T]
+	y := tensor.New(nt, s.pe.D)
+	for j := 0; j < s.pe.D; j++ {
+		for r := 0; r < nt; r++ {
+			y.Data[r*s.pe.D+j] = out.Data[j*nt+r] + s.pe.Bias.W.Data[j]
+		}
+	}
+	n := x.Shape[0]
+	return y.Reshape(n, nt/n, s.pe.D)
+}
+
+// Backward implements nn.Layer.
+func (s *sparsePatchEmbed) Backward(*tensor.Tensor) *tensor.Tensor { return inferenceOnly() }
+
+// Params implements nn.Layer.
+func (s *sparsePatchEmbed) Params() []*nn.Param { return nil }
+
+// transpose returns mᵀ for a rank-2 tensor.
+func transpose(m *tensor.Tensor) *tensor.Tensor {
+	if len(m.Shape) != 2 {
+		panic(fmt.Sprintf("inference: transpose requires rank-2, got %v", m.Shape))
+	}
+	r, c := m.Shape[0], m.Shape[1]
+	out := tensor.New(c, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.Data[j*r+i] = m.Data[i*c+j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package inference
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// prunedModel returns a CRISP-pruned classifier and a test batch.
+func prunedModel(t *testing.T, f models.Family) (*nn.Classifier, *tensor.Tensor, sparsity.NM, int) {
+	t.Helper()
+	cfg := data.Config{Name: "inf", NumClasses: 8, Channels: 3, H: 8, W: 8, Noise: 0.25, Jitter: 1, Seed: 7}
+	ds := data.New(cfg)
+	clf := models.Build(f, rand.New(rand.NewSource(21)), cfg.NumClasses, 1)
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	opt := nn.NewSGD(0.05, 0.9, 4e-5)
+	pruner.Finetune(clf, ds.MakeSplit("pre", all, 8), 2, 16, opt, rand.New(rand.NewSource(22)))
+
+	nm := sparsity.NM{N: 2, M: 4}
+	p := pruner.NewCRISP(pruner.Options{
+		Target: 0.8, NM: nm, BlockSize: 4, Iterations: 2,
+		FinetuneEpochs: 1, BatchSize: 16, LR: 0.01,
+	})
+	p.Prune(clf, ds.MakeSplit("user", []int{1, 5}, 12))
+
+	test := ds.MakeSplit("test", []int{1, 5}, 4)
+	return clf, test.X, nm, 4
+}
+
+func TestEngineMatchesMaskedDense(t *testing.T) {
+	for _, f := range []models.Family{models.ResNet, models.VGG, models.MobileNet, models.Transformer} {
+		clf, x, nm, b := prunedModel(t, f)
+		eng, err := New(clf, b, nm)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		dense := clf.Logits(x, false)
+		sparse := eng.Logits(x)
+		if !tensor.Equal(dense, sparse, 1e-9) {
+			t.Fatalf("%s: sparse engine disagrees with masked dense model", f)
+		}
+		if eng.CompressedLayers == 0 {
+			t.Fatalf("%s: no layers ran compressed", f)
+		}
+	}
+}
+
+func TestEngineOnDenseModelStillCorrect(t *testing.T) {
+	// An unpruned model must also execute (CSR fallback everywhere).
+	clf := models.Build(models.ResNet, rand.New(rand.NewSource(30)), 5, 1)
+	rng := rand.New(rand.NewSource(31))
+	x := tensor.Randn(rng, 1, 2, 3, 8, 8)
+	eng, err := New(clf, 4, sparsity.NM{N: 2, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(clf.Logits(x, false), eng.Logits(x), 1e-9) {
+		t.Fatal("dense fallback disagrees")
+	}
+}
+
+func TestEngineRepeatedCalls(t *testing.T) {
+	clf, x, nm, b := prunedModel(t, models.ResNet)
+	eng, err := New(clf, b, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := eng.Logits(x)
+	bb := eng.Logits(x)
+	if !tensor.Equal(a, bb, 0) {
+		t.Fatal("engine is not deterministic across calls")
+	}
+}
+
+func TestEngineBackwardPanics(t *testing.T) {
+	clf, x, nm, b := prunedModel(t, models.ResNet)
+	eng, err := New(clf, b, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = x
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backward through inference layers")
+		}
+	}()
+	(&sparseLinear{lin: nn.NewLinear("x", rand.New(rand.NewSource(1)), 2, 2, false)}).Backward(nil)
+	_ = eng
+}
+
+func TestTranspose(t *testing.T) {
+	m := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	mt := transpose(m)
+	if mt.Shape[0] != 3 || mt.Shape[1] != 2 {
+		t.Fatalf("shape %v", mt.Shape)
+	}
+	if mt.At(0, 1) != 4 || mt.At(2, 0) != 3 {
+		t.Fatalf("values wrong: %v", mt.Data)
+	}
+}

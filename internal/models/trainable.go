@@ -1,0 +1,191 @@
+package models
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Family identifies a trainable model family mirroring one of the paper's
+// three networks.
+type Family string
+
+// The three families the paper evaluates, plus the transformer extension
+// (the paper's stated future work).
+const (
+	ResNet      Family = "resnet-s"
+	VGG         Family = "vgg-s"
+	MobileNet   Family = "mobilenet-s"
+	Transformer Family = "transformer-s"
+)
+
+// Build constructs a trainable classifier of the given family.
+// width scales every channel count; the defaults (width=2 for ResNet-S,
+// width=2 for VGG-S, width=1 for MobileNet-S) mirror the paper's
+// compressibility ordering: ResNet over-parameterized, MobileNet compact.
+func Build(f Family, rng *rand.Rand, numClasses, width int) *nn.Classifier {
+	switch f {
+	case ResNet:
+		return NewResNetS(rng, numClasses, width)
+	case VGG:
+		return NewVGGS(rng, numClasses, width)
+	case MobileNet:
+		return NewMobileNetS(rng, numClasses, width)
+	case Transformer:
+		return NewTransformerS(rng, numClasses, width)
+	default:
+		panic("models: unknown family " + string(f))
+	}
+}
+
+// basicBlock builds a ResNet basic residual block:
+// conv3×3-BN-ReLU-conv3×3-BN (+ projection shortcut when shape changes),
+// followed by a ReLU appended by the caller.
+func basicBlock(name string, rng *rand.Rand, inC, outC, stride int) nn.Layer {
+	main := nn.NewSequential(
+		nn.NewConv2D(name+".conv1", rng, inC, outC, 3, 3, stride, 1, false),
+		nn.NewBatchNorm2D(name+".bn1", outC),
+		nn.NewReLU(),
+		nn.NewConv2D(name+".conv2", rng, outC, outC, 3, 3, 1, 1, false),
+		nn.NewBatchNorm2D(name+".bn2", outC),
+	)
+	var shortcut nn.Layer
+	if inC != outC || stride != 1 {
+		shortcut = nn.NewSequential(
+			nn.NewConv2D(name+".proj", rng, inC, outC, 1, 1, stride, 0, false),
+			nn.NewBatchNorm2D(name+".bnproj", outC),
+		)
+	}
+	return nn.NewResidual(main, shortcut)
+}
+
+// NewResNetS builds the scaled-down residual network (the reproduction's
+// stand-in for ResNet-50): stem + two residual stages + linear head.
+// Base width is 16·width channels.
+func NewResNetS(rng *rand.Rand, numClasses, width int) *nn.Classifier {
+	w := 16 * width
+	net := nn.NewSequential(
+		nn.NewConv2D("stem.conv", rng, 3, w, 3, 3, 1, 1, false),
+		nn.NewBatchNorm2D("stem.bn", w),
+		nn.NewReLU(),
+		basicBlock("stage1.block0", rng, w, w, 1),
+		nn.NewReLU(),
+		basicBlock("stage1.block1", rng, w, w, 1),
+		nn.NewReLU(),
+		basicBlock("stage2.block0", rng, w, 2*w, 2),
+		nn.NewReLU(),
+		basicBlock("stage2.block1", rng, 2*w, 2*w, 1),
+		nn.NewReLU(),
+		&nn.GlobalAvgPool{},
+		nn.NewLinear("fc", rng, 2*w, numClasses, false),
+	)
+	return nn.NewClassifier(string(ResNet), net, numClasses)
+}
+
+// NewVGGS builds the scaled-down plain conv stack (stand-in for VGG-16):
+// two conv-conv-pool stages plus a hidden fully connected layer. The hidden
+// FC is prunable like VGG's giant fc6/fc7; the classifier head is exempt.
+// Inputs must be at least 8×8 (two 2× poolings).
+func NewVGGS(rng *rand.Rand, numClasses, width int) *nn.Classifier {
+	w := 16 * width
+	// The hidden FC input size depends on the input resolution; use lazy
+	// construction via a fixed 4× spatial reduction and global pooling to
+	// stay resolution-independent like the other families.
+	net := nn.NewSequential(
+		nn.NewConv2D("conv1_1", rng, 3, w, 3, 3, 1, 1, true),
+		nn.NewReLU(),
+		nn.NewConv2D("conv1_2", rng, w, w, 3, 3, 1, 1, true),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		nn.NewConv2D("conv2_1", rng, w, 2*w, 3, 3, 1, 1, true),
+		nn.NewReLU(),
+		nn.NewConv2D("conv2_2", rng, 2*w, 2*w, 3, 3, 1, 1, true),
+		nn.NewReLU(),
+		nn.NewMaxPool2D(2, 2),
+		&nn.GlobalAvgPool{},
+		nn.NewLinear("fc6", rng, 2*w, 4*w, true),
+		nn.NewReLU(),
+		nn.NewLinear("fc8", rng, 4*w, numClasses, false),
+	)
+	return nn.NewClassifier(string(VGG), net, numClasses)
+}
+
+// invertedResidual builds a MobileNetV2-style bottleneck:
+// 1×1 expand (ratio t) → depthwise 3×3 → 1×1 project, with a residual
+// connection when the shape is preserved.
+func invertedResidual(name string, rng *rand.Rand, inC, outC, t, stride int) nn.Layer {
+	exp := inC * t
+	layers := []nn.Layer{}
+	if t != 1 {
+		layers = append(layers,
+			nn.NewConv2D(name+".expand", rng, inC, exp, 1, 1, 1, 0, false),
+			nn.NewBatchNorm2D(name+".bn1", exp),
+			nn.NewReLU6(),
+		)
+	}
+	layers = append(layers,
+		nn.NewDepthwiseConv2D(name+".dw", rng, exp, 3, 3, stride, 1, false),
+		nn.NewBatchNorm2D(name+".bn2", exp),
+		nn.NewReLU6(),
+		nn.NewConv2D(name+".project", rng, exp, outC, 1, 1, 1, 0, false),
+		nn.NewBatchNorm2D(name+".bn3", outC),
+	)
+	main := nn.NewSequential(layers...)
+	if inC == outC && stride == 1 {
+		return nn.NewResidual(main, nil)
+	}
+	return main
+}
+
+// transformerBlock builds a pre-norm transformer encoder block:
+// x + MHA(LN(x)) followed by x + MLP(LN(x)).
+func transformerBlock(name string, rng *rand.Rand, d, heads, mlpRatio int) []nn.Layer {
+	attn := nn.NewSequential(
+		nn.NewLayerNorm(name+".ln1", d),
+		nn.NewMultiHeadAttention(name+".attn", rng, d, heads),
+	)
+	mlp := nn.NewSequential(
+		nn.NewLayerNorm(name+".ln2", d),
+		nn.NewTokenLinear(name+".fc1", rng, d, mlpRatio*d, true),
+		nn.NewReLU(),
+		nn.NewTokenLinear(name+".fc2", rng, mlpRatio*d, d, true),
+	)
+	return []nn.Layer{nn.NewResidual(attn, nil), nn.NewResidual(mlp, nil)}
+}
+
+// NewTransformerS builds a small vision transformer: 4×4 patch embedding,
+// two pre-norm encoder blocks, token mean-pooling and a linear head. It is
+// the substrate for the paper's future-work extension: every projection
+// (patch embed, Q/K/V/O, MLP) is a prunable matrix, so CRISP's hybrid
+// pattern applies unchanged. Inputs must have spatial dims divisible by 4.
+func NewTransformerS(rng *rand.Rand, numClasses, width int) *nn.Classifier {
+	d := 16 * width
+	layers := []nn.Layer{nn.NewPatchEmbed("patch", rng, 3, 4, d)}
+	layers = append(layers, transformerBlock("block0", rng, d, 2, 2)...)
+	layers = append(layers, transformerBlock("block1", rng, d, 2, 2)...)
+	layers = append(layers,
+		nn.NewLayerNorm("ln_final", d),
+		&nn.MeanPoolTokens{},
+		nn.NewLinear("fc", rng, d, numClasses, false),
+	)
+	return nn.NewClassifier(string(Transformer), nn.NewSequential(layers...), numClasses)
+}
+
+// NewMobileNetS builds the scaled-down inverted-residual network (stand-in
+// for MobileNetV2). Base width is 8·width: deliberately compact, so it is
+// the hardest of the three to prune — reproducing the paper's Fig. 1 gap.
+func NewMobileNetS(rng *rand.Rand, numClasses, width int) *nn.Classifier {
+	w := 8 * width
+	net := nn.NewSequential(
+		nn.NewConv2D("stem.conv", rng, 3, w, 3, 3, 1, 1, false),
+		nn.NewBatchNorm2D("stem.bn", w),
+		nn.NewReLU6(),
+		invertedResidual("block1", rng, w, w, 1, 1),
+		invertedResidual("block2", rng, w, 2*w, 3, 2),
+		invertedResidual("block3", rng, 2*w, 2*w, 3, 1),
+		invertedResidual("block4", rng, 2*w, 3*w, 3, 1),
+		&nn.GlobalAvgPool{},
+		nn.NewLinear("fc", rng, 3*w, numClasses, false),
+	)
+	return nn.NewClassifier(string(MobileNet), net, numClasses)
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer is the interface shared by SGD and Adam; Step applies one
+// update from the accumulated gradients and clears them.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// compile-time checks.
+var (
+	_ Optimizer = (*SGD)(nil)
+	_ Optimizer = (*Adam)(nil)
+)
+
+// Adam is the Adam optimizer with decoupled weight decay (AdamW-style),
+// provided as an alternative fine-tuner for the pruning loop.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m map[*Param]*tensor.Tensor
+	v map[*Param]*tensor.Tensor
+}
+
+// NewAdam constructs the optimizer with standard betas (0.9, 0.999).
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		WeightDecay: weightDecay,
+		m:           map[*Param]*tensor.Tensor{},
+		v:           map[*Param]*tensor.Tensor{},
+	}
+}
+
+// Step implements Optimizer. Like SGD.Step it updates masked weights too —
+// the straight-through estimator keeps pruned weights training.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m := a.m[p]
+		if m == nil {
+			m = tensor.New(p.W.Shape...)
+			a.m[p] = m
+		}
+		v := a.v[p]
+		if v == nil {
+			v = tensor.New(p.W.Shape...)
+			a.v[p] = v
+		}
+		wd := a.WeightDecay
+		if p.NoDecay {
+			wd = 0
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			p.W.Data[i] -= a.LR * (mHat/(math.Sqrt(vHat)+a.Eps) + wd*p.W.Data[i])
+		}
+		p.ZeroGrad()
+	}
+}
+
+// LRSchedule maps a 0-based step index to a learning rate.
+type LRSchedule interface {
+	LRAt(step int) float64
+}
+
+// CosineSchedule anneals from Base to Floor over Steps with a half-cosine.
+type CosineSchedule struct {
+	Base, Floor float64
+	Steps       int
+}
+
+// LRAt implements LRSchedule.
+func (c CosineSchedule) LRAt(step int) float64 {
+	if step >= c.Steps {
+		return c.Floor
+	}
+	t := float64(step) / float64(c.Steps)
+	return c.Floor + (c.Base-c.Floor)*0.5*(1+math.Cos(math.Pi*t))
+}
+
+// StepSchedule multiplies Base by Gamma every Every steps.
+type StepSchedule struct {
+	Base  float64
+	Gamma float64
+	Every int
+}
+
+// LRAt implements LRSchedule.
+func (s StepSchedule) LRAt(step int) float64 {
+	if s.Every <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(step/s.Every))
+}

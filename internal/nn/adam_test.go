@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAdamStepDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	lin := NewLinear("l", rng, 2, 2, true)
+	w0 := lin.Weight.W.Clone()
+	lin.Weight.Grad.Fill(1)
+	opt := NewAdam(0.1, 0)
+	opt.Step([]*Param{lin.Weight})
+	// First Adam step with g=1 moves every weight by ≈ -lr.
+	for i := range w0.Data {
+		delta := lin.Weight.W.Data[i] - w0.Data[i]
+		if math.Abs(delta+0.1) > 1e-6 {
+			t.Fatalf("Adam first step delta %v, want ≈-0.1", delta)
+		}
+	}
+	if lin.Weight.Grad.AbsSum() != 0 {
+		t.Fatal("Step must zero gradients")
+	}
+}
+
+func TestAdamAdaptsToGradientScale(t *testing.T) {
+	// Two params with gradients of very different magnitude move by nearly
+	// the same amount (the defining Adam property).
+	rng := rand.New(rand.NewSource(81))
+	a := NewLinear("a", rng, 1, 1, true)
+	b := NewLinear("b", rng, 1, 1, true)
+	opt := NewAdam(0.01, 0)
+	a0 := a.Weight.W.Data[0]
+	b0 := b.Weight.W.Data[0]
+	for i := 0; i < 5; i++ {
+		a.Weight.Grad.Data[0] = 1000
+		b.Weight.Grad.Data[0] = 0.001
+		opt.Step([]*Param{a.Weight, b.Weight})
+	}
+	da := math.Abs(a.Weight.W.Data[0] - a0)
+	db := math.Abs(b.Weight.W.Data[0] - b0)
+	if da == 0 || db == 0 {
+		t.Fatal("no movement")
+	}
+	if da/db > 2 || db/da > 2 {
+		t.Fatalf("Adam not scale-adaptive: da=%v db=%v", da, db)
+	}
+}
+
+func TestAdamNoDecayRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	lin := NewLinear("l", rng, 2, 2, true)
+	b0 := append([]float64(nil), lin.Bias.W.Data...)
+	opt := NewAdam(0.1, 10) // huge decay
+	opt.Step(lin.Params())  // zero grads: only decay could act
+	for i := range b0 {
+		if lin.Bias.W.Data[i] != b0[i] {
+			t.Fatal("bias decayed despite NoDecay")
+		}
+	}
+}
+
+func TestAdamTrainsToyProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	lin := NewLinear("l", rng, 2, 2, true)
+	opt := NewAdam(0.05, 0)
+	x := tensor.FromSlice([]float64{1, 0, 0, 1}, 2, 2)
+	labels := []int{0, 1}
+	var first, last float64
+	for i := 0; i < 80; i++ {
+		logits := lin.Forward(x, true)
+		loss, dl := SoftmaxCrossEntropy(logits, labels)
+		lin.Backward(dl)
+		opt.Step(lin.Params())
+		if i == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last > first*0.2 {
+		t.Fatalf("Adam failed to fit: first %v last %v", first, last)
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := CosineSchedule{Base: 0.1, Floor: 0.001, Steps: 100}
+	if s.LRAt(0) != 0.1 {
+		t.Fatalf("start %v", s.LRAt(0))
+	}
+	if got := s.LRAt(100); got != 0.001 {
+		t.Fatalf("end %v", got)
+	}
+	if got := s.LRAt(1000); got != 0.001 {
+		t.Fatalf("past end %v", got)
+	}
+	mid := s.LRAt(50)
+	want := 0.001 + (0.1-0.001)*0.5
+	if math.Abs(mid-want) > 1e-12 {
+		t.Fatalf("mid %v, want %v", mid, want)
+	}
+	// Monotone non-increasing.
+	prev := math.Inf(1)
+	for i := 0; i <= 100; i += 10 {
+		cur := s.LRAt(i)
+		if cur > prev {
+			t.Fatal("cosine schedule not monotone")
+		}
+		prev = cur
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Base: 1, Gamma: 0.1, Every: 10}
+	if s.LRAt(0) != 1 || s.LRAt(9) != 1 {
+		t.Fatal("first decade wrong")
+	}
+	if math.Abs(s.LRAt(10)-0.1) > 1e-12 || math.Abs(s.LRAt(25)-0.01) > 1e-12 {
+		t.Fatalf("decay wrong: %v %v", s.LRAt(10), s.LRAt(25))
+	}
+	zero := StepSchedule{Base: 0.5}
+	if zero.LRAt(100) != 0.5 {
+		t.Fatal("Every=0 must hold Base")
+	}
+}
+
+func TestActivationStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	net := NewSequential(
+		NewConv2D("c", rng, 1, 4, 3, 3, 1, 1, true),
+		NewReLU(),
+		NewConv2D("c2", rng, 4, 4, 3, 3, 1, 1, true),
+		NewReLU(),
+	)
+	stats := CollectActivationStats(net)
+	x := tensor.Randn(rng, 1, 2, 1, 6, 6)
+	net.Forward(x, false)
+	if stats.Total == 0 {
+		t.Fatal("no activations counted")
+	}
+	d := stats.Density()
+	// Random-init conv outputs are ~half positive.
+	if d < 0.2 || d > 0.8 {
+		t.Fatalf("activation density %v implausible", d)
+	}
+	// Accumulates across calls.
+	before := stats.Total
+	net.Forward(x, false)
+	if stats.Total != 2*before {
+		t.Fatalf("stats did not accumulate: %d vs %d", stats.Total, before)
+	}
+}
+
+func TestActivationStatsEmptyDensity(t *testing.T) {
+	s := &ActStats{}
+	if s.Density() != 1 {
+		t.Fatal("empty stats must report density 1")
+	}
+}
+
+func TestFinetuneAcceptsAdam(t *testing.T) {
+	// Interface-level check: the pruning fine-tuner works with Adam too.
+	var opt Optimizer = NewAdam(0.01, 0)
+	rng := rand.New(rand.NewSource(85))
+	lin := NewLinear("l", rng, 2, 2, true)
+	lin.Weight.Grad.Fill(0.5)
+	opt.Step([]*Param{lin.Weight})
+}
+
+func TestGELUGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	x := tensor.Randn(rng, 1, 2, 8)
+	labels := []int{2, 6}
+	gradCheckLayer(t, &GELU{}, x, labels, 1e-4)
+}
+
+func TestGELUKnownValues(t *testing.T) {
+	g := &GELU{}
+	x := tensor.FromSlice([]float64{0, 3, -3}, 1, 3)
+	y := g.Forward(x, false)
+	if y.Data[0] != 0 {
+		t.Fatalf("GELU(0) = %v", y.Data[0])
+	}
+	// Far from the origin GELU approaches identity / zero.
+	if math.Abs(y.Data[1]-3) > 0.01 {
+		t.Fatalf("GELU(3) = %v, want ≈3", y.Data[1])
+	}
+	if math.Abs(y.Data[2]) > 0.01 {
+		t.Fatalf("GELU(-3) = %v, want ≈0", y.Data[2])
+	}
+}

@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully connected layer y = x·Wᵀ + b with weight shape
+// [Out, In]; the pruning view is the weight matrix itself (reduction
+// dimension along columns).
+type Linear struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+
+	x *tensor.Tensor
+}
+
+// NewLinear constructs a fully connected layer with He initialization.
+func NewLinear(name string, rng *rand.Rand, in, out int, prunable bool) *Linear {
+	std := math.Sqrt(2.0 / float64(in))
+	l := &Linear{
+		In:     in,
+		Out:    out,
+		Weight: newParam(name+".weight", tensor.Randn(rng, std, out, in), out, in, prunable),
+		Bias:   newParam(name+".bias", tensor.New(out), out, 1, false),
+	}
+	l.Bias.NoDecay = true
+	return l
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: Linear expects [N,%d], got %v", l.In, x.Shape))
+	}
+	n := x.Shape[0]
+	weff := l.Weight.Effective()
+	y := tensor.New(n, l.Out)
+	// y = x · Wᵀ
+	tensor.Gemm(false, true, n, l.Out, l.In, 1, x.Data, weff.Data, 0, y.Data)
+	for b := 0; b < n; b++ {
+		row := y.Data[b*l.Out : (b+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.W.Data[j]
+		}
+	}
+	if train {
+		l.x = x
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n := dy.Shape[0]
+	// dW = dyᵀ · x (dense: straight-through estimator).
+	dw := make([]float64, l.Out*l.In)
+	tensor.Gemm(true, false, l.Out, l.In, n, 1, dy.Data, l.x.Data, 0, dw)
+	l.Weight.Grad.AddInPlace(tensor.FromSlice(dw, l.Out, l.In))
+	for b := 0; b < n; b++ {
+		for j := 0; j < l.Out; j++ {
+			l.Bias.Grad.Data[j] += dy.Data[b*l.Out+j]
+		}
+	}
+	// dx = dy · Weff
+	weff := l.Weight.Effective()
+	dx := tensor.New(n, l.In)
+	tensor.Gemm(false, false, n, l.In, l.Out, 1, dy.Data, weff.Data, 0, dx.Data)
+	return dx
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }

@@ -1,0 +1,49 @@
+package nn
+
+import "repro/internal/tensor"
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay, matching the paper's fine-tuning setup (momentum 0.9,
+// weight decay 4e-5).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	vel map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs the optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, vel: map[*Param]*tensor.Tensor{}}
+}
+
+// Step applies one update to every parameter and clears the gradients.
+// Masked (pruned) weights are updated too — the straight-through estimator
+// keeps their dense values training so they can revive under a future mask.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := o.vel[p]
+		if v == nil {
+			v = tensor.New(p.W.Shape...)
+			o.vel[p] = v
+		}
+		wd := o.WeightDecay
+		if p.NoDecay {
+			wd = 0
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i] + wd*p.W.Data[i]
+			v.Data[i] = o.Momentum*v.Data[i] - o.LR*g
+			p.W.Data[i] += v.Data[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad clears the gradients of all parameters without stepping.
+func ZeroGrad(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}

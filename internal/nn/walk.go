@@ -1,0 +1,18 @@
+package nn
+
+// Walk visits l and every nested layer in execution order, calling fn on
+// each. Containers (Sequential, Residual) are visited before their children.
+func Walk(l Layer, fn func(Layer)) {
+	fn(l)
+	switch v := l.(type) {
+	case *Sequential:
+		for _, c := range v.Layers {
+			Walk(c, fn)
+		}
+	case *Residual:
+		Walk(v.Main, fn)
+		if v.Shortcut != nil {
+			Walk(v.Shortcut, fn)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package pruner
+
+import (
+	"repro/internal/nn"
+)
+
+// FLOPsRatio returns effective MACs / dense MACs of clf under its current
+// masks, the "normalized FLOPs ratio" of the paper's Fig. 7 table. The
+// network must have run at least one forward pass so convolution geometry is
+// recorded; compute scales with each layer's weight density (structured
+// sparsity skips whole blocks/groups, so density is the compute fraction).
+func FLOPsRatio(clf *nn.Classifier) float64 {
+	var dense, effective float64
+	nn.Walk(clf.Net, func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Conv2D:
+			g := v.Geom
+			macs := float64(v.OutC) * float64(g.InC*g.KH*g.KW) * float64(g.OutH()*g.OutW())
+			dense += macs
+			effective += macs * v.Weight.Density()
+		case *nn.DepthwiseConv2D:
+			g := v.Geom
+			macs := float64(g.InC) * float64(g.KH*g.KW) * float64(g.OutH()*g.OutW())
+			dense += macs
+			effective += macs * v.Weight.Density()
+		case *nn.Linear:
+			macs := float64(v.In) * float64(v.Out)
+			dense += macs
+			effective += macs * v.Weight.Density()
+		case *nn.TokenLinear:
+			macs := float64(v.In) * float64(v.Out) * float64(v.LastTokens)
+			dense += macs
+			effective += macs * v.Weight.Density()
+		case *nn.PatchEmbed:
+			macs := float64(v.C*v.P*v.P) * float64(v.D) * float64(v.LastTokens)
+			dense += macs
+			effective += macs * v.Weight.Density()
+		case *nn.MultiHeadAttention:
+			t := float64(v.LastTokens)
+			d := float64(v.D)
+			proj := d * d * t
+			for _, p := range []*nn.Param{v.Wq, v.Wk, v.Wv, v.Wo} {
+				dense += proj
+				effective += proj * p.Density()
+			}
+			// The attention matrix itself (QKᵀ and A·V) is dense compute,
+			// unaffected by weight pruning.
+			attn := 2 * t * t * d
+			dense += attn
+			effective += attn
+		}
+	})
+	if dense == 0 {
+		return 1
+	}
+	return effective / dense
+}

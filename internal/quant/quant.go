@@ -1,0 +1,137 @@
+// Package quant provides symmetric linear quantization to signed 8-bit
+// integers. CRISP-STC (like NVIDIA's sparse tensor cores in int8 mode)
+// computes on 8-bit operands, and the storage-format byte accounting
+// assumes 8-bit values; this package quantizes pruned models and measures
+// the accuracy cost of deployment precision.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Scheme selects the scale granularity.
+type Scheme int
+
+const (
+	// PerTensor uses one scale per weight tensor.
+	PerTensor Scheme = iota
+	// PerChannel uses one scale per output row of the pruning view —
+	// standard practice for conv weights and noticeably more accurate.
+	PerChannel
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if s == PerChannel {
+		return "per-channel"
+	}
+	return "per-tensor"
+}
+
+// QTensor is a quantized tensor: int8 codes with row scales.
+type QTensor struct {
+	Rows, Cols int
+	// Codes holds rows×cols int8 values.
+	Codes []int8
+	// Scales holds one dequantization scale per row (PerTensor repeats the
+	// same scale).
+	Scales []float64
+}
+
+// Quantize encodes a rank-2 tensor at 8 bits with the given scheme.
+func Quantize(m *tensor.Tensor, scheme Scheme) *QTensor {
+	if len(m.Shape) != 2 {
+		panic(fmt.Sprintf("quant: rank-2 tensor required, got %v", m.Shape))
+	}
+	rows, cols := m.Shape[0], m.Shape[1]
+	q := &QTensor{Rows: rows, Cols: cols, Codes: make([]int8, rows*cols), Scales: make([]float64, rows)}
+	switch scheme {
+	case PerChannel:
+		for r := 0; r < rows; r++ {
+			q.Scales[r] = rowScale(m.Data[r*cols : (r+1)*cols])
+		}
+	default:
+		s := rowScale(m.Data)
+		for r := range q.Scales {
+			q.Scales[r] = s
+		}
+	}
+	for r := 0; r < rows; r++ {
+		s := q.Scales[r]
+		for c := 0; c < cols; c++ {
+			q.Codes[r*cols+c] = encode(m.Data[r*cols+c], s)
+		}
+	}
+	return q
+}
+
+// rowScale returns max|v|/127 (1 when the row is all zero, so zero encodes
+// to zero).
+func rowScale(vals []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range vals {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	return maxAbs / 127
+}
+
+// encode clamps and rounds v/s to int8.
+func encode(v, s float64) int8 {
+	q := math.Round(v / s)
+	if q > 127 {
+		q = 127
+	}
+	if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// Dequantize reconstructs the float tensor.
+func (q *QTensor) Dequantize() *tensor.Tensor {
+	out := tensor.New(q.Rows, q.Cols)
+	for r := 0; r < q.Rows; r++ {
+		s := q.Scales[r]
+		for c := 0; c < q.Cols; c++ {
+			out.Data[r*q.Cols+c] = float64(q.Codes[r*q.Cols+c]) * s
+		}
+	}
+	return out
+}
+
+// MaxError returns the largest absolute reconstruction error against m.
+func (q *QTensor) MaxError(m *tensor.Tensor) float64 {
+	dq := q.Dequantize()
+	worst := 0.0
+	for i := range m.Data {
+		if e := math.Abs(dq.Data[i] - m.Data[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// QuantizeModel replaces every prunable weight of clf with its fake-quantized
+// (quantize → dequantize) value under the current mask, simulating 8-bit
+// deployment while keeping the float execution engine. Masked positions
+// stay zero. It returns the per-layer worst reconstruction error.
+func QuantizeModel(clf *nn.Classifier, scheme Scheme) map[string]float64 {
+	errs := map[string]float64{}
+	for _, p := range clf.PrunableParams() {
+		masked := tensor.Mul(p.MatrixView(), p.MaskMatrixView())
+		q := Quantize(masked, scheme)
+		errs[p.Name] = q.MaxError(masked)
+		dq := q.Dequantize()
+		copy(p.MatrixView().Data, dq.Data)
+	}
+	return errs
+}

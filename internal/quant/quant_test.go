@@ -1,0 +1,132 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+func TestQuantizeRoundTripBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := tensor.Randn(rng, 2, 8, 16)
+	for _, scheme := range []Scheme{PerTensor, PerChannel} {
+		q := Quantize(m, scheme)
+		// Error bounded by scale/2 per element.
+		dq := q.Dequantize()
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 16; c++ {
+				e := math.Abs(dq.At(r, c) - m.At(r, c))
+				if e > q.Scales[r]/2+1e-12 {
+					t.Fatalf("%s: error %v exceeds half-scale %v", scheme, e, q.Scales[r]/2)
+				}
+			}
+		}
+	}
+}
+
+func TestPerChannelBeatsPerTensorOnSkewedRows(t *testing.T) {
+	// One row with tiny values, one with huge: a shared scale crushes the
+	// tiny row; per-channel preserves it.
+	m := tensor.New(2, 4)
+	for c := 0; c < 4; c++ {
+		m.Set(0.01*float64(c+1), 0, c)
+		m.Set(10*float64(c+1), 1, c)
+	}
+	rowErr := func(q *QTensor) float64 {
+		dq := q.Dequantize()
+		worst := 0.0
+		for c := 0; c < 4; c++ {
+			if e := math.Abs(dq.At(0, c) - m.At(0, c)); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	pt := rowErr(Quantize(m, PerTensor))
+	pc := rowErr(Quantize(m, PerChannel))
+	if pc >= pt {
+		t.Fatalf("per-channel small-row error %v not better than per-tensor %v", pc, pt)
+	}
+}
+
+func TestZerosEncodeToZero(t *testing.T) {
+	m := tensor.New(4, 4) // all zeros (e.g. fully masked row)
+	q := Quantize(m, PerChannel)
+	for _, c := range q.Codes {
+		if c != 0 {
+			t.Fatal("zero input must encode to zero")
+		}
+	}
+	dq := q.Dequantize()
+	if dq.AbsSum() != 0 {
+		t.Fatal("zeros must reconstruct exactly")
+	}
+}
+
+func TestMaskedZerosStayZeroAfterModelQuantization(t *testing.T) {
+	clf := models.Build(models.ResNet, rand.New(rand.NewSource(2)), 4, 1)
+	p := clf.PrunableParams()[1]
+	mask := p.EnsureMask()
+	for i := 0; i < mask.Len(); i += 2 {
+		mask.Data[i] = 0
+	}
+	QuantizeModel(clf, PerChannel)
+	mv := p.MatrixView()
+	for i := 0; i < mask.Len(); i += 2 {
+		if mv.Data[i] != 0 {
+			t.Fatalf("masked weight %d became %v after quantization", i, mv.Data[i])
+		}
+	}
+}
+
+func TestQuantizedModelAccuracyClose(t *testing.T) {
+	// 8-bit per-channel weights must not change predictions materially on a
+	// trained model.
+	cfg := data.Config{Name: "q", NumClasses: 6, Channels: 3, H: 8, W: 8, Noise: 0.25, Jitter: 1, Seed: 3}
+	ds := data.New(cfg)
+	clf := models.Build(models.ResNet, rand.New(rand.NewSource(4)), 6, 1)
+	// Light training so logits are meaningful.
+	split := ds.MakeSplit("train", []int{0, 1, 2, 3, 4, 5}, 8)
+	for e := 0; e < 2; e++ {
+		x := tensor.New(split.Len(), 3, 8, 8)
+		copy(x.Data, split.X.Data)
+		clf.TrainBatch(x, split.Labels)
+	}
+	test := ds.MakeSplit("test", []int{0, 1, 2, 3, 4, 5}, 6)
+	before := clf.Accuracy(test.X, test.Labels)
+	errs := QuantizeModel(clf, PerChannel)
+	after := clf.Accuracy(test.X, test.Labels)
+	if math.Abs(before-after) > 0.15 {
+		t.Fatalf("8-bit quantization moved accuracy %v → %v", before, after)
+	}
+	if len(errs) != len(clf.PrunableParams()) {
+		t.Fatalf("error map size %d", len(errs))
+	}
+}
+
+// Property: quantization error never exceeds half the row scale, for any
+// input distribution.
+func TestQuantErrorBoundProperty(t *testing.T) {
+	f := func(seed int64, scale uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := tensor.Randn(rng, float64(scale%50)+0.1, 4, 8)
+		q := Quantize(m, PerChannel)
+		dq := q.Dequantize()
+		for r := 0; r < 4; r++ {
+			for c := 0; c < 8; c++ {
+				if math.Abs(dq.At(r, c)-m.At(r, c)) > q.Scales[r]/2+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package sparsity_test
+
+import (
+	"fmt"
+
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// ExampleApplyNM demonstrates fine-grained 2:4 masking: in every group of
+// four consecutive weights, the two highest-scoring survive.
+func ExampleApplyNM() {
+	scores := tensor.FromSlice([]float64{
+		9, 1, 8, 2, // group 1: keep positions 0 and 2
+		3, 7, 4, 6, // group 2: keep positions 1 and 3
+	}, 1, 8)
+	mask := tensor.New(1, 8)
+	sparsity.ApplyNM(mask, scores, sparsity.NM{N: 2, M: 4})
+	fmt.Println(mask.Data)
+	// Output: [1 0 1 0 0 1 0 1]
+}
+
+// ExampleRankColumns demonstrates CRISP's pruning unit: the o-th rank
+// column names, per block row, the o-th least important block — pruning it
+// removes exactly one block from every row.
+func ExampleRankColumns() {
+	blockScores := tensor.FromSlice([]float64{
+		5, 1, 3, // block row 0: ascending order is cols 1, 2, 0
+		2, 9, 4, // block row 1: ascending order is cols 0, 2, 1
+	}, 2, 3)
+	rcs := sparsity.RankColumns(blockScores)
+	fmt.Printf("rank 0: score %.0f, blocks %v\n", rcs[0].Score, rcs[0].BlockCols)
+	fmt.Printf("rank 1: score %.0f, blocks %v\n", rcs[1].Score, rcs[1].BlockCols)
+	// Output:
+	// rank 0: score 3, blocks [1 0]
+	// rank 1: score 7, blocks [2 2]
+}
+
+// ExampleHybridSparsity shows the paper's overall-sparsity formula
+// 1 − (K'/K)·(N/M).
+func ExampleHybridSparsity() {
+	s := sparsity.HybridSparsity(0.4, sparsity.NM{N: 1, M: 4})
+	fmt.Printf("%.2f\n", s)
+	// Output: 0.90
+}

@@ -1,0 +1,125 @@
+// Package sparsity implements the mask algebra behind CRISP's hybrid
+// structured sparsity: fine-grained N:M masks along the reduction dimension,
+// coarse-grained B×B block grids with per-row rank-column pruning, their
+// composition, and validators/statistics for every invariant the paper's
+// hardware design relies on (N:M validity, uniform non-zero blocks per row).
+//
+// All functions operate on rank-2 tensors (the [rows=outputs, cols=reduction]
+// pruning view of a layer's weights) and are independent of the nn package.
+package sparsity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// NM is a fine-grained N:M sparsity pattern: at most N non-zeros in every
+// group of M consecutive elements along a matrix row.
+type NM struct {
+	N, M int
+}
+
+// Validate reports whether the pattern is well-formed.
+func (nm NM) Validate() error {
+	if nm.M <= 0 || nm.N <= 0 || nm.N > nm.M {
+		return fmt.Errorf("sparsity: invalid N:M pattern %d:%d", nm.N, nm.M)
+	}
+	return nil
+}
+
+// Density returns N/M, the kept fraction under the pattern.
+func (nm NM) Density() float64 { return float64(nm.N) / float64(nm.M) }
+
+// String implements fmt.Stringer ("2:4").
+func (nm NM) String() string { return fmt.Sprintf("%d:%d", nm.N, nm.M) }
+
+// ApplyNM writes an N:M mask into mask: within every group of M consecutive
+// elements of each row of scores, the N highest-scoring positions are kept
+// (set to 1) and the rest zeroed. Partial trailing groups of size s keep
+// min(N, s) elements. mask and scores must be rank-2 with equal shapes.
+func ApplyNM(mask, scores *tensor.Tensor, nm NM) {
+	if err := nm.Validate(); err != nil {
+		panic(err)
+	}
+	rows, cols := checkMatrix(mask, scores)
+	type idxScore struct {
+		idx   int
+		score float64
+	}
+	group := make([]idxScore, 0, nm.M)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for g0 := 0; g0 < cols; g0 += nm.M {
+			g1 := g0 + nm.M
+			if g1 > cols {
+				g1 = cols
+			}
+			group = group[:0]
+			for i := g0; i < g1; i++ {
+				group = append(group, idxScore{i, scores.Data[base+i]})
+			}
+			keep := nm.N
+			if keep > len(group) {
+				keep = len(group)
+			}
+			sort.Slice(group, func(a, b int) bool { return group[a].score > group[b].score })
+			for k, gs := range group {
+				if k < keep {
+					mask.Data[base+gs.idx] = 1
+				} else {
+					mask.Data[base+gs.idx] = 0
+				}
+			}
+		}
+	}
+}
+
+// VerifyNM returns an error when any row group of mask holds more than N
+// non-zeros per M consecutive elements.
+func VerifyNM(mask *tensor.Tensor, nm NM) error {
+	if err := nm.Validate(); err != nil {
+		return err
+	}
+	rows, cols := checkMatrix(mask, mask)
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for g0 := 0; g0 < cols; g0 += nm.M {
+			g1 := g0 + nm.M
+			if g1 > cols {
+				g1 = cols
+			}
+			nz := 0
+			for i := g0; i < g1; i++ {
+				if mask.Data[base+i] != 0 {
+					nz++
+				}
+			}
+			if nz > nm.N {
+				return fmt.Errorf("sparsity: row %d group [%d,%d) has %d non-zeros, pattern %s", r, g0, g1, nz, nm)
+			}
+		}
+	}
+	return nil
+}
+
+// Density returns the fraction of non-zero entries in mask.
+func Density(mask *tensor.Tensor) float64 {
+	if mask.Len() == 0 {
+		return 0
+	}
+	return float64(mask.CountNonZero()) / float64(mask.Len())
+}
+
+// checkMatrix validates that a and b are rank-2 with identical shapes and
+// returns (rows, cols).
+func checkMatrix(a, b *tensor.Tensor) (int, int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("sparsity: rank-2 tensors required, got %v and %v", a.Shape, b.Shape))
+	}
+	if a.Shape[0] != b.Shape[0] || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("sparsity: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1]
+}

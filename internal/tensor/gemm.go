@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-accumulate operations below
+// which GEMM runs single-threaded; goroutine fan-out costs more than it saves
+// on tiny matrices.
+const parallelThreshold = 1 << 16
+
+// MatMul computes C = A·B for A (m×k) and B (k×n), returning a new m×n
+// tensor. Both inputs must be rank-2.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 tensors, got %v and %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %v vs %v", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	Gemm(false, false, m, n, k, 1, a.Data, b.Data, 0, c.Data)
+	return c
+}
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C over raw row-major buffers.
+// op(A) is m×k and op(B) is k×n; transA/transB select whether the stored
+// buffer is the transpose of the operand. C must have length m*n.
+//
+// The row loop is parallelized across GOMAXPROCS workers when the problem is
+// large enough to amortize goroutine startup.
+func Gemm(transA, transB bool, m, n, k int, alpha float64, a, b []float64, beta float64, c []float64) {
+	if len(c) != m*n {
+		panic(fmt.Sprintf("tensor: Gemm output length %d != %d*%d", len(c), m, n))
+	}
+	wantA := m * k
+	wantB := k * n
+	if len(a) != wantA || len(b) != wantB {
+		panic(fmt.Sprintf("tensor: Gemm operand sizes %d,%d do not match m=%d n=%d k=%d", len(a), len(b), m, n, k))
+	}
+	if beta == 0 {
+		for i := range c {
+			c[i] = 0
+		}
+	} else if beta != 1 {
+		for i := range c {
+			c[i] *= beta
+		}
+	}
+	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		return
+	}
+
+	rowRange := func(i0, i1 int) {
+		switch {
+		case !transA && !transB:
+			// A[i][l] * B[l][j]: stream B rows for cache friendliness.
+			for i := i0; i < i1; i++ {
+				ci := c[i*n : (i+1)*n]
+				ai := a[i*k : (i+1)*k]
+				for l := 0; l < k; l++ {
+					av := alpha * ai[l]
+					if av == 0 {
+						continue
+					}
+					bl := b[l*n : (l+1)*n]
+					for j, bv := range bl {
+						ci[j] += av * bv
+					}
+				}
+			}
+		case transA && !transB:
+			// A stored k×m: A[l][i].
+			for i := i0; i < i1; i++ {
+				ci := c[i*n : (i+1)*n]
+				for l := 0; l < k; l++ {
+					av := alpha * a[l*m+i]
+					if av == 0 {
+						continue
+					}
+					bl := b[l*n : (l+1)*n]
+					for j, bv := range bl {
+						ci[j] += av * bv
+					}
+				}
+			}
+		case !transA && transB:
+			// B stored n×k: B[j][l]; dot products.
+			for i := i0; i < i1; i++ {
+				ai := a[i*k : (i+1)*k]
+				ci := c[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					bj := b[j*k : (j+1)*k]
+					s := 0.0
+					for l, av := range ai {
+						s += av * bj[l]
+					}
+					ci[j] += alpha * s
+				}
+			}
+		default: // transA && transB
+			for i := i0; i < i1; i++ {
+				ci := c[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					s := 0.0
+					for l := 0; l < k; l++ {
+						s += a[l*m+i] * b[j*k+l]
+					}
+					ci[j] += alpha * s
+				}
+			}
+		}
+	}
+
+	if m*n*k < parallelThreshold {
+		rowRange(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			rowRange(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the spatial geometry of a 2-D convolution.
+type ConvGeom struct {
+	InC, InH, InW int // input channels and spatial extent
+	KH, KW        int // kernel height and width
+	Stride        int // common stride for both axes
+	Pad           int // symmetric zero padding
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate reports a descriptive error when the geometry is degenerate.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("tensor: non-positive conv geometry %+v", g)
+	}
+	if g.Stride <= 0 {
+		return fmt.Errorf("tensor: non-positive stride in %+v", g)
+	}
+	if g.Pad < 0 {
+		return fmt.Errorf("tensor: negative padding in %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: kernel larger than padded input in %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers a batched image tensor x with shape [N, C, H, W] into a
+// matrix of shape [C*KH*KW, N*OutH*OutW] so that convolution becomes a
+// GEMM with the weight matrix reshaped to [OutC, C*KH*KW]. Out-of-bounds
+// (padding) taps contribute zeros.
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires [N,C,H,W] input, got %v", x.Shape))
+	}
+	n := x.Shape[0]
+	if x.Shape[1] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geometry %+v", x.Shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	cols := n * oh * ow
+	out := New(rows, cols)
+
+	// Row index r encodes (c, kh, kw); column index encodes (n, oy, ox).
+	for c := 0; c < g.InC; c++ {
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				r := (c*g.KH+kh)*g.KW + kw
+				dst := out.Data[r*cols : (r+1)*cols]
+				for b := 0; b < n; b++ {
+					src := x.Data[(b*g.InC+c)*g.InH*g.InW : (b*g.InC+c+1)*g.InH*g.InW]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*g.Stride + kh - g.Pad
+						base := (b*oh + oy) * ow
+						if iy < 0 || iy >= g.InH {
+							continue // zeros already in place
+						}
+						rowSrc := src[iy*g.InW : (iy+1)*g.InW]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*g.Stride + kw - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							dst[base+ox] = rowSrc[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulating) a matrix of
+// shape [C*KH*KW, N*OutH*OutW] back into an image tensor [N, C, H, W].
+// It is used to backpropagate gradients through the im2col lowering.
+func Col2Im(cols *Tensor, n int, g ConvGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	rows := g.InC * g.KH * g.KW
+	ncols := n * oh * ow
+	if len(cols.Shape) != 2 || cols.Shape[0] != rows || cols.Shape[1] != ncols {
+		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geometry %+v with batch %d", cols.Shape, g, n))
+	}
+	x := New(n, g.InC, g.InH, g.InW)
+	for c := 0; c < g.InC; c++ {
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				r := (c*g.KH+kh)*g.KW + kw
+				src := cols.Data[r*ncols : (r+1)*ncols]
+				for b := 0; b < n; b++ {
+					dst := x.Data[(b*g.InC+c)*g.InH*g.InW : (b*g.InC+c+1)*g.InH*g.InW]
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*g.Stride + kh - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						base := (b*oh + oy) * ow
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*g.Stride + kw - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							dst[iy*g.InW+ix] += src[base+ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,293 @@
+// Package tensor provides dense float64 tensors with the small set of
+// operations the CRISP reproduction needs: elementwise arithmetic, reductions,
+// a parallel GEMM, and the im2col/col2im transforms used to lower
+// convolutions onto GEMM. Tensors are row-major and contiguous; reshapes are
+// zero-copy views.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major, contiguous float64 tensor.
+type Tensor struct {
+	// Shape holds the extent of every dimension, outermost first.
+	Shape []int
+	// Data holds the elements in row-major order; len(Data) == product(Shape).
+	Data []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := prod(shape)
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must match the shape volume.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	if len(data) != prod(shape) {
+		panic(fmt.Sprintf("tensor: FromSlice length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Randn fills a new tensor with N(0, std²) samples drawn from rng.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// Uniform fills a new tensor with U(lo, hi) samples drawn from rng.
+func Uniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the extent of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Reshape returns a view sharing Data with a new shape of equal volume.
+// One dimension may be -1, in which case it is inferred.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	shape = append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range shape {
+		if d == -1 {
+			if infer >= 0 {
+				panic("tensor: Reshape with more than one -1 dimension")
+			}
+			infer = i
+		} else {
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || len(t.Data)%known != 0 {
+			panic(fmt.Sprintf("tensor: cannot infer dimension for reshape of %d elements to %v", len(t.Data), shape))
+		}
+		shape[infer] = len(t.Data) / known
+		known *= shape[infer]
+	}
+	if known != len(t.Data) {
+		panic(fmt.Sprintf("tensor: reshape volume mismatch: %d elements to shape %v", len(t.Data), shape))
+	}
+	return &Tensor{Shape: shape, Data: t.Data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set assigns v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Zero sets every element to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// AddInPlace adds o elementwise into t. Shapes must have equal volume.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	checkSameLen(t, o, "AddInPlace")
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// SubInPlace subtracts o elementwise from t.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	checkSameLen(t, o, "SubInPlace")
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+}
+
+// MulInPlace multiplies t elementwise by o (Hadamard product).
+func (t *Tensor) MulInPlace(o *Tensor) {
+	checkSameLen(t, o, "MulInPlace")
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AddScaledInPlace performs t += s*o elementwise.
+func (t *Tensor) AddScaledInPlace(s float64, o *Tensor) {
+	checkSameLen(t, o, "AddScaledInPlace")
+	for i, v := range o.Data {
+		t.Data[i] += s * v
+	}
+}
+
+// Mul returns the elementwise product of a and b as a new tensor.
+func Mul(a, b *Tensor) *Tensor {
+	checkSameLen(a, b, "Mul")
+	c := New(a.Shape...)
+	for i := range c.Data {
+		c.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return c
+}
+
+// Add returns the elementwise sum of a and b as a new tensor.
+func Add(a, b *Tensor) *Tensor {
+	checkSameLen(a, b, "Add")
+	c := New(a.Shape...)
+	for i := range c.Data {
+		c.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return c
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// AbsSum returns the sum of absolute values (L1 norm).
+func (t *Tensor) AbsSum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (L2) norm.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element in the flat data.
+func (t *Tensor) ArgMax() int {
+	best, bi := math.Inf(-1), 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// CountNonZero returns the number of elements that are not exactly zero.
+func (t *Tensor) CountNonZero() int {
+	n := 0
+	for _, v := range t.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether a and b have identical shape and elementwise values
+// within tolerance tol.
+func Equal(a, b *Tensor, tol float64) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func checkSameLen(a, b *Tensor, op string) {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: %s volume mismatch: %v vs %v", op, a.Shape, b.Shape))
+	}
+}
+
+func prod(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
