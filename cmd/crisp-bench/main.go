@@ -1,32 +1,38 @@
 // Command crisp-bench regenerates the CRISP paper's tables and figures as
 // text tables on the reproduction substrate (see DESIGN.md §4 for the
-// experiment index and EXPERIMENTS.md for recorded results).
+// experiment index and EXPERIMENTS.md for recorded results). The suite fans
+// out across a bounded worker pool (the same scheduler cmd/crisp-serve
+// uses), so a multi-core machine regenerates all figures concurrently.
 //
 // Usage:
 //
-//	crisp-bench                # all figures, quick scale
+//	crisp-bench                # all figures, quick scale, GOMAXPROCS workers
 //	crisp-bench -fig 8         # one figure
+//	crisp-bench -fig ablations # the five ablation studies
 //	crisp-bench -full          # full scale (slower)
-//	crisp-bench -fig ablations # the three ablation studies
+//	crisp-bench -workers 1     # sequential run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/serve"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("crisp-bench: ")
 	var (
-		fig    = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,7,8,ablations,all")
-		full   = flag.Bool("full", false, "run the full-scale configuration")
-		seed   = flag.Int64("seed", 1, "random seed")
-		format = flag.String("format", "text", "output format: text, csv, md")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1,2,3,4,7,8,ablations,ext,mem,validate,all or an exact name like ablation-C")
+		full    = flag.Bool("full", false, "run the full-scale configuration")
+		seed    = flag.Int64("seed", 1, "random seed")
+		format  = flag.String("format", "text", "output format: text, csv, md")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -36,64 +42,47 @@ func main() {
 	}
 	h := exp.NewHarness(exp.Config{Scale: scale, Seed: *seed})
 
-	run := func(name string, fn func() *exp.Table) {
-		start := time.Now()
-		t := fn()
-		fmt.Println(t.Render(*format))
-		if *format == "text" {
-			fmt.Printf("(%s generated in %.1fs)\n\n", name, time.Since(start).Seconds())
+	figs, err := exp.Select(exp.Figures(), *fig)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pool := serve.NewPool(*workers)
+	defer pool.Close()
+
+	// Wrap every figure with its own timer so the streamed output keeps the
+	// per-figure generation time even when figures run concurrently.
+	durs := make([]time.Duration, len(figs))
+	for i := range figs {
+		i, orig := i, figs[i].Run
+		figs[i].Run = func(h *exp.Harness) *exp.Table {
+			t0 := time.Now()
+			t := orig(h)
+			durs[i] = time.Since(t0)
+			return t
 		}
 	}
 
-	figures := map[string]func(){
-		"1": func() {
-			run("fig1", func() *exp.Table { _, t := h.Figure1(); return t })
-		},
-		"2": func() {
-			run("fig2", func() *exp.Table { _, t := h.Figure2(); return t })
-		},
-		"3": func() {
-			run("fig3", func() *exp.Table { _, t := h.Figure3(); return t })
-		},
-		"4": func() {
-			run("fig4", func() *exp.Table { _, t := h.Figure4(); return t })
-		},
-		"7": func() {
-			run("fig7", func() *exp.Table { _, t := h.Figure7(); return t })
-		},
-		"8": func() {
-			run("fig8", func() *exp.Table { _, t := h.Figure8(); return t })
-		},
-		"ablations": func() {
-			run("ablation-A", func() *exp.Table { _, t := h.AblationIterative(); return t })
-			run("ablation-B", func() *exp.Table { _, t := h.AblationSaliency(); return t })
-			run("ablation-C", func() *exp.Table { _, t := h.AblationBalance(); return t })
-			run("ablation-D", func() *exp.Table { _, t := h.AblationSchedule(); return t })
-			run("ablation-E", func() *exp.Table { _, t := h.AblationMixedNM(); return t })
-		},
-		"ext": func() {
-			run("ext-transformer", func() *exp.Table { _, t := h.ExtTransformer(); return t })
-			run("ext-network", func() *exp.Table { _, t := h.NetworkTable(); return t })
-		},
-		"mem": func() {
-			run("memory", func() *exp.Table { _, t := h.MemoryTable(); return t })
-		},
-		"validate": func() {
-			run("tile-sim", func() *exp.Table { _, t := h.ValidateTileSim(); return t })
-			run("sweep", func() *exp.Table { _, t := h.SweepSparsity(); return t })
-			run("quant", func() *exp.Table { _, t := h.AblationQuant(); return t })
-		},
-	}
-
-	if *fig == "all" {
-		for _, k := range []string{"1", "2", "3", "4", "7", "8", "ablations", "ext", "mem", "validate"} {
-			figures[k]()
+	// Stream tables in input order as they complete: figure i prints as
+	// soon as it and everything before it are done, so an interrupted -full
+	// run keeps the artifacts already generated.
+	var mu sync.Mutex
+	next := 0
+	ready := make([]*exp.Table, len(figs))
+	start := time.Now()
+	exp.RunParallel(pool, h, figs, func(i int, t *exp.Table) {
+		mu.Lock()
+		defer mu.Unlock()
+		ready[i] = t
+		for next < len(ready) && ready[next] != nil {
+			fmt.Println(ready[next].Render(*format))
+			if *format == "text" {
+				fmt.Printf("(%s generated in %.1fs)\n\n", figs[next].Name, durs[next].Seconds())
+			}
+			next++
 		}
-		return
+	})
+	if *format == "text" {
+		fmt.Printf("(%d artifacts in %.1fs on %d workers)\n", len(figs), time.Since(start).Seconds(), pool.Workers())
 	}
-	fn, ok := figures[*fig]
-	if !ok {
-		log.Fatalf("unknown figure %q (want 1,2,3,4,7,8,ablations,ext,mem,validate,all)", *fig)
-	}
-	fn()
 }

@@ -1,0 +1,208 @@
+// Command crisp-serve exposes the CRISP personalization service over HTTP:
+// one pretrained universal model, per-user pruned engines built on a
+// bounded worker pool, cached with LRU eviction and in-flight deduplication
+// (see internal/serve for the cache semantics).
+//
+// Endpoints:
+//
+//	POST /personalize {"classes":[3,17,42]}
+//	POST /predict     {"classes":[3,17,42], "samples":16}
+//	POST /predict     {"classes":[3,17,42], "inputs":[[...C*H*W floats...], ...]}
+//	GET  /stats
+//
+// Usage:
+//
+//	crisp-serve -addr :8080 -num-classes 20 -target 0.85
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+	"repro/internal/serve"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crisp-serve: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		family     = flag.String("model", "resnet-s", "model family: resnet-s, vgg-s, mobilenet-s, transformer-s")
+		width      = flag.Int("width", 2, "model width multiplier")
+		numClasses = flag.Int("num-classes", 20, "number of classes in the universal model")
+		pretrain   = flag.Int("pretrain-epochs", 4, "universal pre-training epochs at startup")
+		perClass   = flag.Int("pretrain-per-class", 12, "pre-training samples per class")
+		target     = flag.Float64("target", 0.85, "global sparsity target κ per personalization")
+		workers    = flag.Int("workers", 0, "personalization worker bound (0 = GOMAXPROCS)")
+		cacheSize  = flag.Int("cache", 64, "maximum cached engines (LRU beyond)")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	f := models.Family(*family)
+	switch f {
+	case models.ResNet, models.VGG, models.MobileNet, models.Transformer:
+	default:
+		log.Fatalf("unknown model %q (want resnet-s, vgg-s, mobilenet-s or transformer-s)", *family)
+	}
+
+	// Reject bad pruning flags before paying for pre-training.
+	prune := pruner.Options{
+		Target: *target, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+		Iterations: 2, FinetuneEpochs: 1, BatchSize: 16, LR: 0.01,
+	}
+	if err := prune.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	ds := data.New(data.Config{
+		Name: "serve", NumClasses: *numClasses, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: *seed,
+	})
+	build := func() *nn.Classifier {
+		return models.Build(f, rand.New(rand.NewSource(*seed+1)), *numClasses, *width)
+	}
+
+	log.Printf("pre-training universal %s (%d classes, %d epochs)...", f, *numClasses, *pretrain)
+	start := time.Now()
+	base := build()
+	all := make([]int, *numClasses)
+	for i := range all {
+		all[i] = i
+	}
+	opt := nn.NewSGD(0.05, 0.9, 4e-5)
+	pruner.Finetune(base, ds.MakeSplit("pretrain", all, *perClass), *pretrain, 16, opt, rand.New(rand.NewSource(*seed+2)))
+	log.Printf("pre-trained in %.1fs", time.Since(start).Seconds())
+
+	s, err := serve.NewServer(build, base, ds, serve.Options{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Prune:     prune,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// No Close/drain on the way out: ListenAndServe only returns on error
+	// and log.Fatal exits the process, which releases the pool with it.
+
+	log.Printf("serving on %s (%d workers, cache %d)", *addr, s.Stats().Workers, *cacheSize)
+	log.Fatal(http.ListenAndServe(*addr, newMux(s, ds)))
+}
+
+// newMux wires the HTTP API around a server. It is separated from main so
+// tests can hammer the handlers through httptest.
+func newMux(s *serve.Server, ds *data.Dataset) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /personalize", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Classes []int `json:"classes"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		// Canonicalize separates caller errors (bad class set → 400) from
+		// server-side personalization failures (→ 500).
+		canon, _, err := s.Canonicalize(req.Classes)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		p, cached, err := s.Personalize(canon)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"key":               p.Key,
+			"classes":           p.Classes,
+			"cached":            cached,
+			"accuracy":          p.Accuracy,
+			"sparsity":          p.Report.AchievedSparsity,
+			"flops_ratio":       p.Report.FLOPsRatio,
+			"compressed_layers": p.Engine().CompressedLayers,
+		})
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Classes []int       `json:"classes"`
+			Samples int         `json:"samples"`
+			Inputs  [][]float64 `json:"inputs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		canon, key, err := s.Canonicalize(req.Classes)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Inputs) > 0 {
+			x, err := inputsToBatch(req.Inputs, ds)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			preds, err := s.Predict(canon, x)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			writeJSON(w, map[string]any{"key": key, "predictions": preds, "samples": len(preds)})
+			return
+		}
+		preds, labels, acc, err := s.PredictSamples(canon, req.Samples)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"key": key, "predictions": preds, "labels": labels,
+			"accuracy": acc, "samples": len(preds),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+// inputsToBatch validates caller-provided images against the dataset shape
+// and stacks them into one [B,C,H,W] batch.
+func inputsToBatch(inputs [][]float64, ds *data.Dataset) (*tensor.Tensor, error) {
+	c, h, w := ds.Channels, ds.H, ds.W
+	vol := c * h * w
+	xs := make([]*tensor.Tensor, len(inputs))
+	for i, in := range inputs {
+		if len(in) != vol {
+			return nil, fmt.Errorf("input %d has %d values, want C*H*W=%d", i, len(in), vol)
+		}
+		xs[i] = tensor.FromSlice(in, 1, c, h, w)
+	}
+	return tensor.Concat(xs), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

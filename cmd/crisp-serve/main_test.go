@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+	"repro/internal/serve"
+	"repro/internal/sparsity"
+)
+
+// newTestMux builds a small service (tiny model, one pruning iteration)
+// behind the real HTTP handlers.
+func newTestMux(t *testing.T) (*http.ServeMux, *serve.Server, *data.Dataset) {
+	t.Helper()
+	ds := data.New(data.Config{
+		Name: "serve-http-test", NumClasses: 6, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 9,
+	})
+	build := func() *nn.Classifier {
+		return models.Build(models.ResNet, rand.New(rand.NewSource(61)), ds.NumClasses, 1)
+	}
+	base := build()
+	opt := nn.NewSGD(0.05, 0.9, 4e-5)
+	pruner.Finetune(base, ds.MakeSplit("pretrain", []int{0, 1, 2, 3, 4, 5}, 8), 2, 16, opt, rand.New(rand.NewSource(62)))
+	s, err := serve.NewServer(build, base, ds, serve.Options{
+		Prune: pruner.Options{
+			Target: 0.7, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+			Iterations: 1, FinetuneEpochs: 1, BatchSize: 8, LR: 0.01,
+		},
+		TrainPerClass: 6,
+		TestPerClass:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return newMux(s, ds), s, ds
+}
+
+func postJSON(t *testing.T, srv *httptest.Server, path string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestEndpoints(t *testing.T) {
+	mux, _, ds := newTestMux(t)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var pr struct {
+		Key              string  `json:"key"`
+		Cached           bool    `json:"cached"`
+		Sparsity         float64 `json:"sparsity"`
+		CompressedLayers int     `json:"compressed_layers"`
+	}
+	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{3, 1, 3}}, &pr); code != http.StatusOK {
+		t.Fatalf("/personalize status %d", code)
+	}
+	if pr.Key != "1,3" || pr.Cached || pr.Sparsity <= 0 || pr.CompressedLayers == 0 {
+		t.Fatalf("personalize response %+v", pr)
+	}
+	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{1, 3}}, &pr); code != http.StatusOK || !pr.Cached {
+		t.Fatalf("second personalize not served from cache (%d, %+v)", code, pr)
+	}
+
+	var pd struct {
+		Predictions []int `json:"predictions"`
+		Labels      []int `json:"labels"`
+		Samples     int   `json:"samples"`
+	}
+	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1, 3}, "samples": 8}, &pd); code != http.StatusOK {
+		t.Fatalf("/predict status %d", code)
+	}
+	if pd.Samples != 8 || len(pd.Predictions) != 8 || len(pd.Labels) != 8 {
+		t.Fatalf("predict response %+v", pd)
+	}
+
+	// Caller-provided inputs.
+	vol := ds.Channels * ds.H * ds.W
+	inputs := [][]float64{make([]float64, vol), make([]float64, vol)}
+	var pi struct {
+		Predictions []int `json:"predictions"`
+	}
+	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1, 3}, "inputs": inputs}, &pi); code != http.StatusOK {
+		t.Fatalf("/predict with inputs status %d", code)
+	}
+	if len(pi.Predictions) != 2 {
+		t.Fatalf("predictions %v", pi.Predictions)
+	}
+
+	// Malformed requests.
+	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty class set: status %d", code)
+	}
+	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{99}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range class: status %d", code)
+	}
+	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1}, "inputs": [][]float64{{1, 2}}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("short input row: status %d", code)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Personalizations != 1 || st.CacheHits == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestConcurrentHTTPClients sustains 8 concurrent /personalize + /predict
+// clients over overlapping class sets and requires cache hits on the
+// repeats — the serving-layer acceptance scenario (run under -race).
+func TestConcurrentHTTPClients(t *testing.T) {
+	mux, s, _ := newTestMux(t)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	sets := [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 1, 2}}
+	const clients = 8
+	const rounds = 4
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				classes := sets[(c+r)%len(sets)]
+				if r%2 == 0 {
+					var pr struct {
+						Key string `json:"key"`
+					}
+					if code := postJSON(t, srv, "/personalize", map[string]any{"classes": classes}, &pr); code != http.StatusOK {
+						t.Errorf("client %d: /personalize status %d", c, code)
+						return
+					}
+					continue
+				}
+				var pd struct {
+					Predictions []int `json:"predictions"`
+				}
+				if code := postJSON(t, srv, "/predict", map[string]any{"classes": classes, "samples": 6}, &pd); code != http.StatusOK {
+					t.Errorf("client %d: /predict status %d", c, code)
+					return
+				}
+				if len(pd.Predictions) != 6 {
+					t.Errorf("client %d: %d predictions", c, len(pd.Predictions))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Requests != clients*rounds {
+		t.Fatalf("requests %d, want %d", st.Requests, clients*rounds)
+	}
+	if st.Personalizations != uint64(len(sets)) {
+		t.Fatalf("personalizations %d, want one per distinct set (%d): %+v", st.Personalizations, len(sets), st)
+	}
+	if st.CacheHits == 0 {
+		t.Fatalf("no cache hits across repeated class sets: %+v", st)
+	}
+	if fmt.Sprint(st.CacheHits+st.CacheMisses+st.DedupJoins) != fmt.Sprint(st.Requests) {
+		t.Fatalf("request accounting inconsistent: %+v", st)
+	}
+}

@@ -15,9 +15,19 @@
 //	result := crisp.Personalize(model, ds, []int{3, 17, 42}, crisp.DefaultConfig(0.9))
 //	fmt.Println(result.Report, result.Accuracy)
 //
+// To serve many users concurrently, wrap the pretrained model in the
+// personalization server instead of pruning one-shot: engines are built on
+// a bounded worker pool, cached per class set with LRU eviction, and run
+// batched sparse inference (cmd/crisp-serve exposes the same thing over
+// HTTP):
+//
+//	srv, err := crisp.NewServer(model, crisp.ResNet, 2, 1, ds, crisp.ServerConfig{})
+//	p, cached, err := srv.Personalize([]int{3, 17, 42})
+//	preds, err := srv.Predict([]int{3, 17, 42}, batch) // batch: [B,C,H,W]
+//
 // The heavy lifting lives in the internal packages (tensor, nn, sparsity,
-// saliency, pruner, format, accel, energy, data, models, exp); this package
-// re-exports the workflow a downstream user needs.
+// saliency, pruner, format, accel, energy, data, models, exp, serve); this
+// package re-exports the workflow a downstream user needs.
 package crisp
 
 import (
@@ -31,6 +41,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pruner"
+	"repro/internal/serve"
 	"repro/internal/sparsity"
 )
 
@@ -143,10 +154,39 @@ type Deployment struct {
 	Engine *inference.Engine
 }
 
+// Server re-exports the concurrent personalization service: per-class-set
+// pruned engines built on a bounded worker pool, cached with LRU eviction
+// and singleflight dedup of identical in-flight requests (see
+// internal/serve for the cache semantics and HTTP surface).
+type Server = serve.Server
+
+// ServerConfig re-exports the serving options.
+type ServerConfig = serve.Options
+
+// Personalization re-exports one cached tenant model.
+type Personalization = serve.Personalization
+
+// NewServer wraps a pretrained universal model in the personalization
+// service. f, width and seed must match the arguments model was built with
+// (NewModel), so the server can clone architecturally identical instances
+// to prune per request; model itself is never mutated. Invalid pruning
+// options in cfg are reported as an error.
+func NewServer(model *Classifier, f models.Family, width int, seed int64, ds *Dataset, cfg ServerConfig) (*Server, error) {
+	build := func() *Classifier {
+		return models.Build(f, rand.New(rand.NewSource(seed)), ds.NumClasses, width)
+	}
+	return serve.NewServer(build, model, ds, cfg)
+}
+
 // Deploy compresses the pruned model into the CRISP storage format and
 // builds the sparse inference engine over it.
 func Deploy(model *Classifier, cfg Config) (Deployment, error) {
-	cfg = fillDeployDefaults(cfg)
+	// Validate first: WithDefaults panics on invalid configurations
+	// (programmer error inside the pruners), but Deploy reports errors.
+	if err := cfg.Validate(); err != nil {
+		return Deployment{}, err
+	}
+	cfg = cfg.WithDefaults()
 	sizes, err := export.Sizes(model, cfg.BlockSize, cfg.NM, 8)
 	if err != nil {
 		return Deployment{}, err
@@ -161,16 +201,4 @@ func Deploy(model *Classifier, cfg Config) (Deployment, error) {
 		Compression: sizes.CompressionRatio("crisp"),
 		Engine:      eng,
 	}, nil
-}
-
-// fillDeployDefaults mirrors the pruner's defaulting for the two fields
-// Deploy consumes.
-func fillDeployDefaults(cfg Config) Config {
-	if cfg.NM.M == 0 {
-		cfg.NM = NM{N: 2, M: 4}
-	}
-	if cfg.BlockSize == 0 {
-		cfg.BlockSize = 4
-	}
-	return cfg
 }

@@ -45,6 +45,57 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeServerWorkflow exercises the serving facade: pretrain once,
+// then personalize and predict through the cached-engine server.
+func TestFacadeServerWorkflow(t *testing.T) {
+	ds := NewDataset(data.Config{
+		Name: "server-test", NumClasses: 8, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 41,
+	})
+	model := NewModel(ResNet, ds.NumClasses, 1, 42)
+	Pretrain(model, ds, 2, 8, 43)
+
+	cfg := DefaultConfig(0.7)
+	cfg.BlockSize = 4
+	cfg.Iterations = 1
+	cfg.FinetuneEpochs = 1
+	cfg.BatchSize = 8
+	cfg.LR = 0.01
+	srv, err := NewServer(model, ResNet, 1, 42, ds, ServerConfig{
+		Prune: cfg, TrainPerClass: 6, TestPerClass: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	user := []int{2, 5}
+	p, cached, err := srv.Personalize(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || p.Report.AchievedSparsity <= 0 {
+		t.Fatalf("personalization %+v (cached=%v)", p.Report, cached)
+	}
+	if _, cached, _ = srv.Personalize([]int{5, 2}); !cached {
+		t.Fatal("reordered class set must hit the cache")
+	}
+	test := ds.MakeSplit("server-predict", user, 4)
+	preds, err := srv.Predict(user, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != test.Len() {
+		t.Fatalf("%d predictions for %d samples", len(preds), test.Len())
+	}
+	// The base model must be untouched by personalization.
+	for _, prm := range model.Params() {
+		if prm.Mask != nil {
+			t.Fatalf("%s: serving masked the universal model", prm.Name)
+		}
+	}
+}
+
 func TestDefaultConfig(t *testing.T) {
 	cfg := DefaultConfig(0.9)
 	if cfg.Target != 0.9 {
@@ -52,6 +103,19 @@ func TestDefaultConfig(t *testing.T) {
 	}
 	if cfg.NM != (NM{N: 2, M: 4}) {
 		t.Fatalf("default NM %v", cfg.NM)
+	}
+}
+
+// TestDeployRejectsInvalidConfig checks Deploy reports invalid options as
+// an error instead of panicking (WithDefaults panics; Deploy validates
+// first).
+func TestDeployRejectsInvalidConfig(t *testing.T) {
+	model := NewModel(ResNet, 4, 1, 1)
+	if _, err := Deploy(model, Config{Target: 1.5}); err == nil {
+		t.Fatal("invalid target must surface as an error")
+	}
+	if _, err := Deploy(model, Config{Momentum: 1.0}); err == nil {
+		t.Fatal("invalid momentum must surface as an error")
 	}
 }
 

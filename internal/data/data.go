@@ -165,7 +165,7 @@ func (d *Dataset) MakeSplit(stream string, classes []int, perClass int) Split {
 			panic(fmt.Sprintf("data: class %d out of range [0,%d)", c, d.NumClasses))
 		}
 		// Per (stream, class) RNG keeps splits independent of class order.
-		rng := rand.New(rand.NewSource(d.Seed*1_000_003 + int64(c)*31 + int64(hashString(stream))))
+		rng := rand.New(rand.NewSource(d.Seed*1_000_003 + int64(c)*31 + int64(HashString(stream))))
 		for k := 0; k < perClass; k++ {
 			d.gen(rng, c, x.Data[i*vol:(i+1)*vol])
 			labels[i] = c
@@ -186,8 +186,9 @@ func (d *Dataset) UserClasses(seed int64, k int) []int {
 	return out
 }
 
-// hashString is a small FNV-1a for stream names.
-func hashString(s string) uint32 {
+// HashString is a small FNV-1a over s, used to derive deterministic,
+// order-independent seeds from stream and cache-key names.
+func HashString(s string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(s); i++ {
 		h ^= uint32(s[i])

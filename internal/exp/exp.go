@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro/internal/data"
 	"repro/internal/models"
@@ -41,7 +42,10 @@ type Config struct {
 }
 
 // Harness owns the datasets and a cache of pre-trained "universal" models,
-// so each figure pays the pre-training cost at most once per family.
+// so each figure pays the pre-training cost at most once per family. A
+// harness is safe for concurrent figure runs (exp.RunParallel): the
+// pretraining cache is mutex-guarded and each snapshot trains exactly once
+// even when several figures request the same family at the same time.
 type Harness struct {
 	Cfg Config
 	// ImageNetLike and CIFARLike are the two synthetic datasets standing in
@@ -49,11 +53,14 @@ type Harness struct {
 	ImageNetLike *data.Dataset
 	CIFARLike    *data.Dataset
 
+	mu         sync.Mutex
 	pretrained map[string]*snapshot
 }
 
-// snapshot stores a trained model plus its constructor for cloning.
+// snapshot stores a trained model plus its constructor for cloning. once
+// makes the training run exclusive without holding the harness lock.
 type snapshot struct {
+	once    sync.Once
 	build   func() *nn.Classifier
 	trained *nn.Classifier
 }
@@ -126,13 +133,22 @@ func (h *Harness) totalFinetuneEpochs() int {
 // of ds (the "universal model"), cloning from a per-harness cache.
 func (h *Harness) Pretrained(f models.Family, ds *data.Dataset) *nn.Classifier {
 	key := string(f) + "/" + ds.Name
+	h.mu.Lock()
 	snap := h.pretrained[key]
 	if snap == nil {
-		seed := h.Cfg.Seed + int64(len(h.pretrained))*101
-		build := func() *nn.Classifier {
+		snap = &snapshot{}
+		h.pretrained[key] = snap
+	}
+	h.mu.Unlock()
+	snap.once.Do(func() {
+		// The seed is derived from the key, not from cache-insertion order,
+		// so concurrent figures assign each family the same model no matter
+		// which figure asked first.
+		seed := h.Cfg.Seed + int64(data.HashString(key)%997)*101
+		snap.build = func() *nn.Classifier {
 			return models.Build(f, rand.New(rand.NewSource(seed)), ds.NumClasses, widthFor(f))
 		}
-		clf := build()
+		clf := snap.build()
 		epochs, perClass := h.pretrainCfg()
 		all := make([]int, ds.NumClasses)
 		for i := range all {
@@ -141,9 +157,8 @@ func (h *Harness) Pretrained(f models.Family, ds *data.Dataset) *nn.Classifier {
 		split := ds.MakeSplit("pretrain", all, perClass)
 		opt := nn.NewSGD(0.05, 0.9, 4e-5)
 		pruner.Finetune(clf, split, epochs, 16, opt, rand.New(rand.NewSource(seed+1)))
-		snap = &snapshot{build: build, trained: clf}
-		h.pretrained[key] = snap
-	}
+		snap.trained = clf
+	})
 	fresh := snap.build()
 	snap.trained.CloneWeightsTo(fresh)
 	return fresh

@@ -2,15 +2,23 @@ package exp
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/models"
 	"repro/internal/nn"
 )
 
-func quickHarness() *Harness {
+// sharedQuick lazily builds one quick-scale harness shared by every test in
+// the package: the harness's pretrained-model cache is exactly the
+// machinery for paying each family's training cost once, so tests reuse it
+// instead of re-training per test. All harness state is either immutable
+// (datasets) or concurrency-safe (the cache), and tests only mutate clones.
+var sharedQuick = sync.OnceValue(func() *Harness {
 	return NewHarness(Config{Scale: Quick, Seed: 1})
-}
+})
+
+func quickHarness() *Harness { return sharedQuick() }
 
 func TestTableRendering(t *testing.T) {
 	tb := &Table{
@@ -26,6 +34,9 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestPretrainedCachedAndCloned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment (short mode)")
+	}
 	h := quickHarness()
 	a := h.Pretrained(models.ResNet, h.ImageNetLike)
 	b := h.Pretrained(models.ResNet, h.ImageNetLike)
@@ -61,6 +72,9 @@ func TestScenarioShapes(t *testing.T) {
 }
 
 func TestPretrainedModelBeatsChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment (short mode)")
+	}
 	h := quickHarness()
 	sc := h.Scenario(h.ImageNetLike, 5)
 	clf := h.Pretrained(models.ResNet, h.ImageNetLike)
@@ -272,6 +286,9 @@ func TestTableCSVAndMarkdown(t *testing.T) {
 }
 
 func TestActivationDensitySupportsDSTCAssumption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment (short mode)")
+	}
 	// The Fig 8 DSTC configuration assumes 40% activation sparsity
 	// (density 0.6, the paper's setting). Cross-validate against the
 	// post-ReLU densities our own trained models produce.

@@ -1,19 +1,35 @@
 package exp
 
 import (
+	"flag"
 	"testing"
 
 	"repro/internal/models"
 )
+
+// fullScale opts the slow training figures in: `go test ./internal/exp
+// -full` is the nightly path. Without it (and in -short mode) the heavy
+// end-to-end figure regenerations are skipped so tier-1 stays fast; the
+// cheap analytical figures and harness tests always run.
+var fullScale = flag.Bool("full", false, "run the full-scale training figures (nightly path)")
+
+// skipHeavy skips a training-based figure test unless -full was passed.
+func skipHeavy(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("training experiment (short mode)")
+	}
+	if !*fullScale {
+		t.Skip("training experiment; pass -full (nightly path) to run")
+	}
+}
 
 // The training-based figures are exercised end to end at quick scale. They
 // are the slowest tests in the repository; each asserts the paper's
 // qualitative claim, not absolute accuracy.
 
 func TestFigure1Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rows, tb := h.Figure1()
 	if len(rows) != 9 { // 3 families × 3 ratios
@@ -42,9 +58,7 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestFigure2NonUniform(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rows, _ := h.Figure2()
 	if len(rows) < 5 {
@@ -69,9 +83,7 @@ func TestFigure2NonUniform(t *testing.T) {
 }
 
 func TestFigure3CRISPBeatsBlockAtHighSparsity(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rows, _ := h.Figure3()
 	// Compare the canonical curves: crisp 2:4 B=4 vs block B=4.
@@ -93,9 +105,7 @@ func TestFigure3CRISPBeatsBlockAtHighSparsity(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rows, _ := h.Figure7()
 	// quick: 2 datasets × 2 families × 3 class counts × 3 methods.
@@ -142,9 +152,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rowsA, _ := h.AblationIterative()
 	if len(rowsA) != 2 {
@@ -172,9 +180,7 @@ func itoa(v int) string {
 }
 
 func TestExtTransformer(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rows, tb := h.ExtTransformer()
 	if len(rows) != 5 { // dense + 2 targets × 2 methods
@@ -194,9 +200,7 @@ func TestExtTransformer(t *testing.T) {
 }
 
 func TestMemoryTable(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rows, tb := h.MemoryTable()
 	if len(rows) != 4 {
@@ -219,9 +223,7 @@ func TestMemoryTable(t *testing.T) {
 }
 
 func TestAblationsDE(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rowsD, _ := h.AblationSchedule()
 	if len(rowsD) != 2 {
@@ -244,9 +246,7 @@ func TestAblationsDE(t *testing.T) {
 }
 
 func TestAblationQuant(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training experiment")
-	}
+	skipHeavy(t)
 	h := quickHarness()
 	rows, _ := h.AblationQuant()
 	if len(rows) != 2 {

@@ -23,6 +23,11 @@ type CRISPFormat struct {
 	Offsets []uint8
 	// Val holds the slot values in the same order.
 	Val []float64
+
+	// starts caches the per-block-row slot prefix for MatMul's parallel
+	// fan-out; EncodeCRISP fills it, and MatMul rebuilds it when absent
+	// (e.g. a hand-constructed literal).
+	starts []int
 }
 
 // EncodeCRISP encodes m, which must satisfy both hybrid invariants: uniform
@@ -80,6 +85,7 @@ func EncodeCRISP(m *tensor.Tensor, b int, nm sparsity.NM) (*CRISPFormat, error) 
 			}
 		}
 	}
+	e.starts = e.slotStarts(g)
 	return e, nil
 }
 
@@ -127,36 +133,63 @@ func (e *CRISPFormat) Decode() *tensor.Tensor {
 	return out
 }
 
+// slotStarts returns the index into Val/Offsets where each block row's
+// slots begin (length gridRows+1), so MatMul can give each worker an
+// independent starting slot. Slot counts follow from the grid geometry
+// alone; the result is cached on the encoding.
+func (e *CRISPFormat) slotStarts(g sparsity.BlockGrid) []int {
+	starts := make([]int, g.GridRows()+1)
+	for br := 0; br < g.GridRows(); br++ {
+		slots := 0
+		for k := 0; k < e.KeptPerRow; k++ {
+			bc := int(e.BlockCols[br*e.KeptPerRow+k])
+			r0, r1, c0, c1 := g.Bounds(br, bc)
+			groups := ((c1 - c0) + e.NM.M - 1) / e.NM.M
+			slots += (r1 - r0) * groups * e.NM.N
+		}
+		starts[br+1] = starts[br] + slots
+	}
+	return starts
+}
+
 // MatMul implements Encoded: the software analogue of the accelerator's
-// offset-driven activation selection.
+// offset-driven activation selection. Block rows are independent, so large
+// problems (batched inference) fan out across GOMAXPROCS workers with
+// bit-identical results.
 func (e *CRISPFormat) MatMul(b *tensor.Tensor) *tensor.Tensor {
 	_, n := checkSpMM(b, e.Cols)
 	out := tensor.New(e.Rows, n)
 	g := e.grid()
-	si := 0
-	for br := 0; br < g.GridRows(); br++ {
-		for k := 0; k < e.KeptPerRow; k++ {
-			bc := int(e.BlockCols[br*e.KeptPerRow+k])
-			r0, r1, c0, c1 := g.Bounds(br, bc)
-			for r := r0; r < r1; r++ {
-				dst := out.Data[r*n : (r+1)*n]
-				for g0 := c0; g0 < c1; g0 += e.NM.M {
-					for s := 0; s < e.NM.N; s++ {
-						v := e.Val[si]
-						col := g0 + int(e.Offsets[si])
-						si++
-						if v == 0 {
-							continue
-						}
-						src := b.Data[col*n : (col+1)*n]
-						for j, bv := range src {
-							dst[j] += v * bv
+	starts := e.starts
+	if starts == nil {
+		starts = e.slotStarts(g)
+	}
+	parallelRows(g.GridRows(), len(e.Val)*n, func(br0, br1 int) {
+		for br := br0; br < br1; br++ {
+			si := starts[br]
+			for k := 0; k < e.KeptPerRow; k++ {
+				bc := int(e.BlockCols[br*e.KeptPerRow+k])
+				r0, r1, c0, c1 := g.Bounds(br, bc)
+				for r := r0; r < r1; r++ {
+					dst := out.Data[r*n : (r+1)*n]
+					for g0 := c0; g0 < c1; g0 += e.NM.M {
+						for s := 0; s < e.NM.N; s++ {
+							v := e.Val[si]
+							col := g0 + int(e.Offsets[si])
+							si++
+							if v == 0 {
+								continue
+							}
+							src := b.Data[col*n : (col+1)*n]
+							for j, bv := range src {
+								dst[j] += v * bv
+							}
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -53,20 +53,24 @@ func (c *CSR) Decode() *tensor.Tensor {
 	return out
 }
 
-// MatMul implements Encoded.
+// MatMul implements Encoded. Rows are independent, so large problems
+// (batched inference) fan out across GOMAXPROCS workers with bit-identical
+// results.
 func (c *CSR) MatMul(b *tensor.Tensor) *tensor.Tensor {
 	_, n := checkSpMM(b, c.Cols)
 	out := tensor.New(c.Rows, n)
-	for r := 0; r < c.Rows; r++ {
-		dst := out.Data[r*n : (r+1)*n]
-		for i := c.RowPtr[r]; i < c.RowPtr[r+1]; i++ {
-			v := c.Val[i]
-			src := b.Data[int(c.ColIdx[i])*n : (int(c.ColIdx[i])+1)*n]
-			for j, bv := range src {
-				dst[j] += v * bv
+	parallelRows(c.Rows, len(c.Val)*n, func(row0, row1 int) {
+		for r := row0; r < row1; r++ {
+			dst := out.Data[r*n : (r+1)*n]
+			for i := c.RowPtr[r]; i < c.RowPtr[r+1]; i++ {
+				v := c.Val[i]
+				src := b.Data[int(c.ColIdx[i])*n : (int(c.ColIdx[i])+1)*n]
+				for j, bv := range src {
+					dst[j] += v * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

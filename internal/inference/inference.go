@@ -21,11 +21,14 @@ import (
 	"repro/internal/tensor"
 )
 
-// Engine is a compiled sparse-execution plan for one classifier.
+// Engine is a compiled sparse-execution plan for one classifier. An engine
+// is immutable after New and safe for concurrent Logits/LogitsBatch calls:
+// the forward pass runs in evaluation mode, which touches no layer state.
 type Engine struct {
 	clf  *nn.Classifier
 	root nn.Layer
-	// CompressedLayers counts the layers running from sparse encodings.
+	// CompressedLayers counts the layers running from sparse encodings; it
+	// is fixed at compile time.
 	CompressedLayers int
 }
 
@@ -45,6 +48,20 @@ func New(clf *nn.Classifier, blockSize int, nm sparsity.NM) (*Engine, error) {
 // Logits runs the sparse forward pass.
 func (e *Engine) Logits(x *tensor.Tensor) *tensor.Tensor {
 	return e.root.Forward(x, false)
+}
+
+// LogitsBatch stacks B sample tensors into one [B, ...] batch and runs a
+// single sparse forward pass, so every compressed layer serves the whole
+// batch with one SpMM instead of B SpMMs. Outputs are bit-identical to
+// calling Logits per sample: each output element is the same dot product
+// accumulated in the same order regardless of batch size.
+func (e *Engine) LogitsBatch(xs []*tensor.Tensor) *tensor.Tensor {
+	return e.Logits(tensor.Concat(xs))
+}
+
+// Predict returns the argmax class of every sample in the batch.
+func (e *Engine) Predict(x *tensor.Tensor) []int {
+	return nn.ArgmaxRows(e.Logits(x), e.clf.NumClasses)
 }
 
 // compile mirrors the layer tree, swapping weight-bearing layers for
@@ -79,25 +96,29 @@ func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (nn.Layer, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &sparseConv{conv: v, enc: enc, engine: e}, nil
+		e.CompressedLayers++
+		return &sparseConv{conv: v, enc: enc}, nil
 	case *nn.Linear:
 		enc, err := encodeParam(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
-		return &sparseLinear{lin: v, enc: enc, engine: e}, nil
+		e.CompressedLayers++
+		return &sparseLinear{lin: v, enc: enc}, nil
 	case *nn.TokenLinear:
 		enc, err := encodeParam(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
-		return &sparseTokenLinear{lin: v, enc: enc, engine: e}, nil
+		e.CompressedLayers++
+		return &sparseTokenLinear{lin: v, enc: enc}, nil
 	case *nn.PatchEmbed:
 		enc, err := encodeParam(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
-		return &sparsePatchEmbed{pe: v, enc: enc, engine: e}, nil
+		e.CompressedLayers++
+		return &sparsePatchEmbed{pe: v, enc: enc}, nil
 	default:
 		// Stateless or statistics-only layers execute as-is (eval mode).
 		return l, nil
@@ -127,17 +148,12 @@ func inferenceOnly() *tensor.Tensor {
 
 // sparseConv runs Conv2D from a compressed weight matrix.
 type sparseConv struct {
-	conv   *nn.Conv2D
-	enc    format.Encoded
-	engine *Engine
+	conv *nn.Conv2D
+	enc  format.Encoded
 }
 
 // Forward implements nn.Layer.
 func (s *sparseConv) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	if s.engine != nil {
-		s.engine.CompressedLayers++
-		s.engine = nil // count once
-	}
 	g := s.conv.Geom
 	g.InH, g.InW = x.Shape[2], x.Shape[3]
 	n := x.Shape[0]
@@ -170,17 +186,12 @@ func (s *sparseConv) Params() []*nn.Param { return nil }
 
 // sparseLinear runs Linear from a compressed weight matrix: y = (W·xᵀ)ᵀ+b.
 type sparseLinear struct {
-	lin    *nn.Linear
-	enc    format.Encoded
-	engine *Engine
+	lin *nn.Linear
+	enc format.Encoded
 }
 
 // Forward implements nn.Layer.
 func (s *sparseLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	if s.engine != nil {
-		s.engine.CompressedLayers++
-		s.engine = nil
-	}
 	n := x.Shape[0]
 	// SpMM computes W·B for B = xᵀ [In, N].
 	xt := transpose(x)
@@ -202,17 +213,12 @@ func (s *sparseLinear) Params() []*nn.Param { return nil }
 
 // sparseTokenLinear runs TokenLinear from a compressed weight matrix.
 type sparseTokenLinear struct {
-	lin    *nn.TokenLinear
-	enc    format.Encoded
-	engine *Engine
+	lin *nn.TokenLinear
+	enc format.Encoded
 }
 
 // Forward implements nn.Layer.
 func (s *sparseTokenLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	if s.engine != nil {
-		s.engine.CompressedLayers++
-		s.engine = nil
-	}
 	n, t := x.Shape[0], x.Shape[1]
 	flat := x.Reshape(n*t, s.lin.In)
 	xt := transpose(flat)
@@ -234,17 +240,12 @@ func (s *sparseTokenLinear) Params() []*nn.Param { return nil }
 
 // sparsePatchEmbed runs PatchEmbed from a compressed weight matrix.
 type sparsePatchEmbed struct {
-	pe     *nn.PatchEmbed
-	enc    format.Encoded
-	engine *Engine
+	pe  *nn.PatchEmbed
+	enc format.Encoded
 }
 
 // Forward implements nn.Layer.
 func (s *sparsePatchEmbed) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	if s.engine != nil {
-		s.engine.CompressedLayers++
-		s.engine = nil
-	}
 	// Reuse the dense patch extraction, then the sparse projection.
 	patches := s.pe.ExtractPatches(x) // [N*T, C*P*P]
 	nt := patches.Shape[0]

@@ -51,6 +51,67 @@ func TestEngineMatchesMaskedDense(t *testing.T) {
 	}
 }
 
+// TestLogitsBatchBitIdentical asserts the batched sparse path computes
+// exactly what the per-sample path computes across the paper's three
+// families: stacking must change scheduling, never numerics.
+func TestLogitsBatchBitIdentical(t *testing.T) {
+	for _, f := range []models.Family{models.ResNet, models.VGG, models.MobileNet} {
+		clf, x, nm, b := prunedModel(t, f)
+		eng, err := New(clf, b, nm)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+		xs := make([]*tensor.Tensor, n)
+		for i := 0; i < n; i++ {
+			xs[i] = tensor.FromSlice(x.Data[i*c*h*w:(i+1)*c*h*w], 1, c, h, w)
+		}
+		batch := eng.LogitsBatch(xs)
+		if batch.Shape[0] != n {
+			t.Fatalf("%s: batch shape %v", f, batch.Shape)
+		}
+		width := batch.Len() / n
+		for i := 0; i < n; i++ {
+			per := eng.Logits(xs[i])
+			for j := 0; j < width; j++ {
+				if got, want := batch.Data[i*width+j], per.Data[j]; got != want {
+					t.Fatalf("%s: sample %d logit %d differs: batch %v vs per-sample %v", f, i, j, got, want)
+				}
+			}
+		}
+		// The dense reference batch path must agree bit-for-bit too.
+		denseBatch := clf.LogitsBatch(xs)
+		for i := 0; i < n; i++ {
+			per := clf.Logits(xs[i], false)
+			for j := 0; j < width; j++ {
+				if denseBatch.Data[i*width+j] != per.Data[j] {
+					t.Fatalf("%s: dense batch path diverges at sample %d", f, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictMatchesAccuracyArgmax checks Engine.Predict returns the same
+// argmax the classifier's accuracy computation uses.
+func TestPredictMatchesAccuracyArgmax(t *testing.T) {
+	clf, x, nm, b := prunedModel(t, models.ResNet)
+	eng, err := New(clf, b, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := eng.Predict(x)
+	if len(preds) != x.Shape[0] {
+		t.Fatalf("predictions %d for %d samples", len(preds), x.Shape[0])
+	}
+	dense := clf.Predict(x)
+	for i := range preds {
+		if preds[i] != dense[i] {
+			t.Fatalf("sample %d: sparse argmax %d vs dense %d", i, preds[i], dense[i])
+		}
+	}
+}
+
 func TestEngineOnDenseModelStillCorrect(t *testing.T) {
 	// An unpruned model must also execute (CSR fallback everywhere).
 	clf := models.Build(models.ResNet, rand.New(rand.NewSource(30)), 5, 1)

@@ -45,24 +45,46 @@ func (c *Classifier) PrunableParams() []*Param {
 	return out
 }
 
-// Accuracy returns top-1 accuracy with argmax over all classes.
-func (c *Classifier) Accuracy(x *tensor.Tensor, labels []int) float64 {
-	logits := c.Net.Forward(x, false)
-	n := logits.Shape[0]
-	correct := 0
+// LogitsBatch stacks B sample tensors into one batch and runs a single
+// forward pass, so each layer serves the whole batch with one GEMM instead
+// of B GEMMs. The result has shape [B, ...] in input order.
+func (c *Classifier) LogitsBatch(xs []*tensor.Tensor) *tensor.Tensor {
+	return c.Logits(tensor.Concat(xs), false)
+}
+
+// Predict returns the argmax class of every sample in the batch.
+func (c *Classifier) Predict(x *tensor.Tensor) []int {
+	return ArgmaxRows(c.Logits(x, false), c.NumClasses)
+}
+
+// ArgmaxRows returns the per-row argmax of a [N, width] logit tensor
+// (tensors of higher rank are treated as flattened rows of the given width).
+func ArgmaxRows(logits *tensor.Tensor, width int) []int {
+	n := logits.Len() / width
+	out := make([]int, n)
 	for b := 0; b < n; b++ {
-		row := logits.Data[b*c.NumClasses : (b+1)*c.NumClasses]
+		row := logits.Data[b*width : (b+1)*width]
 		best, bi := row[0], 0
 		for j, v := range row[1:] {
 			if v > best {
 				best, bi = v, j+1
 			}
 		}
-		if bi == labels[b] {
+		out[b] = bi
+	}
+	return out
+}
+
+// Accuracy returns top-1 accuracy with argmax over all classes.
+func (c *Classifier) Accuracy(x *tensor.Tensor, labels []int) float64 {
+	pred := c.Predict(x)
+	correct := 0
+	for b, p := range pred {
+		if p == labels[b] {
 			correct++
 		}
 	}
-	return float64(correct) / float64(n)
+	return float64(correct) / float64(len(pred))
 }
 
 // GlobalSparsity returns the fraction of zeros over all prunable weights

@@ -21,7 +21,7 @@ type NMOnly struct {
 }
 
 // NewNMOnly constructs the baseline.
-func NewNMOnly(opts Options) *NMOnly { return &NMOnly{Opts: opts.withDefaults()} }
+func NewNMOnly(opts Options) *NMOnly { return &NMOnly{Opts: opts.WithDefaults()} }
 
 // Prune applies N:M masks iteratively with fine-tuning between rounds.
 func (b *NMOnly) Prune(clf *nn.Classifier, train data.Split) Report {
@@ -58,7 +58,7 @@ type BlockOnly struct {
 
 // NewBlockOnly constructs the baseline.
 func NewBlockOnly(opts Options, balanced bool) *BlockOnly {
-	return &BlockOnly{Opts: opts.withDefaults(), Balanced: balanced}
+	return &BlockOnly{Opts: opts.WithDefaults(), Balanced: balanced}
 }
 
 // Prune iteratively removes blocks until the target sparsity.
@@ -167,7 +167,7 @@ type Channel struct {
 
 // NewChannel constructs the baseline.
 func NewChannel(opts Options) *Channel {
-	return &Channel{Opts: opts.withDefaults(), MinKeepRows: 1}
+	return &Channel{Opts: opts.WithDefaults(), MinKeepRows: 1}
 }
 
 // Prune iteratively removes channels until the target sparsity.
@@ -302,7 +302,7 @@ type Unstructured struct {
 }
 
 // NewUnstructured constructs the baseline.
-func NewUnstructured(opts Options) *Unstructured { return &Unstructured{Opts: opts.withDefaults()} }
+func NewUnstructured(opts Options) *Unstructured { return &Unstructured{Opts: opts.WithDefaults()} }
 
 // Prune iteratively masks the globally smallest saliency entries.
 func (b *Unstructured) Prune(clf *nn.Classifier, train data.Split) Report {

@@ -20,7 +20,7 @@ type CRISP struct {
 }
 
 // NewCRISP constructs the pruner.
-func NewCRISP(opts Options) *CRISP { return &CRISP{Opts: opts.withDefaults()} }
+func NewCRISP(opts Options) *CRISP { return &CRISP{Opts: opts.WithDefaults()} }
 
 // coreConfig maps Options onto the mask-construction config.
 func coreConfig(o Options) core.Config {

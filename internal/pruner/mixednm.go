@@ -27,7 +27,7 @@ type MixedNM struct {
 // NewMixedNM constructs the baseline.
 func NewMixedNM(opts Options) *MixedNM {
 	return &MixedNM{
-		Opts:       opts.withDefaults(),
+		Opts:       opts.WithDefaults(),
 		Candidates: []sparsity.NM{{N: 3, M: 4}, {N: 2, M: 4}, {N: 1, M: 4}},
 	}
 }

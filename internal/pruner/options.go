@@ -87,9 +87,12 @@ func (o Options) Validate() error {
 	return nil
 }
 
-// withDefaults fills unset fields with the reproduction's defaults and
-// panics on clearly invalid configurations (programmer error).
-func (o Options) withDefaults() Options {
+// WithDefaults fills unset fields with the reproduction's defaults and
+// panics on clearly invalid configurations (programmer error). It is the
+// single source of truth for option defaulting: the pruners apply it on
+// construction and deployment paths (crisp.Deploy, the serving layer) apply
+// it before sizing formats, so the two cannot drift.
+func (o Options) WithDefaults() Options {
 	if err := o.Validate(); err != nil {
 		panic(err)
 	}

@@ -3,6 +3,7 @@ package pruner
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/data"
@@ -12,19 +13,45 @@ import (
 	"repro/internal/sparsity"
 )
 
+// pretrainedCache holds one deterministic pre-trained model per family;
+// tests receive fresh clones, so the ~1.5s pretraining runs once per family
+// instead of once per test.
+var pretrainedCache = struct {
+	sync.Mutex
+	m map[models.Family]*nn.Classifier
+}{m: map[models.Family]*nn.Classifier{}}
+
 // testSetup builds a small pre-trained classifier and its user-class split.
+// The prune→fine-tune tests that need it are the package's full-scale paths
+// and skip in -short mode (CI's race run); the plain tier-1 run and the
+// nightly path keep them.
 func testSetup(t *testing.T, f models.Family) (*nn.Classifier, data.Split, data.Split) {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("full-scale prune+fine-tune path (short mode)")
+	}
 	cfg := data.Config{Name: "pt", NumClasses: 8, Channels: 3, H: 8, W: 8, Noise: 0.25, Jitter: 1, Seed: 3}
 	ds := data.New(cfg)
-	all := make([]int, cfg.NumClasses)
-	for i := range all {
-		all[i] = i
+	build := func() *nn.Classifier {
+		return models.Build(f, rand.New(rand.NewSource(11)), cfg.NumClasses, 1)
 	}
-	clf := models.Build(f, rand.New(rand.NewSource(11)), cfg.NumClasses, 1)
-	pre := ds.MakeSplit("pretrain", all, 12)
-	opt := nn.NewSGD(0.05, 0.9, 4e-5)
-	Finetune(clf, pre, 4, 16, opt, rand.New(rand.NewSource(12)))
+
+	pretrainedCache.Lock()
+	trained := pretrainedCache.m[f]
+	if trained == nil {
+		all := make([]int, cfg.NumClasses)
+		for i := range all {
+			all[i] = i
+		}
+		trained = build()
+		pre := ds.MakeSplit("pretrain", all, 12)
+		opt := nn.NewSGD(0.05, 0.9, 4e-5)
+		Finetune(trained, pre, 4, 16, opt, rand.New(rand.NewSource(12)))
+		pretrainedCache.m[f] = trained
+	}
+	pretrainedCache.Unlock()
+	clf := build()
+	trained.CloneWeightsTo(clf)
 
 	user := []int{1, 4, 6}
 	train := ds.MakeSplit("train", user, 16)
@@ -208,7 +235,7 @@ func TestUnstructuredReachesTarget(t *testing.T) {
 }
 
 func TestScheduleShapes(t *testing.T) {
-	o := Options{Target: 0.9}.withDefaults()
+	o := Options{Target: 0.9}.WithDefaults()
 	// Linear: evenly spaced.
 	lin1 := o.kappaAt(1, 3, 0.5)
 	lin2 := o.kappaAt(2, 3, 0.5)

@@ -1,0 +1,54 @@
+// Package serve turns the one-shot Personalize workflow into a concurrent,
+// multi-tenant personalization service — the serving layer CRISP implies:
+// every user gets a model pruned to their own class subset, so a deployment
+// is many small engines derived from one universal model.
+//
+// # Architecture
+//
+// Server owns a pretrained universal classifier and a bounded worker Pool.
+// A Personalize request is resolved in one of three ways:
+//
+//   - Cache hit: the class set (canonicalized by sorting and deduplicating,
+//     e.g. {17,3,3,42} → "3,17,42") already has a compiled engine; it is
+//     returned immediately and refreshed in the LRU order.
+//   - In-flight join (singleflight): an identical request is already being
+//     pruned; the new request waits on the same job instead of starting a
+//     duplicate, and both receive the same Personalization.
+//   - Miss: a job is scheduled on the pool — clone the universal model,
+//     run pruner.NewCRISP(...).Prune for the class set, compile the
+//     compressed representation with inference.New, and measure held-out
+//     accuracy. The pool bounds concurrent pruning jobs at Options.Workers
+//     (default GOMAXPROCS); submission blocks for backpressure.
+//
+// Completed engines land in an LRU cache of Options.CacheSize entries;
+// inserting past capacity evicts the least recently used engine (counted in
+// Stats.Evictions). A Personalization is immutable and its engine is safe
+// for concurrent batched inference, so any number of Predict calls may
+// share one cached entry.
+//
+// Predict runs one batched sparse forward pass (Engine.Predict →
+// Engine.Logits on a [B,C,H,W] batch), so B samples cost one SpMM per
+// layer rather than B.
+//
+// # HTTP endpoints (cmd/crisp-serve)
+//
+//	POST /personalize {"classes":[3,17,42]}
+//	  → {"key","classes","cached","accuracy","sparsity","flops_ratio","compressed_layers"}
+//	  Builds (or fetches) the engine for the class set.
+//
+//	POST /predict {"classes":[3,17,42], "samples":16}
+//	  → {"key","predictions","labels","accuracy","samples"}
+//	  Personalizes if needed, synthesizes a batch of the class set's
+//	  samples, and classifies it in one batched sparse forward pass.
+//	  Alternatively pass "inputs": [[...C*H*W floats...], ...] to classify
+//	  caller-provided images; "labels" is then omitted.
+//
+//	GET /stats
+//	  → the serve.Stats counters (requests, cache_hits, cache_misses,
+//	  dedup_joins, evictions, personalizations, predict_batches,
+//	  samples_predicted, cached_engines, in_flight, workers).
+//
+// The same Pool type fans the experiment suite out across GOMAXPROCS
+// (exp.RunParallel), so the serving scheduler and the figure runner share
+// one scheduling substrate.
+package serve

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool: a fixed set of goroutines draining an
+// unbuffered job channel. Submission blocks until a worker is free, which
+// gives natural backpressure — at most Workers() jobs run at once and
+// nothing queues without bound. The same pool schedules personalization
+// jobs in Server and fans the experiment-suite figures out across
+// GOMAXPROCS (exp.RunParallel).
+type Pool struct {
+	jobs    chan func()
+	workers int
+	wg      sync.WaitGroup
+
+	// mu guards closed; submitters hold it shared while handing a job to a
+	// worker, so Close cannot close the channel under an in-flight send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts a pool with the given number of workers; workers <= 0
+// means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{jobs: make(chan func()), workers: workers}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// submit hands f to a worker, blocking until one accepts it. It reports
+// false without running f if the pool is closed.
+func (p *Pool) submit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	p.jobs <- f
+	return true
+}
+
+// Do runs f on a worker and waits for it to complete. On a closed pool f
+// runs inline on the caller's goroutine instead — degraded, never dropped.
+// Do must not be called from inside a pool job: with every worker blocked
+// on a nested Do the pool would deadlock.
+func (p *Pool) Do(f func()) {
+	done := make(chan struct{})
+	if !p.submit(func() {
+		defer close(done)
+		f()
+	}) {
+		f()
+		return
+	}
+	<-done
+}
+
+// Map runs f(0..n-1) across the pool and waits for all of them; on a
+// closed pool the remaining calls run inline.
+func (p *Pool) Map(n int, f func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		if p.submit(func() {
+			defer wg.Done()
+			f(i)
+		}) {
+			continue
+		}
+		f(i)
+		wg.Done()
+	}
+	wg.Wait()
+}
+
+// Close stops accepting pool work and waits for in-flight jobs to drain.
+// It is idempotent and safe to call concurrently with Do/Map: submissions
+// that lose the race run inline on their caller instead of panicking.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

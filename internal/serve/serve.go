@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/inference"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+	"repro/internal/tensor"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent personalization jobs (<= 0: GOMAXPROCS).
+	Workers int
+	// CacheSize is the maximum number of personalized engines kept alive;
+	// beyond it the least recently used engine is evicted (<= 0: 64).
+	CacheSize int
+	// Prune configures the CRISP pruning run behind every personalization;
+	// zero fields take the pruner defaults (pruner.Options.WithDefaults).
+	Prune pruner.Options
+	// TrainPerClass and TestPerClass size the per-user splits
+	// (<= 0: 32 and 16).
+	TrainPerClass, TestPerClass int
+}
+
+// withDefaults fills unset serving options.
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 64
+	}
+	if o.TrainPerClass <= 0 {
+		o.TrainPerClass = 32
+	}
+	if o.TestPerClass <= 0 {
+		o.TestPerClass = 16
+	}
+	o.Prune = o.Prune.WithDefaults()
+	return o
+}
+
+// Personalization is one cached tenant model: the CRISP-pruned classifier
+// for a class set, its compiled sparse engine, and the pruning outcome.
+// It is immutable after creation and safe for concurrent Predict use.
+type Personalization struct {
+	// Key is the canonical cache key (sorted, deduplicated class ids).
+	Key string
+	// Classes is the canonical class set.
+	Classes []int
+	// Report is the pruning run summary.
+	Report pruner.Report
+	// Accuracy is top-1 accuracy on held-out samples of the classes.
+	Accuracy float64
+
+	engine *inference.Engine
+	clf    *nn.Classifier
+}
+
+// Engine exposes the compiled sparse inference engine.
+func (p *Personalization) Engine() *inference.Engine { return p.engine }
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// Requests counts Personalize calls (including ones served from cache).
+	Requests uint64 `json:"requests"`
+	// CacheHits, CacheMisses and DedupJoins partition Requests: a hit found
+	// a cached engine, a miss started a pruning job, a join attached to an
+	// identical in-flight job instead of starting a duplicate.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	DedupJoins  uint64 `json:"dedup_joins"`
+	// Evictions counts engines dropped by the LRU policy.
+	Evictions uint64 `json:"evictions"`
+	// Personalizations counts completed pruning jobs.
+	Personalizations uint64 `json:"personalizations"`
+	// PredictBatches and SamplesPredicted count batched inference calls and
+	// the samples they served.
+	PredictBatches   uint64 `json:"predict_batches"`
+	SamplesPredicted uint64 `json:"samples_predicted"`
+	// CachedEngines and InFlight are current gauges.
+	CachedEngines int `json:"cached_engines"`
+	InFlight      int `json:"in_flight"`
+	// Workers echoes the pool bound.
+	Workers int `json:"workers"`
+}
+
+// inflightCall tracks one running personalization so identical concurrent
+// requests share it (singleflight).
+type inflightCall struct {
+	done chan struct{}
+	p    *Personalization
+	err  error
+}
+
+// Server is the multi-tenant personalization service: it owns one
+// pretrained universal model and materializes, caches and serves per-user
+// CRISP-pruned engines.
+type Server struct {
+	opts  Options
+	ds    *data.Dataset
+	build func() *nn.Classifier
+	base  *nn.Classifier
+	pool  *Pool
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element // key -> lru element holding *Personalization
+	lru      *list.List               // front = most recently used
+	inflight map[string]*inflightCall
+	stats    Stats
+}
+
+// NewServer builds a server around a pretrained universal model. build must
+// construct a fresh classifier architecturally identical to base; every
+// personalization clones base's weights into a new instance before pruning,
+// so base itself is never mutated. Invalid pruning options are reported as
+// an error, not a panic: this is a user-facing entry point.
+func NewServer(build func() *nn.Classifier, base *nn.Classifier, ds *data.Dataset, opts Options) (*Server, error) {
+	if err := opts.Prune.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		ds:       ds,
+		build:    build,
+		base:     base,
+		pool:     NewPool(opts.Workers),
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*inflightCall{},
+	}
+	s.stats.Workers = s.pool.Workers()
+	return s, nil
+}
+
+// Close drains the worker pool.
+func (s *Server) Close() { s.pool.Close() }
+
+// Pool exposes the server's scheduler so other subsystems (the experiment
+// runner, admission control in later PRs) can share it.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Canonicalize validates a user class set against the dataset and returns
+// the sorted, deduplicated set plus its cache key.
+func (s *Server) Canonicalize(classes []int) ([]int, string, error) {
+	if len(classes) == 0 {
+		return nil, "", fmt.Errorf("serve: empty class set")
+	}
+	seen := map[int]bool{}
+	canon := make([]int, 0, len(classes))
+	for _, c := range classes {
+		if c < 0 || c >= s.ds.NumClasses {
+			return nil, "", fmt.Errorf("serve: class %d outside [0,%d)", c, s.ds.NumClasses)
+		}
+		if !seen[c] {
+			seen[c] = true
+			canon = append(canon, c)
+		}
+	}
+	sort.Ints(canon)
+	parts := make([]string, len(canon))
+	for i, c := range canon {
+		parts[i] = strconv.Itoa(c)
+	}
+	return canon, strings.Join(parts, ","), nil
+}
+
+// Personalize returns the engine for the given class set, building it on
+// the worker pool if it is neither cached nor already in flight. The bool
+// reports whether the result came straight from the cache.
+func (s *Server) Personalize(classes []int) (*Personalization, bool, error) {
+	canon, key, err := s.Canonicalize(classes)
+	if err != nil {
+		return nil, false, err
+	}
+
+	s.mu.Lock()
+	s.stats.Requests++
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.CacheHits++
+		p := el.Value.(*Personalization)
+		s.mu.Unlock()
+		return p, true, nil
+	}
+	if c, ok := s.inflight[key]; ok {
+		s.stats.DedupJoins++
+		s.mu.Unlock()
+		<-c.done
+		return c.p, false, c.err
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	s.inflight[key] = call
+	s.stats.CacheMisses++
+	s.stats.InFlight = len(s.inflight)
+	s.mu.Unlock()
+
+	// Run the pruning job on the bounded pool; the call blocks here, but
+	// identical requests piggyback on call.done instead of queueing twice.
+	s.pool.Do(func() {
+		call.p, call.err = s.personalize(canon, key)
+	})
+
+	s.mu.Lock()
+	if call.err == nil {
+		s.insertLocked(key, call.p)
+		s.stats.Personalizations++
+	}
+	delete(s.inflight, key)
+	s.stats.InFlight = len(s.inflight)
+	s.mu.Unlock()
+	close(call.done)
+	return call.p, false, call.err
+}
+
+// insertLocked adds p to the cache, evicting from the LRU tail past capacity.
+func (s *Server) insertLocked(key string, p *Personalization) {
+	s.entries[key] = s.lru.PushFront(p)
+	for s.lru.Len() > s.opts.CacheSize {
+		el := s.lru.Back()
+		s.lru.Remove(el)
+		delete(s.entries, el.Value.(*Personalization).Key)
+		s.stats.Evictions++
+	}
+	s.stats.CachedEngines = s.lru.Len()
+}
+
+// personalize is the cache-miss path: clone the universal model, prune it
+// for the class set, compile the sparse engine and measure held-out
+// accuracy. It runs on a pool worker.
+func (s *Server) personalize(classes []int, key string) (*Personalization, error) {
+	clone := s.build()
+	s.base.CloneWeightsTo(clone)
+	train := s.ds.MakeSplit("serve-train/"+key, classes, s.opts.TrainPerClass)
+	test := s.ds.MakeSplit("serve-test/"+key, classes, s.opts.TestPerClass)
+	rep := pruner.NewCRISP(s.opts.Prune).Prune(clone, train)
+	eng, err := inference.New(clone, s.opts.Prune.BlockSize, s.opts.Prune.NM)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling engine for {%s}: %w", key, err)
+	}
+	return &Personalization{
+		Key:      key,
+		Classes:  classes,
+		Report:   rep,
+		Accuracy: clone.Accuracy(test.X, test.Labels),
+		engine:   eng,
+		clf:      clone,
+	}, nil
+}
+
+// Predict personalizes (or fetches) the engine for the class set and runs
+// one batched sparse forward pass over x ([B,C,H,W]), returning the
+// predicted class ids.
+func (s *Server) Predict(classes []int, x *tensor.Tensor) ([]int, error) {
+	p, _, err := s.Personalize(classes)
+	if err != nil {
+		return nil, err
+	}
+	preds := p.engine.Predict(x)
+	s.mu.Lock()
+	s.stats.PredictBatches++
+	s.stats.SamplesPredicted += uint64(len(preds))
+	s.mu.Unlock()
+	return preds, nil
+}
+
+// PredictSamples synthesizes n fresh samples of the class set, predicts
+// them in one batch, and returns predictions, labels and accuracy — the
+// self-contained demo path behind crisp-serve's /predict.
+func (s *Server) PredictSamples(classes []int, n int) (preds, labels []int, acc float64, err error) {
+	canon, key, err := s.Canonicalize(classes)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if n <= 0 {
+		n = 1
+	}
+	k := len(canon)
+	per := (n + k - 1) / k
+	split := s.ds.MakeSplit("serve-predict/"+key, canon, per)
+	// The split is grouped per class (per rows each); pick round-robin
+	// across the groups so every class of the set is represented.
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		idx = append(idx, (i%k)*per+i/k)
+	}
+	sub := split.Subset(idx)
+	preds, err = s.Predict(canon, sub.X)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == sub.Labels[i] {
+			correct++
+		}
+	}
+	return preds, sub.Labels, float64(correct) / float64(len(preds)), nil
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

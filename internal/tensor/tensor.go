@@ -196,6 +196,39 @@ func Add(a, b *Tensor) *Tensor {
 	return c
 }
 
+// Concat concatenates tensors along dimension 0. All inputs must share the
+// trailing dimensions; the result's leading dimension is the sum of the
+// inputs'. It is the batching primitive: B single-sample [1,C,H,W] tensors
+// become one [B,C,H,W] batch that a single forward pass (one GEMM per
+// layer) can serve.
+func Concat(ts []*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of zero tensors")
+	}
+	first := ts[0]
+	rest := first.Shape[1:]
+	lead := 0
+	for _, t := range ts {
+		if len(t.Shape) != len(first.Shape) {
+			panic(fmt.Sprintf("tensor: Concat rank mismatch: %v vs %v", t.Shape, first.Shape))
+		}
+		for i, d := range t.Shape[1:] {
+			if d != rest[i] {
+				panic(fmt.Sprintf("tensor: Concat trailing-shape mismatch: %v vs %v", t.Shape, first.Shape))
+			}
+		}
+		lead += t.Shape[0]
+	}
+	shape := append([]int{lead}, rest...)
+	out := New(shape...)
+	off := 0
+	for _, t := range ts {
+		copy(out.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+	return out
+}
+
 // Sum returns the sum of all elements.
 func (t *Tensor) Sum() float64 {
 	s := 0.0

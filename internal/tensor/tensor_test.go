@@ -43,6 +43,29 @@ func TestAtPanicsOutOfRange(t *testing.T) {
 	New(2, 2).At(2, 0)
 }
 
+func TestConcat(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 1, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8, 9, 10, 11, 12}, 2, 2, 2)
+	c := Concat([]*Tensor{a, b})
+	if c.Shape[0] != 3 || c.Shape[1] != 2 || c.Shape[2] != 2 {
+		t.Fatalf("shape %v, want [3 2 2]", c.Shape)
+	}
+	for i := 0; i < 12; i++ {
+		if c.Data[i] != float64(i+1) {
+			t.Fatalf("Data[%d]=%v", i, c.Data[i])
+		}
+	}
+}
+
+func TestConcatPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for trailing-shape mismatch")
+		}
+	}()
+	Concat([]*Tensor{New(1, 2, 2), New(1, 2, 3)})
+}
+
 func TestReshapeView(t *testing.T) {
 	x := New(2, 6)
 	y := x.Reshape(3, 4)
