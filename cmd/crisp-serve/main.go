@@ -8,15 +8,21 @@
 //	POST /personalize {"classes":[3,17,42]}
 //	POST /predict     {"classes":[3,17,42], "samples":16}
 //	POST /predict     {"classes":[3,17,42], "inputs":[[...C*H*W floats...], ...]}
+//	POST /snapshot    (flush every cached engine to the snapshot dir)
 //	GET  /stats
+//
+// With -snapshot-dir the server is durable: completed personalizations are
+// snapshotted write-behind, evicted engines keep their disk copy, and a
+// restart restores every engine from disk instead of re-pruning.
 //
 // Usage:
 //
-//	crisp-serve -addr :8080 -num-classes 20 -target 0.85
+//	crisp-serve -addr :8080 -num-classes 20 -target 0.85 -snapshot-dir /var/lib/crisp
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,6 +52,7 @@ func main() {
 		target     = flag.Float64("target", 0.85, "global sparsity target κ per personalization")
 		workers    = flag.Int("workers", 0, "personalization worker bound (0 = GOMAXPROCS)")
 		cacheSize  = flag.Int("cache", 64, "maximum cached engines (LRU beyond)")
+		snapDir    = flag.String("snapshot-dir", "", "durable personalization store directory (empty: memory-only)")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -86,15 +93,25 @@ func main() {
 	log.Printf("pre-trained in %.1fs", time.Since(start).Seconds())
 
 	s, err := serve.NewServer(build, base, ds, serve.Options{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Prune:     prune,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		Prune:       prune,
+		SnapshotDir: *snapDir,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// No Close/drain on the way out: ListenAndServe only returns on error
 	// and log.Fatal exits the process, which releases the pool with it.
+
+	if *snapDir != "" {
+		n, err := s.Restore()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := s.Stats()
+		log.Printf("restored %d personalization(s) from %s (%d bad record(s) skipped)", n, *snapDir, st.RestoreErrors)
+	}
 
 	log.Printf("serving on %s (%d workers, cache %d)", *addr, s.Stats().Workers, *cacheSize)
 	log.Fatal(http.ListenAndServe(*addr, newMux(s, ds)))
@@ -171,6 +188,26 @@ func newMux(s *serve.Server, ds *data.Dataset) *http.ServeMux {
 		writeJSON(w, map[string]any{
 			"key": key, "predictions": preds, "labels": labels,
 			"accuracy": acc, "samples": len(preds),
+		})
+	})
+	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		// Explicit flush: write every cached engine that is not yet on disk.
+		// Routine persistence does not need this (completions snapshot
+		// write-behind); it is the admin hook before a planned restart.
+		written, err := s.Flush()
+		if errors.Is(err, serve.ErrNoSnapshotDir) {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		st := s.Stats()
+		writeJSON(w, map[string]any{
+			"written":         written,
+			"snapshot_writes": st.SnapshotWrites,
+			"snapshot_errors": st.SnapshotErrors,
 		})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {

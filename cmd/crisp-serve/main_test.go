@@ -21,6 +21,13 @@ import (
 // newTestMux builds a small service (tiny model, one pruning iteration)
 // behind the real HTTP handlers.
 func newTestMux(t *testing.T) (*http.ServeMux, *serve.Server, *data.Dataset) {
+	return newTestMuxSnapshot(t, "")
+}
+
+// newTestMuxSnapshot is newTestMux with a snapshot directory; the fixture
+// is fully seeded, so two muxes on the same directory model a restart of
+// the same deployment.
+func newTestMuxSnapshot(t *testing.T, snapshotDir string) (*http.ServeMux, *serve.Server, *data.Dataset) {
 	t.Helper()
 	ds := data.New(data.Config{
 		Name: "serve-http-test", NumClasses: 6, Channels: 3, H: 8, W: 8,
@@ -39,6 +46,7 @@ func newTestMux(t *testing.T) (*http.ServeMux, *serve.Server, *data.Dataset) {
 		},
 		TrainPerClass: 6,
 		TestPerClass:  4,
+		SnapshotDir:   snapshotDir,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -134,6 +142,113 @@ func TestEndpoints(t *testing.T) {
 	}
 	if st.Personalizations != 1 || st.CacheHits == 0 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestErrorPaths drives every handler's failure branches through raw HTTP
+// bodies and asserts both the status code and the {"error": "..."} shape.
+func TestErrorPaths(t *testing.T) {
+	mux, _, _ := newTestMux(t)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	cases := []struct {
+		name, path, body string
+		wantCode         int
+	}{
+		{"personalize malformed json", "/personalize", `{"classes":`, http.StatusBadRequest},
+		{"personalize empty body", "/personalize", ``, http.StatusBadRequest},
+		{"personalize empty class set", "/personalize", `{"classes":[]}`, http.StatusBadRequest},
+		{"personalize unknown class", "/personalize", `{"classes":[99]}`, http.StatusBadRequest},
+		{"personalize negative class", "/personalize", `{"classes":[-1]}`, http.StatusBadRequest},
+		{"predict malformed json", "/predict", `{"classes":[1],`, http.StatusBadRequest},
+		{"predict empty class set", "/predict", `{"classes":[],"samples":4}`, http.StatusBadRequest},
+		{"predict unknown class", "/predict", `{"classes":[42],"samples":4}`, http.StatusBadRequest},
+		{"predict short input row", "/predict", `{"classes":[1],"inputs":[[1,2,3]]}`, http.StatusBadRequest},
+		{"snapshot without store", "/snapshot", ``, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := srv.Client().Post(srv.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("error content type %q", ct)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("error body not JSON: %v", err)
+			}
+			if e.Error == "" {
+				t.Fatal("error body missing the error message")
+			}
+		})
+	}
+}
+
+// TestSnapshotEndpointAndWarmRestart covers the admin flush path over HTTP
+// and the restart story end to end: personalize, flush via POST /snapshot,
+// then a second server on the same directory restores from disk without any
+// pruning jobs.
+func TestSnapshotEndpointAndWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	mux1, s1, _ := newTestMuxSnapshot(t, dir)
+	srv1 := httptest.NewServer(mux1)
+	defer srv1.Close()
+
+	var pr struct {
+		Key string `json:"key"`
+	}
+	if code := postJSON(t, srv1, "/personalize", map[string]any{"classes": []int{1, 3}}, &pr); code != http.StatusOK {
+		t.Fatalf("/personalize status %d", code)
+	}
+	var fl struct {
+		Written        int    `json:"written"`
+		SnapshotWrites uint64 `json:"snapshot_writes"`
+		SnapshotErrors uint64 `json:"snapshot_errors"`
+	}
+	if code := postJSON(t, srv1, "/snapshot", map[string]any{}, &fl); code != http.StatusOK {
+		t.Fatalf("/snapshot status %d", code)
+	}
+	if fl.SnapshotWrites != 1 || fl.SnapshotErrors != 0 {
+		t.Fatalf("flush response %+v (stats %+v)", fl, s1.Stats())
+	}
+
+	// "Restart": a second server over the same directory.
+	mux2, s2, _ := newTestMuxSnapshot(t, dir)
+	if n, err := s2.Restore(); err != nil || n != 1 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	srv2 := httptest.NewServer(mux2)
+	defer srv2.Close()
+
+	if code := postJSON(t, srv2, "/personalize", map[string]any{"classes": []int{3, 1}}, &pr); code != http.StatusOK {
+		t.Fatalf("post-restart /personalize status %d", code)
+	}
+	if pr.Key != "1,3" {
+		t.Fatalf("post-restart key %q", pr.Key)
+	}
+	resp, err := srv2.Client().Get(srv2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RestoreHits != 1 || st.Personalizations != 0 {
+		t.Fatalf("warm restart stats %+v (want 1 restore hit, 0 pruning jobs)", st)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("restored engine not served from cache: %+v", st)
 	}
 }
 

@@ -25,6 +25,12 @@
 //	p, cached, err := srv.Personalize([]int{3, 17, 42})
 //	preds, err := srv.Predict([]int{3, 17, 42}, batch) // batch: [B,C,H,W]
 //
+// Set ServerConfig.SnapshotDir to make the server durable: completed
+// personalizations are snapshotted to disk write-behind, evicted engines
+// keep their disk copy, and NewServer warm-restarts from the directory —
+// previously personalized class sets reload with bit-identical engines
+// instead of re-running the prune+fine-tune pipeline.
+//
 // The heavy lifting lives in the internal packages (tensor, nn, sparsity,
 // saliency, pruner, format, accel, energy, data, models, exp, serve); this
 // package re-exports the workflow a downstream user needs.
@@ -171,11 +177,27 @@ type Personalization = serve.Personalization
 // (NewModel), so the server can clone architecturally identical instances
 // to prune per request; model itself is never mutated. Invalid pruning
 // options in cfg are reported as an error.
+//
+// When cfg.SnapshotDir is set, NewServer warm-restarts: every
+// personalization snapshotted by a previous server on that directory is
+// restored from disk before the server is returned (corrupt records are
+// skipped and counted in Stats().RestoreErrors). Use serve.NewServer
+// directly to defer or skip the restore.
 func NewServer(model *Classifier, f models.Family, width int, seed int64, ds *Dataset, cfg ServerConfig) (*Server, error) {
 	build := func() *Classifier {
 		return models.Build(f, rand.New(rand.NewSource(seed)), ds.NumClasses, width)
 	}
-	return serve.NewServer(build, model, ds, cfg)
+	s, err := serve.NewServer(build, model, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SnapshotDir != "" {
+		if _, err := s.Restore(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Deploy compresses the pruned model into the CRISP storage format and

@@ -96,6 +96,67 @@ func TestFacadeServerWorkflow(t *testing.T) {
 	}
 }
 
+// TestFacadeWarmRestart checks the durable-serving facade: a server with
+// SnapshotDir persists its personalizations, and a second NewServer on the
+// same directory restores them without running any pruning jobs.
+func TestFacadeWarmRestart(t *testing.T) {
+	ds := NewDataset(data.Config{
+		Name: "warm-test", NumClasses: 8, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 51,
+	})
+	model := NewModel(ResNet, ds.NumClasses, 1, 52)
+	Pretrain(model, ds, 2, 8, 53)
+
+	cfg := DefaultConfig(0.7)
+	cfg.BlockSize = 4
+	cfg.Iterations = 1
+	cfg.FinetuneEpochs = 1
+	cfg.BatchSize = 8
+	cfg.LR = 0.01
+	scfg := ServerConfig{Prune: cfg, TrainPerClass: 6, TestPerClass: 4, SnapshotDir: t.TempDir()}
+
+	srv1, err := NewServer(model, ResNet, 1, 52, ds, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := []int{2, 5}
+	if _, _, err := srv1.Personalize(user); err != nil {
+		t.Fatal(err)
+	}
+	test := ds.MakeSplit("warm-predict", user, 4)
+	before, err := srv1.Predict(user, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	// NewServer warm-restarts from the snapshot directory by itself.
+	srv2, err := NewServer(model, ResNet, 1, 52, ds, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	st := srv2.Stats()
+	if st.RestoreHits != 1 || st.Personalizations != 0 {
+		t.Fatalf("facade warm restart stats %+v (want 1 restore hit, 0 pruning jobs)", st)
+	}
+	after, err := srv2.Predict(user, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("prediction %d diverged across restart: %d vs %d", i, before[i], after[i])
+		}
+	}
+	if st := srv2.Stats(); st.Personalizations != 0 {
+		t.Fatalf("restored engine re-pruned: %+v", st)
+	}
+}
+
 func TestDefaultConfig(t *testing.T) {
 	cfg := DefaultConfig(0.9)
 	if cfg.Target != 0.9 {

@@ -33,7 +33,13 @@ func Save(w io.Writer, clf *nn.Classifier) error {
 	bw := &errWriter{w: w}
 	bw.bytes([]byte(magic))
 	bw.u32(version)
+	saveBody(bw, clf)
+	return bw.err
+}
 
+// saveBody writes the classifier payload (params, masks, batch-norm running
+// statistics) shared by the v1 stream and the v2 personalization record.
+func saveBody(bw *errWriter, clf *nn.Classifier) {
 	params := clf.Params()
 	bw.u32(uint32(len(params)))
 	for _, p := range params {
@@ -65,7 +71,6 @@ func Save(w io.Writer, clf *nn.Classifier) error {
 			bw.f64(v)
 		}
 	}
-	return bw.err
 }
 
 // Load restores a checkpoint written by Save into clf, whose architecture
@@ -80,9 +85,13 @@ func Load(r io.Reader, clf *nn.Classifier) error {
 		return fmt.Errorf("checkpoint: bad magic %q", head)
 	}
 	if v := br.u32(); v != version {
-		return fmt.Errorf("checkpoint: unsupported version %d", v)
+		return fmt.Errorf("checkpoint: unsupported version %d (want %d)", v, version)
 	}
+	return loadBody(br, clf)
+}
 
+// loadBody restores the classifier payload written by saveBody.
+func loadBody(br *errReader, clf *nn.Classifier) error {
 	params := clf.Params()
 	n := br.u32()
 	if br.err != nil {
@@ -227,6 +236,9 @@ func (e *errWriter) str(s string) {
 	e.bytes([]byte(s))
 }
 
+// i32 writes a signed 32-bit value (two's complement in the u32 slot).
+func (e *errWriter) i32(v int32) { e.u32(uint32(v)) }
+
 // errReader accumulates the first read error.
 type errReader struct {
 	r   io.Reader
@@ -261,6 +273,9 @@ func (e *errReader) f64() float64 {
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(b))
 }
+
+// i32 reads a signed 32-bit value written by errWriter.i32.
+func (e *errReader) i32() int32 { return int32(e.u32()) }
 
 func (e *errReader) str() string {
 	n := e.u32()

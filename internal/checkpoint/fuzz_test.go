@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/models"
+	"repro/internal/pruner"
 )
 
 // FuzzLoad feeds arbitrary bytes to the checkpoint parser: it must always
@@ -33,5 +34,49 @@ func FuzzLoad(f *testing.F) {
 		dst := models.Build(models.ResNet, rand.New(rand.NewSource(2)), 4, 1)
 		// Must not panic; error or nil are both acceptable.
 		_ = Load(bytes.NewReader(data), dst)
+	})
+}
+
+// FuzzLoadPersonalization mirrors FuzzLoad for the v2 record parser: the
+// snapshot store feeds it whatever survives on disk, so arbitrary bytes
+// must produce an error or a record — never a panic or a hang. This is the
+// fail-closed half of the warm-restart contract: Restore skips what this
+// parser rejects.
+func FuzzLoadPersonalization(f *testing.F) {
+	clf := models.Build(models.ResNet, rand.New(rand.NewSource(3)), 4, 1)
+	for _, p := range clf.PrunableParams() {
+		m := p.EnsureMask()
+		for j := range m.Data {
+			m.Data[j] = float64(j % 2)
+		}
+	}
+	rec := PersonalizationRecord{
+		Key: "0,2", Classes: []int{0, 2}, Accuracy: 0.5,
+		Report: pruner.Report{
+			Method: "crisp", Target: 0.7, AchievedSparsity: 0.69, FLOPsRatio: 0.4,
+			Layers:     []pruner.LayerStat{{Name: "l0", Rows: 8, Cols: 8, Sparsity: 0.5, KeptBlockCols: -1, GridCols: 2}},
+			Iterations: []pruner.IterStat{{Iteration: 0, Kappa: 0.7, Sparsity: 0.69, Loss: 1.1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := SavePersonalization(&buf, rec, clf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("CRSP"))
+	f.Add(valid[:len(valid)/3])
+	f.Add(valid[:len(valid)-1])
+	corrupted := append([]byte(nil), valid...)
+	if len(corrupted) > 30 {
+		corrupted[9] ^= 0xFF  // key length
+		corrupted[29] ^= 0x0F // somewhere in the metadata
+	}
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := models.Build(models.ResNet, rand.New(rand.NewSource(4)), 4, 1)
+		_, _ = LoadPersonalization(bytes.NewReader(data), dst)
 	})
 }

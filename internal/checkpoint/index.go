@@ -1,0 +1,135 @@
+package checkpoint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// IndexFile is the conventional name of the snapshot index inside a
+// snapshot directory.
+const IndexFile = "index"
+
+// indexHeader versions the index format independently of the record format.
+const indexHeader = "CRSPIDX1"
+
+// Index maps personalization cache keys (e.g. "3,17,42") to the record
+// filenames holding their snapshots, relative to the snapshot directory.
+// It is the directory's table of contents: files not listed here are
+// ignored on restore, so a torn record write (a leftover temp file) can
+// never be picked up.
+type Index map[string]string
+
+// ReadIndex loads an index file. A missing file is an empty index, not an
+// error; a malformed file is an error. Entries are appended one per write
+// (AppendIndex), so the file is a journal: duplicate keys resolve to the
+// last entry, and a malformed FINAL line — a write torn by a crash — is
+// dropped silently rather than poisoning the whole index (the orphaned
+// record re-indexes on its next snapshot). A malformed interior line is
+// still an error.
+func ReadIndex(path string) (Index, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return Index{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() || sc.Text() != indexHeader {
+		return nil, fmt.Errorf("checkpoint: %s is not a snapshot index", path)
+	}
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	idx := Index{}
+	for i, l := range lines {
+		key, file, ok := strings.Cut(l, "\t")
+		if !ok || key == "" || file == "" {
+			if i == len(lines)-1 {
+				break // torn tail: drop the partial entry
+			}
+			return nil, fmt.Errorf("checkpoint: malformed index entry at %s line %d", path, i+1)
+		}
+		idx[key] = file
+	}
+	return idx, nil
+}
+
+// AppendIndex journals one entry to the index file in a single O_APPEND
+// write (creating the file with its header first if needed), so indexing a
+// new snapshot costs O(1) instead of rewriting every entry. ReadIndex's
+// last-entry-wins and torn-tail rules make the append crash-safe: a partial
+// final line loses only that entry, never the index.
+func AppendIndex(path, key, file string) error {
+	if key == "" || file == "" || strings.ContainsAny(key+file, "\t\n") {
+		return fmt.Errorf("checkpoint: invalid index entry %q -> %q", key, file)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	entry := key + "\t" + file + "\n"
+	switch {
+	case st.Size() == 0:
+		entry = indexHeader + "\n" + entry
+	default:
+		// Never concatenate onto a torn tail: if the file does not end in
+		// a newline, terminate the partial line first (ReadIndex then
+		// rejects or drops it on its own merits, instead of a garbled key).
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], st.Size()-1); err != nil {
+			f.Close()
+			return err
+		}
+		if last[0] != '\n' {
+			entry = "\n" + entry
+		}
+	}
+	if _, err := f.WriteString(entry); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteIndex atomically replaces the index file: the new content lands in a
+// temp file in the same directory and is renamed over path, so readers see
+// either the old or the new index, never a torn one. Entries are written in
+// sorted key order for reproducible files.
+func WriteIndex(path string, idx Index) error {
+	var b strings.Builder
+	b.WriteString(indexHeader + "\n")
+	keys := make([]string, 0, len(idx))
+	for k := range idx {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s\t%s\n", k, idx[k])
+	}
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -30,6 +30,35 @@
 // Engine.Logits on a [B,C,H,W] batch), so B samples cost one SpMM per
 // layer rather than B.
 //
+// # Snapshot lifecycle (Options.SnapshotDir)
+//
+// With a snapshot directory configured the cache becomes durable, so a
+// restart reloads engines from disk instead of re-running the
+// prune+fine-tune pipeline per tenant (the re-prune stampede the paper's
+// amortization argument assumes away):
+//
+//   - Write-behind: when a pruning job completes, its Personalization is
+//     serialized as a checkpoint v2 record (pruned weights, masks,
+//     batch-norm statistics, class set, report, accuracy) on the worker
+//     pool — Personalize and Predict never wait on disk. Records land via
+//     temp-file + rename, and an index file names the valid records, so a
+//     crash mid-write can never surface a torn snapshot.
+//   - Restore-on-start: Server.Restore rebuilds indexed records into
+//     cached engines — up to the cache capacity; any remaining keys load
+//     lazily on first request — recompiling the CSR/CRISP formats from the
+//     stored masks (compiled buffers are never persisted). Corrupt or
+//     truncated
+//     records are skipped and counted in Stats.RestoreErrors; a bad
+//     snapshot never takes the server down. Restored engines are
+//     bit-identical to the originals: the checkpoint preserves exact
+//     float64 bits and format compilation is deterministic.
+//   - Eviction keeps the disk copy: an engine dropped by the LRU policy
+//     stays on disk, and the next request for its class set restores it
+//     (counted in Stats.RestoreHits) instead of re-pruning.
+//   - Explicit flush: Server.Flush waits for pending write-behind
+//     snapshots and writes any cached engine not yet on disk — the admin
+//     hook before a planned restart (POST /snapshot in cmd/crisp-serve).
+//
 // # HTTP endpoints (cmd/crisp-serve)
 //
 //	POST /personalize {"classes":[3,17,42]}
@@ -43,10 +72,16 @@
 //	  Alternatively pass "inputs": [[...C*H*W floats...], ...] to classify
 //	  caller-provided images; "labels" is then omitted.
 //
+//	POST /snapshot
+//	  → {"written","snapshot_writes","snapshot_errors"}
+//	  Flushes every cached engine to the snapshot dir (400 when the server
+//	  runs memory-only, i.e. without -snapshot-dir).
+//
 //	GET /stats
 //	  → the serve.Stats counters (requests, cache_hits, cache_misses,
 //	  dedup_joins, evictions, personalizations, predict_batches,
-//	  samples_predicted, cached_engines, in_flight, workers).
+//	  samples_predicted, snapshot_writes, snapshot_errors, restore_hits,
+//	  restore_errors, cached_engines, in_flight, workers).
 //
 // The same Pool type fans the experiment suite out across GOMAXPROCS
 // (exp.RunParallel), so the serving scheduler and the figure runner share

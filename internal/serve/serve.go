@@ -28,6 +28,11 @@ type Options struct {
 	// TrainPerClass and TestPerClass size the per-user splits
 	// (<= 0: 32 and 16).
 	TrainPerClass, TestPerClass int
+	// SnapshotDir enables the durable personalization store: completed
+	// personalizations are snapshotted to this directory (write-behind, on
+	// the worker pool), cache misses check disk before re-pruning, and
+	// Restore rebuilds every engine on startup. Empty means memory-only.
+	SnapshotDir string
 }
 
 // withDefaults fills unset serving options.
@@ -83,6 +88,16 @@ type Stats struct {
 	// the samples they served.
 	PredictBatches   uint64 `json:"predict_batches"`
 	SamplesPredicted uint64 `json:"samples_predicted"`
+	// SnapshotWrites counts personalization records durably written to the
+	// snapshot store; SnapshotErrors counts failed writes (the engine stays
+	// cached either way).
+	SnapshotWrites uint64 `json:"snapshot_writes"`
+	SnapshotErrors uint64 `json:"snapshot_errors"`
+	// RestoreHits counts engines rebuilt from disk instead of re-pruned
+	// (both Server.Restore and the cache-miss path); RestoreErrors counts
+	// records that failed to load and were skipped.
+	RestoreHits   uint64 `json:"restore_hits"`
+	RestoreErrors uint64 `json:"restore_errors"`
 	// CachedEngines and InFlight are current gauges.
 	CachedEngines int `json:"cached_engines"`
 	InFlight      int `json:"in_flight"`
@@ -107,6 +122,19 @@ type Server struct {
 	build func() *nn.Classifier
 	base  *nn.Classifier
 	pool  *Pool
+	store *snapshotStore // nil when Options.SnapshotDir is empty
+	// snapMu/snapCond guard the pending counters: pendingSnaps counts
+	// write-behind snapshots not yet on disk, pendingJobs counts
+	// personalization jobs between submission and their snapshot being
+	// scheduled — Close drains both so no write is lost, even for a job
+	// that lost the race to pool closure and ran inline on its caller. A
+	// plain WaitGroup would be misuse here: live traffic Adds from zero
+	// concurrently with Flush's Wait (the /snapshot endpoint), which the
+	// WaitGroup contract forbids.
+	snapMu       sync.Mutex
+	snapCond     *sync.Cond
+	pendingSnaps int
+	pendingJobs  int
 
 	mu       sync.Mutex
 	entries  map[string]*list.Element // key -> lru element holding *Personalization
@@ -135,12 +163,54 @@ func NewServer(build func() *nn.Classifier, base *nn.Classifier, ds *data.Datase
 		lru:      list.New(),
 		inflight: map[string]*inflightCall{},
 	}
+	s.snapCond = sync.NewCond(&s.snapMu)
+	if opts.SnapshotDir != "" {
+		store, err := openStore(opts.SnapshotDir)
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.store = store
+	}
 	s.stats.Workers = s.pool.Workers()
 	return s, nil
 }
 
-// Close drains the worker pool.
-func (s *Server) Close() { s.pool.Close() }
+// Close waits for pending write-behind snapshots and drains the worker
+// pool. Personalizations in flight when Close starts still get their
+// snapshots: pool.Close drains pooled jobs, the job wait covers jobs that
+// lost the race to pool closure and ran inline on their caller, and the
+// final snapshot wait sees out every write they registered.
+func (s *Server) Close() {
+	s.pendingWait(&s.pendingSnaps)
+	s.pool.Close()
+	s.pendingWait(&s.pendingJobs)
+	s.pendingWait(&s.pendingSnaps)
+}
+
+// pendingAdd/pendingDone/pendingWait maintain one of the pending counters
+// (snapMu-guarded; counter must be a field of s).
+func (s *Server) pendingAdd(counter *int) {
+	s.snapMu.Lock()
+	*counter++
+	s.snapMu.Unlock()
+}
+
+func (s *Server) pendingDone(counter *int) {
+	s.snapMu.Lock()
+	if *counter--; *counter == 0 {
+		s.snapCond.Broadcast()
+	}
+	s.snapMu.Unlock()
+}
+
+func (s *Server) pendingWait(counter *int) {
+	s.snapMu.Lock()
+	for *counter > 0 {
+		s.snapCond.Wait()
+	}
+	s.snapMu.Unlock()
+}
 
 // Pool exposes the server's scheduler so other subsystems (the experiment
 // runner, admission control in later PRs) can share it.
@@ -203,24 +273,46 @@ func (s *Server) Personalize(classes []int) (*Personalization, bool, error) {
 
 	// Run the pruning job on the bounded pool; the call blocks here, but
 	// identical requests piggyback on call.done instead of queueing twice.
+	// The job is tracked from submission until its write-behind snapshot is
+	// scheduled, so Close cannot slip between a job finishing inline (pool
+	// already closed) and its snapshot registration.
+	s.pendingAdd(&s.pendingJobs)
+	defer s.pendingDone(&s.pendingJobs)
+	var restored bool
 	s.pool.Do(func() {
-		call.p, call.err = s.personalize(canon, key)
+		call.p, restored, call.err = s.personalize(canon, key)
 	})
 
 	s.mu.Lock()
 	if call.err == nil {
 		s.insertLocked(key, call.p)
-		s.stats.Personalizations++
+		if restored {
+			s.stats.RestoreHits++
+		} else {
+			s.stats.Personalizations++
+		}
 	}
 	delete(s.inflight, key)
 	s.stats.InFlight = len(s.inflight)
 	s.mu.Unlock()
 	close(call.done)
+	if call.err == nil && !restored && s.store != nil {
+		s.scheduleSnapshot(call.p)
+	}
 	return call.p, false, call.err
 }
 
-// insertLocked adds p to the cache, evicting from the LRU tail past capacity.
-func (s *Server) insertLocked(key string, p *Personalization) {
+// insertLocked adds p to the cache, evicting from the LRU tail past
+// capacity, and reports whether p was actually inserted. Evicted engines
+// keep their disk snapshot, so a later request restores instead of
+// re-pruning. A key that is already cached (a Restore racing a concurrent
+// personalization) keeps the existing entry and reports false.
+func (s *Server) insertLocked(key string, p *Personalization) bool {
+	if el, ok := s.entries[key]; ok {
+		s.lru.MoveToFront(el)
+		s.stats.CachedEngines = s.lru.Len()
+		return false
+	}
 	s.entries[key] = s.lru.PushFront(p)
 	for s.lru.Len() > s.opts.CacheSize {
 		el := s.lru.Back()
@@ -229,12 +321,27 @@ func (s *Server) insertLocked(key string, p *Personalization) {
 		s.stats.Evictions++
 	}
 	s.stats.CachedEngines = s.lru.Len()
+	return true
 }
 
-// personalize is the cache-miss path: clone the universal model, prune it
-// for the class set, compile the sparse engine and measure held-out
-// accuracy. It runs on a pool worker.
-func (s *Server) personalize(classes []int, key string) (*Personalization, error) {
+// personalize is the cache-miss path, run on a pool worker. With a
+// snapshot store it first tries to restore the class set from disk (an
+// evicted or pre-restart engine reloads instead of re-pruning; the restored
+// flag reports this); otherwise it clones the universal model, prunes it
+// for the class set, compiles the sparse engine and measures held-out
+// accuracy.
+func (s *Server) personalize(classes []int, key string) (*Personalization, bool, error) {
+	if s.store != nil && s.store.has(key) {
+		p, err := s.restoreOne(key)
+		if err == nil {
+			return p, true, nil
+		}
+		// A bad record must not take the request down: count it and fall
+		// through to a fresh pruning run (which re-snapshots over it).
+		s.mu.Lock()
+		s.stats.RestoreErrors++
+		s.mu.Unlock()
+	}
 	clone := s.build()
 	s.base.CloneWeightsTo(clone)
 	train := s.ds.MakeSplit("serve-train/"+key, classes, s.opts.TrainPerClass)
@@ -242,7 +349,13 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, error
 	rep := pruner.NewCRISP(s.opts.Prune).Prune(clone, train)
 	eng, err := inference.New(clone, s.opts.Prune.BlockSize, s.opts.Prune.NM)
 	if err != nil {
-		return nil, fmt.Errorf("serve: compiling engine for {%s}: %w", key, err)
+		return nil, false, fmt.Errorf("serve: compiling engine for {%s}: %w", key, err)
+	}
+	if s.store != nil {
+		// Register the write-behind snapshot here, inside the job, so it
+		// is counted before the job itself retires — Personalize balances
+		// this via scheduleSnapshot's pendingDone.
+		s.pendingAdd(&s.pendingSnaps)
 	}
 	return &Personalization{
 		Key:      key,
@@ -251,7 +364,7 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, error
 		Accuracy: clone.Accuracy(test.X, test.Labels),
 		engine:   eng,
 		clf:      clone,
-	}, nil
+	}, false, nil
 }
 
 // Predict personalizes (or fetches) the engine for the class set and runs

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/inference"
+	"repro/internal/nn"
+)
+
+// ErrNoSnapshotDir reports a snapshot operation on a server configured
+// without Options.SnapshotDir.
+var ErrNoSnapshotDir = errors.New("serve: snapshot store not configured")
+
+// snapshotStore is the durable side of the engine cache: one checkpoint v2
+// record per personalized class set, plus an index file naming the records
+// that are valid. Record writes go to a unique temp file and are renamed
+// into place, so concurrent writers and a crash mid-write can never leave a
+// torn record behind the index.
+type snapshotStore struct {
+	dir string
+
+	// mu guards index (in memory and its file): index rewrites must not
+	// interleave.
+	mu    sync.Mutex
+	index checkpoint.Index
+}
+
+// openStore opens (creating if needed) a snapshot directory. An unreadable
+// or corrupt index fails the server loudly: silently starting empty would
+// orphan every existing record, and the next write would rewrite the index
+// without them — the opposite of durability. (A write torn by a crash is
+// not corruption: ReadIndex drops the partial tail entry.) The journal is
+// compacted back to one entry per key on open.
+func openStore(dir string) (*snapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+	}
+	path := filepath.Join(dir, checkpoint.IndexFile)
+	idx, err := checkpoint.ReadIndex(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot index: %w", err)
+	}
+	// Compact whenever the file exists — even to an empty index: this
+	// truncates a torn tail left by a crash, so later appends never
+	// concatenate onto a partial line.
+	if _, statErr := os.Stat(path); statErr == nil {
+		if err := checkpoint.WriteIndex(path, idx); err != nil {
+			return nil, fmt.Errorf("serve: compacting snapshot index: %w", err)
+		}
+	}
+	return &snapshotStore{dir: dir, index: idx}, nil
+}
+
+// fileFor names the record file of a key. Keys can be arbitrarily long
+// class lists, so the name is a hash; the index maps keys to names and the
+// record itself carries the key, which load verifies against collisions.
+func fileFor(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("p%016x.ckpt", h.Sum64())
+}
+
+// has reports whether a record for key is indexed.
+func (st *snapshotStore) has(key string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.index[key]
+	return ok
+}
+
+// keys returns the indexed keys in sorted order.
+func (st *snapshotStore) keys() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.index))
+	for k := range st.index {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// put durably writes one personalization record and indexes it.
+func (st *snapshotStore) put(rec checkpoint.PersonalizationRecord, clf *nn.Classifier) error {
+	name := fileFor(rec.Key)
+	tmp, err := os.CreateTemp(st.dir, name+".*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := checkpoint.SavePersonalization(tmp, rec, clf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(st.dir, name)); err != nil {
+		return err
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.index[rec.Key] == name {
+		// Re-snapshot of an already-indexed key (e.g. healing a corrupt
+		// record): the rename replaced the file, no journal entry needed.
+		return nil
+	}
+	if err := checkpoint.AppendIndex(filepath.Join(st.dir, checkpoint.IndexFile), rec.Key, name); err != nil {
+		return err
+	}
+	st.index[rec.Key] = name
+	return nil
+}
+
+// load restores the record for key into clf. It returns ErrNoSnapshot when
+// the key is not indexed; any other error means the record exists but could
+// not be used (corrupt, truncated, or a hash collision with another key).
+func (st *snapshotStore) load(key string, clf *nn.Classifier) (checkpoint.PersonalizationRecord, error) {
+	st.mu.Lock()
+	name, ok := st.index[key]
+	st.mu.Unlock()
+	if !ok {
+		return checkpoint.PersonalizationRecord{}, errNoSnapshot
+	}
+	f, err := os.Open(filepath.Join(st.dir, name))
+	if err != nil {
+		return checkpoint.PersonalizationRecord{}, err
+	}
+	defer f.Close()
+	rec, err := checkpoint.LoadPersonalization(f, clf)
+	if err != nil {
+		return rec, fmt.Errorf("serve: snapshot %s: %w", name, err)
+	}
+	if rec.Key != key {
+		return rec, fmt.Errorf("serve: snapshot %s holds key %q, want %q", name, rec.Key, key)
+	}
+	return rec, nil
+}
+
+// errNoSnapshot distinguishes "never snapshotted" (a plain cache miss) from
+// a record that exists but fails to load (counted in Stats.RestoreErrors).
+var errNoSnapshot = errors.New("serve: no snapshot for key")
+
+// restoreOne rebuilds a Personalization from its disk record: the pruned
+// weights and masks load into a fresh clone and the sparse formats are
+// recompiled from the masks — compiled CSR/CRISP buffers are never
+// persisted, so the on-disk format stays independent of the kernel layout.
+func (s *Server) restoreOne(key string) (*Personalization, error) {
+	clone := s.build()
+	rec, err := s.store.load(key, clone)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := inference.New(clone, s.opts.Prune.BlockSize, s.opts.Prune.NM)
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling restored engine for {%s}: %w", key, err)
+	}
+	return &Personalization{
+		Key:      key,
+		Classes:  rec.Classes,
+		Report:   rec.Report,
+		Accuracy: rec.Accuracy,
+		engine:   eng,
+		clf:      clone,
+	}, nil
+}
+
+// Restore rebuilds engines from indexed snapshot records and inserts them
+// into the cache (the warm-restart path), stopping once the cache is full:
+// building engines the LRU would immediately evict is wasted startup time,
+// and the miss path restores any remaining key lazily on first request.
+// Records that fail to load are skipped and counted in
+// Stats.RestoreErrors — a corrupt snapshot must never take the server
+// down. It returns the number restored; keys already cached are left
+// untouched. Restore is safe to run concurrently with serving traffic.
+func (s *Server) Restore() (int, error) {
+	if s.store == nil {
+		return 0, ErrNoSnapshotDir
+	}
+	restored := 0
+	for _, key := range s.store.keys() {
+		s.mu.Lock()
+		_, cached := s.entries[key]
+		full := s.lru.Len() >= s.opts.CacheSize
+		s.mu.Unlock()
+		if full {
+			break
+		}
+		if cached {
+			continue
+		}
+		p, err := s.restoreOne(key)
+		if err != nil {
+			s.mu.Lock()
+			s.stats.RestoreErrors++
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Lock()
+		// A concurrent personalization may have cached the key while the
+		// engine compiled; only a real insert counts as a restore.
+		if s.insertLocked(key, p) {
+			s.stats.RestoreHits++
+			restored++
+		}
+		s.mu.Unlock()
+	}
+	return restored, nil
+}
+
+// Flush waits for pending write-behind snapshots, then synchronously writes
+// every cached personalization that is not yet on disk (the explicit-flush
+// admin path). It returns the number of records written; write failures are
+// counted in Stats.SnapshotErrors and the first one is returned.
+func (s *Server) Flush() (int, error) {
+	if s.store == nil {
+		return 0, ErrNoSnapshotDir
+	}
+	s.pendingWait(&s.pendingSnaps)
+
+	s.mu.Lock()
+	pending := make([]*Personalization, 0, len(s.entries))
+	for _, el := range s.entries {
+		p := el.Value.(*Personalization)
+		if !s.store.has(p.Key) {
+			pending = append(pending, p)
+		}
+	}
+	s.mu.Unlock()
+
+	written := 0
+	var firstErr error
+	for _, p := range pending {
+		if err := s.writeSnapshot(p); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		written++
+	}
+	return written, firstErr
+}
+
+// scheduleSnapshot queues the write-behind snapshot of p on the worker
+// pool: personalization latency and Predict never wait on disk. The
+// pending write was already registered (pendingSnaps) by the pruning job
+// itself (see personalize), so a personalization completed before Close
+// returns is never lost — Close drains the jobs and then waits out the
+// registered writes; on a closed pool they run inline.
+func (s *Server) scheduleSnapshot(p *Personalization) {
+	go func() {
+		defer s.pendingDone(&s.pendingSnaps)
+		s.pool.Do(func() { s.writeSnapshot(p) })
+	}()
+}
+
+// writeSnapshot persists one personalization and updates the counters.
+func (s *Server) writeSnapshot(p *Personalization) error {
+	err := s.store.put(checkpoint.PersonalizationRecord{
+		Key:      p.Key,
+		Classes:  p.Classes,
+		Accuracy: p.Accuracy,
+		Report:   p.Report,
+	}, p.clf)
+	s.mu.Lock()
+	if err != nil {
+		s.stats.SnapshotErrors++
+	} else {
+		s.stats.SnapshotWrites++
+	}
+	s.mu.Unlock()
+	return err
+}
