@@ -3,7 +3,9 @@ package crisp
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/data"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pruner"
+	"repro/internal/serve"
 	"repro/internal/sparsity"
 	"repro/internal/tensor"
 )
@@ -427,3 +430,93 @@ func BenchmarkAblation_MixedNM(b *testing.B) {
 		}
 	}
 }
+
+// --- Serving-layer benchmarks (the dynamic-batching hot path) ---
+
+// serveBenchEnv shares one tiny dataset and pretrained universal model
+// across the serving benchmarks; each benchmark builds its own Server so
+// batching configurations never interfere.
+type serveBenchEnv struct {
+	ds    *data.Dataset
+	build func() *nn.Classifier
+	base  *nn.Classifier
+}
+
+var benchServeEnv = sync.OnceValue(func() *serveBenchEnv {
+	cfg := data.Config{Name: "bench-serve", NumClasses: 8, Channels: 3, H: 8, W: 8, Noise: 0.25, Jitter: 1, Seed: 31}
+	ds := data.New(cfg)
+	// The transformer is the family where per-sample serving hurts most:
+	// each sample offers the SpMM only a handful of token columns, so the
+	// metadata decode amortizes only across a batch (see the
+	// Inference_Transformer* benchmarks) — exactly the workload
+	// cross-request batching exists for.
+	build := func() *nn.Classifier {
+		return models.Build(models.Transformer, rand.New(rand.NewSource(33)), cfg.NumClasses, 2)
+	}
+	base := build()
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	opt := nn.NewSGD(0.05, 0.9, 4e-5)
+	pruner.Finetune(base, ds.MakeSplit("pretrain", all, 8), 2, 16, opt, rand.New(rand.NewSource(34)))
+	return &serveBenchEnv{ds: ds, build: build, base: base}
+})
+
+// benchServePredict drives 16 concurrent clients, each issuing b.N
+// single-sample Predict calls against one personalization — the busy-tenant
+// workload dynamic batching exists for. One benchmark op is one predict per
+// client (16 predicts), so Concurrent vs Solo ns/op is directly the
+// throughput ratio of batching on vs off.
+func benchServePredict(b *testing.B, maxBatch int) {
+	env := benchServeEnv()
+	s, err := serve.NewServer(env.build, env.base, env.ds, serve.Options{
+		Prune: pruner.Options{
+			Target: 0.9, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+			Iterations: 1, FinetuneEpochs: 1, BatchSize: 16, LR: 0.01,
+		},
+		TrainPerClass: 8,
+		TestPerClass:  4,
+		MaxBatch:      maxBatch,
+		Linger:        time.Millisecond,
+		MaxQueue:      1024,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	classes := []int{1, 5}
+	if _, _, err := s.Personalize(classes); err != nil {
+		b.Fatal(err)
+	}
+	const clients = 16
+	split := env.ds.MakeSplit("bench-predict", classes, clients/2)
+	xs := make([]*tensor.Tensor, clients)
+	vol := env.ds.Channels * env.ds.H * env.ds.W
+	for i := range xs {
+		xs[i] = tensor.FromSlice(split.X.Data[i*vol:(i+1)*vol], 1, env.ds.Channels, env.ds.H, env.ds.W)
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Predict(classes, xs[c]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServePredict_Concurrent is the batched serving path: concurrent
+// predicts coalesce into shared engine invocations (MaxBatch 16). The
+// acceptance bar is ≥1.5× the throughput of ServePredict_Solo.
+func BenchmarkServePredict_Concurrent(b *testing.B) { benchServePredict(b, 16) }
+
+// BenchmarkServePredict_Solo is the same workload with batching disabled
+// (MaxBatch 1): every request runs its own engine call — the pre-batching
+// serving path, kept as the baseline for the coalescing win.
+func BenchmarkServePredict_Solo(b *testing.B) { benchServePredict(b, 1) }

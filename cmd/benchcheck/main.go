@@ -1,0 +1,165 @@
+// Command benchcheck turns `go test -bench` output into a machine-readable
+// JSON artifact and gates benchmark regressions against a checked-in
+// baseline — the CI side of the serving/inference micro-benchmarks.
+//
+// Usage:
+//
+//	go test -bench 'Inference|Serve' -benchtime 1x -run '^$' . | \
+//	    benchcheck -out BENCH_serve.json -baseline BENCH_baseline.json
+//
+// The gate fails (exit 1) when any baseline benchmark regresses by more
+// than -threshold (default 0.30, i.e. +30% ns/op), or disappeared from the
+// run entirely (a deleted or renamed benchmark must refresh the baseline).
+// Benchmarks absent from the baseline are reported but never fail — they
+// are adopted on the next refresh. Sub-(-min-ns) baselines are skipped:
+// below that scale, scheduler noise swamps any real regression.
+//
+// Refresh the baseline by re-running the same pipeline with -out pointed at
+// the baseline file (see README "Benchmark regression gate").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkServePredict_Concurrent-8   20   706111 ns/op   12 flop/op
+//
+// capturing the name (GOMAXPROCS suffix stripped) and the ns/op value,
+// which gotest prints as an integer or a float depending on magnitude.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// Report is the BENCH_serve.json schema: benchmark name → ns/op.
+type Report struct {
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// parseBench extracts ns/op per benchmark from `go test -bench` output.
+// Duplicate names (e.g. -count > 1) keep the minimum: the repeat least
+// disturbed by the machine is the closest to the code's true cost.
+func parseBench(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return rep, fmt.Errorf("benchcheck: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if old, ok := rep.Benchmarks[m[1]]; !ok || ns < old {
+			rep.Benchmarks[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return rep, fmt.Errorf("benchcheck: no benchmark lines found in input")
+	}
+	return rep, nil
+}
+
+// gate compares a run against the baseline and returns human-readable
+// verdict lines plus the failures. minNS skips baselines too small to gate
+// (pure scheduler noise at that scale).
+func gate(run, base Report, threshold, minNS float64) (lines []string, failures []string) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		old := base.Benchmarks[name]
+		ns, ok := run.Benchmarks[name]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from the run (refresh the baseline if it was removed)", name))
+		case old < minNS:
+			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (baseline %.0f below the %.0f ns gate floor, skipped)", name, ns, old, minNS))
+		case ns > old*(1+threshold):
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
+				name, ns, old, 100*(ns/old-1), 100*threshold))
+		default:
+			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%)", name, ns, old, 100*(ns/old-1)))
+		}
+	}
+	for name := range run.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (new, not in baseline)", name, run.Benchmarks[name]))
+		}
+	}
+	return lines, failures
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "bench output to read (- = stdin)")
+		out       = flag.String("out", "", "write the run as JSON to this path (empty: don't)")
+		baseline  = flag.String("baseline", "", "baseline JSON to gate against (empty: no gate)")
+		threshold = flag.Float64("threshold", 0.30, "max allowed ns/op regression, as a fraction")
+		minNS     = flag.Float64("min-ns", 100_000, "skip baselines below this many ns/op (noise floor)")
+	)
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	run, err := parseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmark(s) to %s\n", len(run.Benchmarks), *out)
+	}
+	if *baseline == "" {
+		return
+	}
+	buf, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var base Report
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatal(fmt.Errorf("benchcheck: baseline %s: %w", *baseline, err))
+	}
+	lines, failures := gate(run, base, *threshold, *minNS)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "REGRESSION "+f)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInference_SparseBatch16 	      10	  12288496 ns/op
+BenchmarkInference_TransformerBatch16-8 	      10	    870526 ns/op
+BenchmarkServePredict_Concurrent 	      20	    706111 ns/op
+BenchmarkGEMM 	     100	  11479391 ns/op	 115605504 flop/op
+BenchmarkTiny 	 1000000	      1052 ns/op
+PASS
+ok  	repro	3.797s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkInference_SparseBatch16":      12288496,
+		"BenchmarkInference_TransformerBatch16": 870526, // -8 suffix stripped
+		"BenchmarkServePredict_Concurrent":      706111,
+		"BenchmarkGEMM":                         11479391, // extra flop/op metric ignored
+		"BenchmarkTiny":                         1052,
+	}
+	if len(rep.Benchmarks) != len(want) {
+		t.Fatalf("parsed %v, want %d entries", rep.Benchmarks, len(want))
+	}
+	for name, ns := range want {
+		if rep.Benchmarks[name] != ns {
+			t.Errorf("%s = %v, want %v", name, rep.Benchmarks[name], ns)
+		}
+	}
+}
+
+func TestParseBenchKeepsMinimumOfRepeats(t *testing.T) {
+	out := "BenchmarkX \t 10\t 2000000 ns/op\nBenchmarkX \t 10\t 1500000 ns/op\n"
+	rep, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks["BenchmarkX"] != 1500000 {
+		t.Fatalf("repeats must keep the fastest: got %v", rep.Benchmarks["BenchmarkX"])
+	}
+}
+
+func TestParseBenchRejectsEmptyInput(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("no benchmark lines must be an error, not an empty artifact")
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := Report{Benchmarks: map[string]float64{
+		"BenchmarkSteady":  1_000_000,
+		"BenchmarkSlower":  1_000_000,
+		"BenchmarkGone":    1_000_000,
+		"BenchmarkTooTiny": 10_000, // below the noise floor
+	}}
+	run := Report{Benchmarks: map[string]float64{
+		"BenchmarkSteady":  1_250_000, // +25%: inside the 30% budget
+		"BenchmarkSlower":  1_400_000, // +40%: regression
+		"BenchmarkTooTiny": 90_000,    // +800% but under the floor: skipped
+		"BenchmarkNew":     5_000_000, // not in baseline: reported, not failed
+	}}
+	lines, failures := gate(run, base, 0.30, 100_000)
+	if len(failures) != 2 {
+		t.Fatalf("failures %v, want regression + missing", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, "BenchmarkSlower") || !strings.Contains(joined, "+40.0%") {
+		t.Errorf("missing the +40%% regression: %v", failures)
+	}
+	if !strings.Contains(joined, "BenchmarkGone") || !strings.Contains(joined, "missing from the run") {
+		t.Errorf("missing the vanished-benchmark failure: %v", failures)
+	}
+	all := strings.Join(lines, "\n")
+	for _, want := range []string{"BenchmarkSteady", "BenchmarkTooTiny", "skipped", "BenchmarkNew", "not in baseline"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("verdict lines missing %q:\n%s", want, all)
+		}
+	}
+}
+
+func TestGateCleanRun(t *testing.T) {
+	base := Report{Benchmarks: map[string]float64{"BenchmarkA": 1_000_000}}
+	run := Report{Benchmarks: map[string]float64{"BenchmarkA": 900_000}}
+	lines, failures := gate(run, base, 0.30, 100_000)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures %v", failures)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "-10.0%") {
+		t.Fatalf("lines %v", lines)
+	}
+}

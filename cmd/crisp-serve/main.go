@@ -10,10 +10,16 @@
 //	POST /predict     {"classes":[3,17,42], "inputs":[[...C*H*W floats...], ...]}
 //	POST /snapshot    (flush every cached engine to the snapshot dir)
 //	GET  /stats
+//	GET  /metrics     (Prometheus text exposition of the /stats counters)
 //
 // With -snapshot-dir the server is durable: completed personalizations are
 // snapshotted write-behind, evicted engines keep their disk copy, and a
 // restart restores every engine from disk instead of re-pruning.
+//
+// Concurrent /predict requests for the same class set coalesce into shared
+// engine invocations (dynamic batching; -max-batch, -linger, -max-queue).
+// When a personalization's predict queue is full the server sheds load
+// with 429 Too Many Requests instead of queueing without bound.
 //
 // Usage:
 //
@@ -25,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -53,6 +60,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "personalization worker bound (0 = GOMAXPROCS)")
 		cacheSize  = flag.Int("cache", 64, "maximum cached engines (LRU beyond)")
 		snapDir    = flag.String("snapshot-dir", "", "durable personalization store directory (empty: memory-only)")
+		maxBatch   = flag.Int("max-batch", 16, "coalesce concurrent predicts up to this many samples per engine call (1 disables batching)")
+		linger     = flag.Duration("linger", 2*time.Millisecond, "max time a predict waits for batch mates before flushing")
+		maxQueue   = flag.Int("max-queue", 256, "per-personalization predict queue bound in samples (full queue replies 429)")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -97,6 +107,9 @@ func main() {
 		CacheSize:   *cacheSize,
 		Prune:       prune,
 		SnapshotDir: *snapDir,
+		MaxBatch:    *maxBatch,
+		Linger:      *linger,
+		MaxQueue:    *maxQueue,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -113,7 +126,8 @@ func main() {
 		log.Printf("restored %d personalization(s) from %s (%d bad record(s) skipped)", n, *snapDir, st.RestoreErrors)
 	}
 
-	log.Printf("serving on %s (%d workers, cache %d)", *addr, s.Stats().Workers, *cacheSize)
+	log.Printf("serving on %s (%d workers, cache %d, max-batch %d, linger %v, max-queue %d)",
+		*addr, s.Stats().Workers, *cacheSize, *maxBatch, *linger, *maxQueue)
 	log.Fatal(http.ListenAndServe(*addr, newMux(s, ds)))
 }
 
@@ -174,7 +188,7 @@ func newMux(s *serve.Server, ds *data.Dataset) *http.ServeMux {
 			}
 			preds, err := s.Predict(canon, x)
 			if err != nil {
-				httpError(w, http.StatusInternalServerError, err)
+				httpError(w, predictStatus(err), err)
 				return
 			}
 			writeJSON(w, map[string]any{"key": key, "predictions": preds, "samples": len(preds)})
@@ -182,7 +196,7 @@ func newMux(s *serve.Server, ds *data.Dataset) *http.ServeMux {
 		}
 		preds, labels, acc, err := s.PredictSamples(canon, req.Samples)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
+			httpError(w, predictStatus(err), err)
 			return
 		}
 		writeJSON(w, map[string]any{
@@ -213,7 +227,65 @@ func newMux(s *serve.Server, ds *data.Dataset) *http.ServeMux {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetrics(w, s.Stats())
+	})
 	return mux
+}
+
+// predictStatus maps a predict-path error to its HTTP status: admission
+// rejections are the caller's signal to back off (429), everything else is
+// a server-side failure.
+func predictStatus(err error) int {
+	if errors.Is(err, serve.ErrOverloaded) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusInternalServerError
+}
+
+// writeMetrics renders the serve.Stats counters in the Prometheus text
+// exposition format, including the batch-size distribution as a proper
+// cumulative histogram.
+func writeMetrics(w io.Writer, st serve.Stats) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP crisp_serve_%s %s\n# TYPE crisp_serve_%s counter\ncrisp_serve_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP crisp_serve_%s %s\n# TYPE crisp_serve_%s gauge\ncrisp_serve_%s %d\n", name, help, name, name, v)
+	}
+	counter("requests_total", "Personalize calls, including cache hits.", st.Requests)
+	counter("cache_hits_total", "Requests served from the engine cache.", st.CacheHits)
+	counter("cache_misses_total", "Requests that started a pruning job.", st.CacheMisses)
+	counter("dedup_joins_total", "Requests that joined an in-flight identical job.", st.DedupJoins)
+	counter("evictions_total", "Engines dropped by the LRU policy.", st.Evictions)
+	counter("personalizations_total", "Completed pruning jobs.", st.Personalizations)
+	counter("predict_batches_total", "Engine invocations on the predict path.", st.PredictBatches)
+	counter("samples_predicted_total", "Samples served by those invocations.", st.SamplesPredicted)
+	counter("rejected_total", "Predicts dropped by admission control (429).", st.Rejected)
+	counter("flush_size_total", "Batches flushed by reaching max-batch.", st.FlushSize)
+	counter("flush_linger_total", "Batches flushed by the linger timer.", st.FlushLinger)
+	counter("flush_forced_total", "Partial batches forced out by a drain.", st.FlushForced)
+	counter("predict_ns_total", "Wall nanoseconds inside predict engine calls.", st.PredictNS)
+	counter("snapshot_writes_total", "Personalization records written to disk.", st.SnapshotWrites)
+	counter("snapshot_errors_total", "Failed snapshot writes.", st.SnapshotErrors)
+	counter("restore_hits_total", "Engines rebuilt from disk instead of re-pruned.", st.RestoreHits)
+	counter("restore_errors_total", "Snapshot records that failed to load.", st.RestoreErrors)
+	gauge("cached_engines", "Engines currently in the LRU cache.", st.CachedEngines)
+	gauge("in_flight", "Personalization jobs currently running.", st.InFlight)
+	gauge("queue_depth", "Samples waiting in predict queues.", st.QueueDepth)
+	gauge("workers", "Worker pool bound.", st.Workers)
+
+	// Batch sizes as a cumulative histogram; Stats buckets are per-range.
+	fmt.Fprintf(w, "# HELP crisp_serve_batch_size Samples per predict engine invocation.\n# TYPE crisp_serve_batch_size histogram\n")
+	bounds := []string{"1", "2", "4", "8", "16", "32", "64", "+Inf"}
+	cum := uint64(0)
+	for i, le := range bounds {
+		cum += st.BatchSizeHist[i]
+		fmt.Fprintf(w, "crisp_serve_batch_size_bucket{le=%q} %d\n", le, cum)
+	}
+	fmt.Fprintf(w, "crisp_serve_batch_size_sum %d\n", st.SamplesPredicted)
+	fmt.Fprintf(w, "crisp_serve_batch_size_count %d\n", st.PredictBatches)
 }
 
 // inputsToBatch validates caller-provided images against the dataset shape

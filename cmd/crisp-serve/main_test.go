@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/models"
@@ -29,6 +32,13 @@ func newTestMux(t *testing.T) (*http.ServeMux, *serve.Server, *data.Dataset) {
 // the same deployment.
 func newTestMuxSnapshot(t *testing.T, snapshotDir string) (*http.ServeMux, *serve.Server, *data.Dataset) {
 	t.Helper()
+	return newTestMuxOpts(t, func(o *serve.Options) { o.SnapshotDir = snapshotDir })
+}
+
+// newTestMuxOpts lets a test override the serving options (batching knobs,
+// snapshot dir) before the server is built.
+func newTestMuxOpts(t *testing.T, mutate func(*serve.Options)) (*http.ServeMux, *serve.Server, *data.Dataset) {
+	t.Helper()
 	ds := data.New(data.Config{
 		Name: "serve-http-test", NumClasses: 6, Channels: 3, H: 8, W: 8,
 		Noise: 0.25, Jitter: 1, Seed: 9,
@@ -39,15 +49,18 @@ func newTestMuxSnapshot(t *testing.T, snapshotDir string) (*http.ServeMux, *serv
 	base := build()
 	opt := nn.NewSGD(0.05, 0.9, 4e-5)
 	pruner.Finetune(base, ds.MakeSplit("pretrain", []int{0, 1, 2, 3, 4, 5}, 8), 2, 16, opt, rand.New(rand.NewSource(62)))
-	s, err := serve.NewServer(build, base, ds, serve.Options{
+	opts := serve.Options{
 		Prune: pruner.Options{
 			Target: 0.7, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
 			Iterations: 1, FinetuneEpochs: 1, BatchSize: 8, LR: 0.01,
 		},
 		TrainPerClass: 6,
 		TestPerClass:  4,
-		SnapshotDir:   snapshotDir,
-	})
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	s, err := serve.NewServer(build, base, ds, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,6 +262,92 @@ func TestSnapshotEndpointAndWarmRestart(t *testing.T) {
 	}
 	if st.CacheHits != 1 {
 		t.Fatalf("restored engine not served from cache: %+v", st)
+	}
+}
+
+// TestMetricsEndpoint: /metrics renders every counter family in the
+// Prometheus text format, with the batch-size histogram cumulative and
+// consistent with the /stats counters.
+func TestMetricsEndpoint(t *testing.T) {
+	mux, s, _ := newTestMux(t)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1, 3}, "samples": 4}, nil); code != http.StatusOK {
+		t.Fatalf("/predict status %d", code)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	st := s.Stats()
+	for _, want := range []string{
+		fmt.Sprintf("crisp_serve_requests_total %d\n", st.Requests),
+		fmt.Sprintf("crisp_serve_predict_batches_total %d\n", st.PredictBatches),
+		fmt.Sprintf("crisp_serve_samples_predicted_total %d\n", st.SamplesPredicted),
+		"crisp_serve_rejected_total 0\n",
+		"crisp_serve_queue_depth 0\n",
+		fmt.Sprintf("crisp_serve_batch_size_bucket{le=\"+Inf\"} %d\n", st.PredictBatches),
+		fmt.Sprintf("crisp_serve_batch_size_count %d\n", st.PredictBatches),
+		fmt.Sprintf("crisp_serve_batch_size_sum %d\n", st.SamplesPredicted),
+		"# TYPE crisp_serve_batch_size histogram\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestPredictOverload429: a full predict queue surfaces as HTTP 429 (the
+// admission-control contract), not a 500.
+func TestPredictOverload429(t *testing.T) {
+	mux, s, ds := newTestMuxOpts(t, func(o *serve.Options) {
+		o.MaxBatch = 100
+		o.Linger = 30 * time.Second // only DrainBatches flushes
+		o.MaxQueue = 1
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Build the engine first so the predicts below only queue.
+	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{0, 2}}, nil); code != http.StatusOK {
+		t.Fatalf("/personalize status %d", code)
+	}
+	input := make([]float64, ds.Channels*ds.H*ds.W)
+	body := map[string]any{"classes": []int{0, 2}, "inputs": [][]float64{input}}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if code := postJSON(t, srv, "/predict", body, nil); code != http.StatusOK {
+			t.Errorf("queued predict status %d", code)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().QueueDepth != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first predict never queued")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	if code := postJSON(t, srv, "/predict", body, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("overflow predict status %d, want 429", code)
+	}
+	s.DrainBatches()
+	wg.Wait()
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Fatalf("Rejected %d, want 1", st.Rejected)
 	}
 }
 

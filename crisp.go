@@ -25,6 +25,12 @@
 //	p, cached, err := srv.Personalize([]int{3, 17, 42})
 //	preds, err := srv.Predict([]int{3, 17, 42}, batch) // batch: [B,C,H,W]
 //
+// Concurrent Predict calls against the same personalization coalesce into
+// shared engine invocations (cross-request dynamic batching; tune with
+// ServerConfig.MaxBatch/Linger/MaxQueue) with results bit-identical to
+// running each request alone; when a personalization's queue is full the
+// server sheds load with ErrOverloaded instead of queueing without bound.
+//
 // Set ServerConfig.SnapshotDir to make the server durable: completed
 // personalizations are snapshotted to disk write-behind, evicted engines
 // keep their disk copy, and NewServer warm-restarts from the directory —
@@ -166,8 +172,18 @@ type Deployment struct {
 // internal/serve for the cache semantics and HTTP surface).
 type Server = serve.Server
 
-// ServerConfig re-exports the serving options.
+// ServerConfig re-exports the serving options, including the dynamic
+// batching knobs: MaxBatch coalesces concurrent Predict calls against one
+// personalization into shared engine invocations (1 disables), Linger
+// bounds how long a lone request waits for batch mates, and MaxQueue is
+// the admission-control bound — a full queue rejects with ErrOverloaded
+// instead of queueing without bound.
 type ServerConfig = serve.Options
+
+// ErrOverloaded re-exports the admission-control rejection: the
+// personalization's predict queue is full and the request was dropped.
+// Callers should back off and retry (cmd/crisp-serve maps it to HTTP 429).
+var ErrOverloaded = serve.ErrOverloaded
 
 // Personalization re-exports one cached tenant model.
 type Personalization = serve.Personalization

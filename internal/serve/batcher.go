@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// ErrOverloaded reports an admission-control rejection: the personalization's
+// predict queue is full, so the request was dropped instead of queued without
+// bound. cmd/crisp-serve maps it to HTTP 429; callers should back off and
+// retry.
+var ErrOverloaded = errors.New("serve: overloaded: predict queue full")
+
+// predictReq is one caller's Predict waiting in a batcher's queue. The
+// caller blocks on done; the flusher fills preds/err before closing it.
+type predictReq struct {
+	x    *tensor.Tensor // [B,C,H,W]
+	rows int            // x.Shape[0]
+	done chan struct{}
+	// preds is this request's slice of the fanned-out batch result; err is
+	// set instead when the whole batch failed (or the queue rejected it
+	// before enqueueing).
+	preds []int
+	err   error
+}
+
+// batcher coalesces concurrent Predict calls against one personalized
+// engine into shared LogitsBatch invocations. There is no background
+// goroutine: the first caller into an empty queue becomes the batch
+// *leader*, waits up to linger for followers to accumulate (woken early via
+// kick when the queue reaches maxBatch samples), then takes the whole queue,
+// runs one engine call over the concatenated inputs, and fans the argmax
+// rows back out to every waiter. Followers just block on their request.
+//
+// The engine call is bit-identical to running each request alone: batched
+// SpMM accumulates every output element in the same order regardless of
+// batch size (see inference.Engine.LogitsBatch), and tensor.Concat is a
+// pure row-wise copy.
+//
+// Admission control: at most maxQueue samples wait in the queue; a request
+// that would overflow it is rejected with ErrOverloaded instead of queueing
+// unboundedly (a single request larger than maxQueue is still admitted when
+// the queue is empty — it flushes as its own batch and could never be
+// admitted otherwise).
+type batcher struct {
+	run      func(*tensor.Tensor) []int // one engine invocation over a batch
+	maxBatch int                        // soft flush threshold, in samples
+	linger   time.Duration              // leader's max wait for followers
+	maxQueue int                        // admission bound, in samples
+	counters *predictCounters           // shared with the owning Server
+
+	mu      sync.Mutex
+	pending []*predictReq
+	queued  int  // samples in pending
+	forced  bool // a forceFlush kicked the current generation
+
+	// kick wakes a lingering leader early (queue reached maxBatch, or a
+	// forced flush). Buffered so enqueuers never block on it; sends and
+	// drains happen under mu, so a kick can never go stale.
+	kick chan struct{}
+}
+
+// newBatcher builds the per-personalization batcher, or returns nil when
+// batching is disabled (MaxBatch <= 1): a nil batcher makes Server.Predict
+// take the solo path.
+func (s *Server) newBatcher(run func(*tensor.Tensor) []int) *batcher {
+	if s.opts.MaxBatch <= 1 {
+		return nil
+	}
+	return &batcher{
+		run:      run,
+		maxBatch: s.opts.MaxBatch,
+		linger:   s.opts.Linger,
+		maxQueue: s.opts.MaxQueue,
+		counters: &s.counters,
+		kick:     make(chan struct{}, 1),
+	}
+}
+
+// submit enqueues x, drives the flush if this caller is the leader, and
+// blocks until the request's rows are predicted (or rejected/failed).
+func (b *batcher) submit(x *tensor.Tensor) ([]int, error) {
+	req := &predictReq{x: x, rows: x.Shape[0], done: make(chan struct{})}
+
+	b.mu.Lock()
+	if b.queued > 0 && b.queued+req.rows > b.maxQueue {
+		b.mu.Unlock()
+		b.counters.rejected.Add(1)
+		return nil, fmt.Errorf("%w (%d samples queued, bound %d)", ErrOverloaded, b.queued, b.maxQueue)
+	}
+	leader := len(b.pending) == 0
+	b.pending = append(b.pending, req)
+	b.queued += req.rows
+	b.counters.queued.Add(int64(req.rows))
+	if b.queued >= b.maxBatch {
+		b.kickLocked()
+	}
+	b.mu.Unlock()
+
+	if leader {
+		b.lead()
+	}
+	<-req.done
+	return req.preds, req.err
+}
+
+// kickLocked wakes the lingering leader without blocking; callers hold mu.
+func (b *batcher) kickLocked() {
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// forceFlush wakes the current leader immediately, flushing whatever is
+// queued without waiting out the linger (Server.DrainBatches; a no-op when
+// nothing is queued). The flush runs on the leader's goroutine — callers
+// that need the results delivered must wait on those requests, not on this.
+func (b *batcher) forceFlush() {
+	b.mu.Lock()
+	if b.queued > 0 {
+		b.forced = true
+		b.kickLocked()
+	}
+	b.mu.Unlock()
+}
+
+// lead is the leader's side of the protocol: linger, take the queue, run
+// the engine once, fan out.
+func (b *batcher) lead() {
+	if b.linger > 0 {
+		t := time.NewTimer(b.linger)
+		select {
+		case <-t.C:
+		case <-b.kick:
+			t.Stop()
+		}
+	}
+
+	b.mu.Lock()
+	batch := b.pending
+	total := b.queued
+	forced := b.forced
+	b.pending = nil
+	b.queued = 0
+	b.forced = false
+	b.counters.queued.Add(-int64(total))
+	// Drain a kick sent between the leader waking on the timer and taking
+	// the queue: it refers to requests this flush already covers, and must
+	// not wake the next leader early.
+	select {
+	case <-b.kick:
+	default:
+	}
+	b.mu.Unlock()
+
+	// Classify the flush by what actually took the queue, not by which
+	// channel happened to wake the leader: a full batch is a size flush
+	// even if the timer won the race, a forced drain of a partial batch is
+	// neither a size nor a linger flush.
+	switch {
+	case total >= b.maxBatch:
+		b.counters.flushSize.Add(1)
+	case forced:
+		b.counters.flushForced.Add(1)
+	default:
+		b.counters.flushLinger.Add(1)
+	}
+
+	x := batch[0].x
+	if len(batch) > 1 {
+		xs := make([]*tensor.Tensor, len(batch))
+		for i, r := range batch {
+			xs[i] = r.x
+		}
+		x = tensor.Concat(xs)
+	}
+	preds, err := b.invoke(x, total)
+	off := 0
+	for _, r := range batch {
+		if err != nil {
+			r.err = err
+		} else {
+			r.preds = preds[off : off+r.rows : off+r.rows]
+		}
+		off += r.rows
+		close(r.done)
+	}
+}
+
+// invoke runs one engine call over the concatenated batch, recovering a
+// panic into an error: a poisoned batch must fail every waiter, not strand
+// the followers behind a dead leader.
+func (b *batcher) invoke(x *tensor.Tensor, total int) (preds []int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: batched predict over %d samples failed: %v", total, r)
+		}
+	}()
+	start := time.Now()
+	preds = b.run(x)
+	b.counters.observe(total, time.Since(start))
+	return preds, nil
+}

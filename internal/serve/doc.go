@@ -30,6 +30,44 @@
 // Engine.Logits on a [B,C,H,W] batch), so B samples cost one SpMM per
 // layer rather than B.
 //
+// # Dynamic batching (Options.MaxBatch, Linger, MaxQueue)
+//
+// A busy tenant sends many concurrent Predict calls at one personalized
+// engine; with batching enabled (MaxBatch > 1, the default is 16) those
+// calls coalesce into shared engine invocations instead of each running
+// its own forward pass. Every cached Personalization owns a batcher, and
+// one request flows through it as:
+//
+//   - Admission: the input shape is validated against the dataset (a
+//     malformed tensor must never poison a shared batch) and the request is
+//     appended to the personalization's queue — unless the queue already
+//     holds MaxQueue samples, in which case the request is rejected
+//     immediately with ErrOverloaded (Stats.Rejected; HTTP 429 in
+//     cmd/crisp-serve). Load sheds at the door instead of queueing without
+//     bound. A single request larger than MaxQueue is still admitted when
+//     the queue is empty, since it could never be admitted otherwise.
+//   - Leading: the first request into an empty queue becomes the batch
+//     leader. There are no background goroutines — the leader's own
+//     goroutine waits up to Linger (default 2ms) for followers, woken
+//     early the moment the queue reaches MaxBatch samples
+//     (Stats.FlushSize / Stats.FlushLinger / Stats.FlushForced record
+//     whether MaxBatch, the timer, or a DrainBatches flushed each batch).
+//   - Flushing: the leader takes the whole queue, concatenates the inputs
+//     (tensor.Concat), runs ONE engine call (Stats.PredictBatches,
+//     Stats.PredictNS, Stats.BatchSizeHist), and fans the argmax rows back
+//     out to every waiting request. A panic inside the engine fails every
+//     rider with an error instead of stranding followers. Requests that
+//     arrived during the flush have already elected the next leader.
+//
+// Batched results are bit-identical to running each request alone — the
+// batched SpMM accumulates every output element in the same order
+// regardless of batch size — and the invariant survives snapshot restore,
+// because restored engines are themselves bit-identical. MaxBatch = 1
+// disables coalescing entirely: Predict calls the engine directly (the
+// pre-batching solo path, still counted in the predict stats).
+// Server.DrainBatches flushes all queued batches immediately — the
+// graceful-drain hook for shutdown.
+//
 // # Snapshot lifecycle (Options.SnapshotDir)
 //
 // With a snapshot directory configured the cache becomes durable, so a
@@ -80,8 +118,14 @@
 //	GET /stats
 //	  → the serve.Stats counters (requests, cache_hits, cache_misses,
 //	  dedup_joins, evictions, personalizations, predict_batches,
-//	  samples_predicted, snapshot_writes, snapshot_errors, restore_hits,
-//	  restore_errors, cached_engines, in_flight, workers).
+//	  samples_predicted, rejected, flush_size, flush_linger, flush_forced,
+//	  predict_ns, batch_size_hist, queue_depth, snapshot_writes,
+//	  snapshot_errors, restore_hits, restore_errors, cached_engines,
+//	  in_flight, workers).
+//
+//	GET /metrics
+//	  → the same counters in the Prometheus text exposition format
+//	  (crisp_serve_* families; batch sizes as a cumulative histogram).
 //
 // The same Pool type fans the experiment suite out across GOMAXPROCS
 // (exp.RunParallel), so the serving scheduler and the figure runner share

@@ -2,11 +2,14 @@ package serve
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/inference"
@@ -33,6 +36,21 @@ type Options struct {
 	// the worker pool), cache misses check disk before re-pruning, and
 	// Restore rebuilds every engine on startup. Empty means memory-only.
 	SnapshotDir string
+	// MaxBatch enables cross-request dynamic batching: concurrent Predict
+	// calls against one personalization coalesce into shared engine
+	// invocations, flushed once the queue holds MaxBatch samples (or the
+	// Linger timeout fires). 1 disables batching (every request runs its
+	// own engine call); <= 0 defaults to 16. Batched results are
+	// bit-identical to the solo path.
+	MaxBatch int
+	// Linger is how long a batch leader waits for more requests before
+	// flushing a sub-MaxBatch batch (<= 0: 2ms). It bounds the latency a
+	// lone request pays for the chance to share a batch.
+	Linger time.Duration
+	// MaxQueue bounds each personalization's predict queue, in samples;
+	// a request that would overflow it is rejected with ErrOverloaded
+	// (admission control) instead of queueing unboundedly (<= 0: 256).
+	MaxQueue int
 }
 
 // withDefaults fills unset serving options.
@@ -45,6 +63,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TestPerClass <= 0 {
 		o.TestPerClass = 16
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.Linger <= 0 {
+		o.Linger = 2 * time.Millisecond
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 256
 	}
 	o.Prune = o.Prune.WithDefaults()
 	return o
@@ -65,6 +92,9 @@ type Personalization struct {
 
 	engine *inference.Engine
 	clf    *nn.Classifier
+	// bat coalesces concurrent Predict calls against this engine; nil when
+	// batching is disabled (Options.MaxBatch <= 1).
+	bat *batcher
 }
 
 // Engine exposes the compiled sparse inference engine.
@@ -84,10 +114,30 @@ type Stats struct {
 	Evictions uint64 `json:"evictions"`
 	// Personalizations counts completed pruning jobs.
 	Personalizations uint64 `json:"personalizations"`
-	// PredictBatches and SamplesPredicted count batched inference calls and
-	// the samples they served.
+	// PredictBatches and SamplesPredicted count engine invocations on the
+	// predict path and the samples they served; with dynamic batching one
+	// batch serves many concurrent requests.
 	PredictBatches   uint64 `json:"predict_batches"`
 	SamplesPredicted uint64 `json:"samples_predicted"`
+	// Rejected counts Predict requests dropped by admission control
+	// (ErrOverloaded: the personalization's queue was full).
+	Rejected uint64 `json:"rejected"`
+	// FlushSize, FlushLinger and FlushForced partition batched flushes by
+	// trigger: the queue reached MaxBatch samples, the Linger timer fired
+	// first, or DrainBatches forced a partial batch out.
+	FlushSize   uint64 `json:"flush_size"`
+	FlushLinger uint64 `json:"flush_linger"`
+	FlushForced uint64 `json:"flush_forced"`
+	// PredictNS is cumulative wall time (nanoseconds) spent inside engine
+	// invocations on the predict path; PredictNS / PredictBatches is the
+	// mean batch latency.
+	PredictNS uint64 `json:"predict_ns"`
+	// BatchSizeHist is a histogram of engine-invocation batch sizes with
+	// upper bounds 1, 2, 4, 8, 16, 32, 64, +Inf (samples per invocation).
+	BatchSizeHist [8]uint64 `json:"batch_size_hist"`
+	// QueueDepth is the current number of samples waiting in predict
+	// queues across all personalizations.
+	QueueDepth int `json:"queue_depth"`
 	// SnapshotWrites counts personalization records durably written to the
 	// snapshot store; SnapshotErrors counts failed writes (the engine stays
 	// cached either way).
@@ -103,6 +153,36 @@ type Stats struct {
 	InFlight      int `json:"in_flight"`
 	// Workers echoes the pool bound.
 	Workers int `json:"workers"`
+}
+
+// predictCounters are the predict-path counters. The control-plane counters
+// (Personalize bookkeeping) stay under Server.mu — they already hold it for
+// the cache — but the predict fan-in is the hot path: with dynamic batching
+// many goroutines retire per-request counters concurrently, so these are
+// sync/atomic and never touch Server.mu (the -race storm in batcher_test.go
+// guards this split).
+type predictCounters struct {
+	batches     atomic.Uint64    // engine invocations
+	samples     atomic.Uint64    // samples those invocations served
+	rejected    atomic.Uint64    // admission-control drops
+	flushSize   atomic.Uint64    // batches flushed on MaxBatch
+	flushLinger atomic.Uint64    // batches flushed on the Linger timer
+	flushForced atomic.Uint64    // partial batches forced out by DrainBatches
+	latencyNS   atomic.Uint64    // cumulative engine wall time
+	queued      atomic.Int64     // gauge: samples waiting across batchers
+	hist        [8]atomic.Uint64 // batch sizes: <=1,2,4,8,16,32,64,+Inf
+}
+
+// observe retires one engine invocation of n samples taking d.
+func (c *predictCounters) observe(n int, d time.Duration) {
+	c.batches.Add(1)
+	c.samples.Add(uint64(n))
+	c.latencyNS.Add(uint64(d.Nanoseconds()))
+	b := 0
+	for bound := 1; b < len(c.hist)-1 && n > bound; b++ {
+		bound <<= 1
+	}
+	c.hist[b].Add(1)
 }
 
 // inflightCall tracks one running personalization so identical concurrent
@@ -140,7 +220,9 @@ type Server struct {
 	entries  map[string]*list.Element // key -> lru element holding *Personalization
 	lru      *list.List               // front = most recently used
 	inflight map[string]*inflightCall
-	stats    Stats
+	stats    Stats // control-plane counters only; see predictCounters
+
+	counters predictCounters
 }
 
 // NewServer builds a server around a pretrained universal model. build must
@@ -364,23 +446,69 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, bool,
 		Accuracy: clone.Accuracy(test.X, test.Labels),
 		engine:   eng,
 		clf:      clone,
+		bat:      s.newBatcher(eng.Predict),
 	}, false, nil
 }
 
 // Predict personalizes (or fetches) the engine for the class set and runs
-// one batched sparse forward pass over x ([B,C,H,W]), returning the
-// predicted class ids.
+// a sparse forward pass over x ([B,C,H,W]), returning the predicted class
+// ids. With batching enabled (Options.MaxBatch > 1) concurrent Predict
+// calls against the same personalization coalesce into shared engine
+// invocations — results are bit-identical to the solo path — and a full
+// queue rejects with ErrOverloaded instead of queueing unboundedly.
 func (s *Server) Predict(classes []int, x *tensor.Tensor) ([]int, error) {
+	// Validate the input first: a malformed tensor must not trigger a
+	// pruning job, let alone poison a shared batch.
+	if err := s.checkInput(x); err != nil {
+		return nil, err
+	}
 	p, _, err := s.Personalize(classes)
 	if err != nil {
 		return nil, err
 	}
+	if p.bat != nil {
+		return p.bat.submit(x)
+	}
+	start := time.Now()
 	preds := p.engine.Predict(x)
-	s.mu.Lock()
-	s.stats.PredictBatches++
-	s.stats.SamplesPredicted += uint64(len(preds))
-	s.mu.Unlock()
+	s.counters.observe(len(preds), time.Since(start))
 	return preds, nil
+}
+
+// DrainBatches kicks every queued predict batch to flush immediately
+// instead of letting the leaders wait out their linger, so lingering
+// batches never delay a shutdown. The flushes run on the leader
+// goroutines and may still be in flight when DrainBatches returns: the
+// waiting Predict callers receive their results as usual, so a shutdown
+// path that must see them out should wait on those callers (e.g.
+// http.Server.Shutdown draining its handlers) after calling this.
+// Requests queued after the drain batch normally.
+func (s *Server) DrainBatches() {
+	s.mu.Lock()
+	bats := make([]*batcher, 0, s.lru.Len())
+	for _, el := range s.entries {
+		if b := el.Value.(*Personalization).bat; b != nil {
+			bats = append(bats, b)
+		}
+	}
+	s.mu.Unlock()
+	for _, b := range bats {
+		b.forceFlush()
+	}
+}
+
+// checkInput validates a predict batch against the dataset shape before it
+// can reach an engine — essential with batching, where one malformed tensor
+// concatenated into a shared batch would fail every rider's request.
+func (s *Server) checkInput(x *tensor.Tensor) error {
+	if x == nil || len(x.Shape) != 4 || x.Shape[0] < 1 {
+		return errors.New("serve: predict input must be [B,C,H,W] with B >= 1")
+	}
+	if x.Shape[1] != s.ds.Channels || x.Shape[2] != s.ds.H || x.Shape[3] != s.ds.W {
+		return fmt.Errorf("serve: predict input shape %v, want [B,%d,%d,%d]",
+			x.Shape, s.ds.Channels, s.ds.H, s.ds.W)
+	}
+	return nil
 }
 
 // PredictSamples synthesizes n fresh samples of the class set, predicts
@@ -417,9 +545,22 @@ func (s *Server) PredictSamples(classes []int, n int) (preds, labels []int, acc 
 	return preds, sub.Labels, float64(correct) / float64(len(preds)), nil
 }
 
-// Stats returns a snapshot of the server counters.
+// Stats returns a snapshot of the server counters: the mu-guarded
+// control-plane counters merged with the atomic predict-path counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	st.PredictBatches = s.counters.batches.Load()
+	st.SamplesPredicted = s.counters.samples.Load()
+	st.Rejected = s.counters.rejected.Load()
+	st.FlushSize = s.counters.flushSize.Load()
+	st.FlushLinger = s.counters.flushLinger.Load()
+	st.FlushForced = s.counters.flushForced.Load()
+	st.PredictNS = s.counters.latencyNS.Load()
+	st.QueueDepth = int(s.counters.queued.Load())
+	for i := range st.BatchSizeHist {
+		st.BatchSizeHist[i] = s.counters.hist[i].Load()
+	}
+	return st
 }
