@@ -33,6 +33,7 @@ func benchHarness() *exp.Harness {
 // BenchmarkFig1_NMRatios regenerates Fig. 1 (accuracy at N:M ∈ {1,2,3}:4
 // for the three model families).
 func BenchmarkFig1_NMRatios(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.Figure1()
@@ -45,6 +46,7 @@ func BenchmarkFig1_NMRatios(b *testing.B) {
 // BenchmarkFig2_LayerSparsity regenerates Fig. 2 (layer-wise sparsity
 // distribution after global CRISP pruning).
 func BenchmarkFig2_LayerSparsity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.Figure2()
@@ -57,6 +59,7 @@ func BenchmarkFig2_LayerSparsity(b *testing.B) {
 // BenchmarkFig3_CRISPvsBlock regenerates Fig. 3 (CRISP vs block pruning
 // across sparsity levels).
 func BenchmarkFig3_CRISPvsBlock(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.Figure3()
@@ -69,6 +72,7 @@ func BenchmarkFig3_CRISPvsBlock(b *testing.B) {
 // BenchmarkFig4_Metadata regenerates Fig. 4 right (metadata overhead of
 // CSR/ELLPACK vs the CRISP format on full-size layers).
 func BenchmarkFig4_Metadata(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		rows, _ := h.Figure4()
@@ -81,6 +85,7 @@ func BenchmarkFig4_Metadata(b *testing.B) {
 // BenchmarkFig7_AccuracyVsClasses regenerates Fig. 7 (accuracy and FLOPs
 // ratio vs the number of user classes, CRISP vs channel pruning vs dense).
 func BenchmarkFig7_AccuracyVsClasses(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.Figure7()
@@ -93,6 +98,7 @@ func BenchmarkFig7_AccuracyVsClasses(b *testing.B) {
 // BenchmarkFig8_SpeedupEnergy regenerates Fig. 8 (layer-wise speedup and
 // energy of CRISP-STC vs NVIDIA-STC, DSTC and dense on ResNet-50).
 func BenchmarkFig8_SpeedupEnergy(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		rows, _ := h.Figure8()
@@ -105,6 +111,7 @@ func BenchmarkFig8_SpeedupEnergy(b *testing.B) {
 // BenchmarkAblation_Iterative regenerates ablation A (one-shot vs
 // iterative pruning).
 func BenchmarkAblation_Iterative(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.AblationIterative()
@@ -117,6 +124,7 @@ func BenchmarkAblation_Iterative(b *testing.B) {
 // BenchmarkAblation_Saliency regenerates ablation B (class-aware vs
 // magnitude saliency).
 func BenchmarkAblation_Saliency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.AblationSaliency()
@@ -129,6 +137,7 @@ func BenchmarkAblation_Saliency(b *testing.B) {
 // BenchmarkAblation_Balance regenerates ablation C (balanced vs
 // unconstrained block pruning with load-imbalance accounting).
 func BenchmarkAblation_Balance(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.AblationBalance()
@@ -141,6 +150,7 @@ func BenchmarkAblation_Balance(b *testing.B) {
 // BenchmarkExt_Transformer regenerates the transformer extension experiment
 // (the paper's future-work direction: CRISP on attention architectures).
 func BenchmarkExt_Transformer(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.ExtTransformer()
@@ -153,6 +163,7 @@ func BenchmarkExt_Transformer(b *testing.B) {
 // BenchmarkExt_NetworkTable regenerates the end-to-end network latency and
 // energy table (whole-network sums over the full-size shape tables).
 func BenchmarkExt_NetworkTable(b *testing.B) {
+	b.ReportAllocs()
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
 		rows, _ := h.NetworkTable()
@@ -165,6 +176,7 @@ func BenchmarkExt_NetworkTable(b *testing.B) {
 // BenchmarkMem_ModelSize regenerates the deployed-model-size table (the
 // paper's memory-consumption claim, quantified per model family).
 func BenchmarkMem_ModelSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.MemoryTable()
@@ -178,6 +190,7 @@ func BenchmarkMem_ModelSize(b *testing.B) {
 
 // BenchmarkGEMM measures the parallel dense GEMM on a conv-sized problem.
 func BenchmarkGEMM(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	m, k, n := 128, 576, 784
 	a := tensor.Randn(rng, 1, m, k)
@@ -212,6 +225,7 @@ func benchHybridMatrix(rows, cols, blk int, nm sparsity.NM) *tensor.Tensor {
 
 // BenchmarkSpMM_CRISPFormat measures the CRISP-format sparse kernel.
 func BenchmarkSpMM_CRISPFormat(b *testing.B) {
+	b.ReportAllocs()
 	nm := sparsity.NM{N: 2, M: 4}
 	w := benchHybridMatrix(128, 512, 16, nm)
 	e, err := format.EncodeCRISP(w, 16, nm)
@@ -228,6 +242,7 @@ func BenchmarkSpMM_CRISPFormat(b *testing.B) {
 
 // BenchmarkSpMM_CSR measures the CSR sparse kernel on the same matrix.
 func BenchmarkSpMM_CSR(b *testing.B) {
+	b.ReportAllocs()
 	w := benchHybridMatrix(128, 512, 16, sparsity.NM{N: 2, M: 4})
 	e := format.EncodeCSR(w)
 	rng := rand.New(rand.NewSource(3))
@@ -240,6 +255,7 @@ func BenchmarkSpMM_CSR(b *testing.B) {
 
 // BenchmarkApplyNM measures N:M mask generation on a large layer.
 func BenchmarkApplyNM(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(4))
 	scores := tensor.Randn(rng, 1, 512, 4608)
 	mask := tensor.New(512, 4608)
@@ -252,6 +268,7 @@ func BenchmarkApplyNM(b *testing.B) {
 // BenchmarkRankColumns measures the rank-column aggregation (Algorithm 1
 // lines 6–7) on a full-size layer grid.
 func BenchmarkRankColumns(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	bs := tensor.Randn(rng, 1, 32, 72) // 2048×4608 at B=64
 	b.ResetTimer()
@@ -262,6 +279,7 @@ func BenchmarkRankColumns(b *testing.B) {
 
 // BenchmarkAccelSimulate measures the full four-architecture layer sweep.
 func BenchmarkAccelSimulate(b *testing.B) {
+	b.ReportAllocs()
 	hw := accel.EdgeHW()
 	e := energy.Default()
 	archs := []accel.Arch{
@@ -283,6 +301,7 @@ func BenchmarkAccelSimulate(b *testing.B) {
 // BenchmarkInference_MaskedDense measures inference through masked dense
 // GEMMs (the training-time representation).
 func BenchmarkInference_MaskedDense(b *testing.B) {
+	b.ReportAllocs()
 	clf, x := benchPrunedModel(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -293,6 +312,7 @@ func BenchmarkInference_MaskedDense(b *testing.B) {
 // BenchmarkInference_SparseEngine measures inference through the CRISP
 // storage format's SpMM kernels (the deployed representation).
 func BenchmarkInference_SparseEngine(b *testing.B) {
+	b.ReportAllocs()
 	clf, x := benchPrunedModel(b)
 	eng, err := inference.New(clf, 4, sparsity.NM{N: 2, M: 4})
 	if err != nil {
@@ -317,6 +337,7 @@ func benchSamples(x *tensor.Tensor) []*tensor.Tensor {
 // BenchmarkInference_SparsePerSample16 serves a 16-sample workload one
 // sample at a time: 16 sparse forward passes, 16 SpMMs per layer.
 func BenchmarkInference_SparsePerSample16(b *testing.B) {
+	b.ReportAllocs()
 	clf, x := benchPrunedModel(b)
 	eng, err := inference.New(clf, 4, sparsity.NM{N: 2, M: 4})
 	if err != nil {
@@ -336,6 +357,7 @@ func BenchmarkInference_SparsePerSample16(b *testing.B) {
 // layer's fast path; compare against SparsePerSample16 for the batching
 // win, which must be ≥2× at batch 16).
 func BenchmarkInference_SparseBatch16(b *testing.B) {
+	b.ReportAllocs()
 	clf, x := benchPrunedModel(b)
 	eng, err := inference.New(clf, 4, sparsity.NM{N: 2, M: 4})
 	if err != nil {
@@ -353,6 +375,7 @@ func BenchmarkInference_SparseBatch16(b *testing.B) {
 // columns — the worst case for per-sample serving: the sparse metadata is
 // decoded once per nonzero but amortized over almost nothing.
 func BenchmarkInference_TransformerPerSample16(b *testing.B) {
+	b.ReportAllocs()
 	clf, x := benchPrunedFamily(b, models.Transformer)
 	eng, err := inference.New(clf, 4, sparsity.NM{N: 2, M: 4})
 	if err != nil {
@@ -374,6 +397,7 @@ func BenchmarkInference_TransformerPerSample16(b *testing.B) {
 // so their per-sample baseline is already partially batched; token/linear
 // layers are where serving one sample at a time really pays).
 func BenchmarkInference_TransformerBatch16(b *testing.B) {
+	b.ReportAllocs()
 	clf, x := benchPrunedFamily(b, models.Transformer)
 	eng, err := inference.New(clf, 4, sparsity.NM{N: 2, M: 4})
 	if err != nil {
@@ -410,6 +434,7 @@ func benchPrunedFamily(b *testing.B, f models.Family) (*nn.Classifier, *tensor.T
 // BenchmarkAblation_Schedule regenerates ablation D (linear vs cubic κ_p
 // schedule).
 func BenchmarkAblation_Schedule(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.AblationSchedule()
@@ -422,6 +447,7 @@ func BenchmarkAblation_Schedule(b *testing.B) {
 // BenchmarkAblation_MixedNM regenerates ablation E (CRISP's global ranking
 // vs a per-layer N:M search).
 func BenchmarkAblation_MixedNM(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := benchHarness()
 		rows, _ := h.AblationMixedNM()
@@ -514,9 +540,9 @@ func benchServePredict(b *testing.B, maxBatch int) {
 // BenchmarkServePredict_Concurrent is the batched serving path: concurrent
 // predicts coalesce into shared engine invocations (MaxBatch 16). The
 // acceptance bar is ≥1.5× the throughput of ServePredict_Solo.
-func BenchmarkServePredict_Concurrent(b *testing.B) { benchServePredict(b, 16) }
+func BenchmarkServePredict_Concurrent(b *testing.B) { b.ReportAllocs(); benchServePredict(b, 16) }
 
 // BenchmarkServePredict_Solo is the same workload with batching disabled
 // (MaxBatch 1): every request runs its own engine call — the pre-batching
 // serving path, kept as the baseline for the coalescing win.
-func BenchmarkServePredict_Solo(b *testing.B) { benchServePredict(b, 1) }
+func BenchmarkServePredict_Solo(b *testing.B) { b.ReportAllocs(); benchServePredict(b, 1) }

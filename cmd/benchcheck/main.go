@@ -7,12 +7,24 @@
 //	go test -bench 'Inference|Serve' -benchtime 1x -run '^$' . | \
 //	    benchcheck -out BENCH_serve.json -baseline BENCH_baseline.json
 //
-// The gate fails (exit 1) when any baseline benchmark regresses by more
-// than -threshold (default 0.30, i.e. +30% ns/op), or disappeared from the
-// run entirely (a deleted or renamed benchmark must refresh the baseline).
+// Each benchmark records ns/op and, when the benchmark reports it
+// (b.ReportAllocs or -benchmem), allocs/op. The gate fails (exit 1) when:
+//
+//   - any baseline benchmark's ns/op regresses by more than -threshold
+//     (default 0.30, i.e. +30%),
+//   - any baseline benchmark's allocs/op regresses by more than
+//     -allocs-threshold (default 0.30) AND by more than -allocs-slack
+//     absolute allocations (default 16; the slack keeps tiny counts, where
+//     a single sync.Pool warm-up miss is a large ratio, from flapping),
+//   - or a baseline benchmark disappeared from the run entirely (a deleted
+//     or renamed benchmark must refresh the baseline).
+//
 // Benchmarks absent from the baseline are reported but never fail — they
-// are adopted on the next refresh. Sub-(-min-ns) baselines are skipped:
-// below that scale, scheduler noise swamps any real regression.
+// are adopted on the next refresh. Sub-(-min-ns) baselines are skipped
+// entirely: below that scale, scheduler noise swamps any real regression.
+// Baselines written before allocs/op was recorded (plain-number JSON
+// values) still load; their allocation gate is simply inactive until the
+// next refresh.
 //
 // Refresh the baseline by re-running the same pipeline with -out pointed at
 // the baseline file (see README "Benchmark regression gate").
@@ -32,35 +44,83 @@ import (
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
-//	BenchmarkServePredict_Concurrent-8   20   706111 ns/op   12 flop/op
+//	BenchmarkServePredict_Concurrent-8   20   706111 ns/op   84 B/op   2 allocs/op
 //
 // capturing the name (GOMAXPROCS suffix stripped) and the ns/op value,
 // which gotest prints as an integer or a float depending on magnitude.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
 
-// Report is the BENCH_serve.json schema: benchmark name → ns/op.
-type Report struct {
-	Benchmarks map[string]float64 `json:"benchmarks"`
+// allocsField matches the allocs/op metric anywhere on a result line.
+var allocsField = regexp.MustCompile(`\s([0-9.e+]+) allocs/op`)
+
+// Metric is one benchmark's recorded costs. AllocsOp is -1 when the run
+// (or a pre-allocs baseline) did not report allocations.
+type Metric struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
 }
 
-// parseBench extracts ns/op per benchmark from `go test -bench` output.
-// Duplicate names (e.g. -count > 1) keep the minimum: the repeat least
-// disturbed by the machine is the closest to the code's true cost.
+// UnmarshalJSON accepts both the current object form and the legacy
+// baseline schema, where each benchmark mapped to a bare ns/op number.
+func (m *Metric) UnmarshalJSON(b []byte) error {
+	var ns float64
+	if err := json.Unmarshal(b, &ns); err == nil {
+		m.NsOp, m.AllocsOp = ns, -1
+		return nil
+	}
+	type metricJSON Metric // no methods: avoids recursing into this func
+	// A missing allocs_op field must mean "not recorded" (gate inactive),
+	// not "zero allocations" — the zero value would fail the allocs gate
+	// for every benchmark on the next run.
+	v := metricJSON{AllocsOp: -1}
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*m = Metric(v)
+	return nil
+}
+
+// Report is the BENCH_serve.json schema: benchmark name → metrics.
+type Report struct {
+	Benchmarks map[string]Metric `json:"benchmarks"`
+}
+
+// parseBench extracts ns/op and allocs/op per benchmark from
+// `go test -bench` output. Duplicate names (e.g. -count > 1) keep the
+// minimum of each metric: the repeat least disturbed by the machine is the
+// closest to the code's true cost.
 func parseBench(r io.Reader) (Report, error) {
-	rep := Report{Benchmarks: map[string]float64{}}
+	rep := Report{Benchmarks: map[string]Metric{}}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
 		ns, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return rep, fmt.Errorf("benchcheck: bad ns/op in %q: %w", sc.Text(), err)
+			return rep, fmt.Errorf("benchcheck: bad ns/op in %q: %w", line, err)
 		}
-		if old, ok := rep.Benchmarks[m[1]]; !ok || ns < old {
-			rep.Benchmarks[m[1]] = ns
+		allocs := -1.0
+		if am := allocsField.FindStringSubmatch(line); am != nil {
+			allocs, err = strconv.ParseFloat(am[1], 64)
+			if err != nil {
+				return rep, fmt.Errorf("benchcheck: bad allocs/op in %q: %w", line, err)
+			}
 		}
+		cur, seen := rep.Benchmarks[m[1]]
+		if !seen {
+			rep.Benchmarks[m[1]] = Metric{NsOp: ns, AllocsOp: allocs}
+			continue
+		}
+		if ns < cur.NsOp {
+			cur.NsOp = ns
+		}
+		if allocs >= 0 && (cur.AllocsOp < 0 || allocs < cur.AllocsOp) {
+			cur.AllocsOp = allocs
+		}
+		rep.Benchmarks[m[1]] = cur
 	}
 	if err := sc.Err(); err != nil {
 		return rep, err
@@ -71,10 +131,17 @@ func parseBench(r io.Reader) (Report, error) {
 	return rep, nil
 }
 
+// gateOptions are the regression thresholds (see the command doc).
+type gateOptions struct {
+	threshold       float64 // max ns/op regression, fractional
+	minNS           float64 // skip baselines below this ns/op (noise floor)
+	allocsThreshold float64 // max allocs/op regression, fractional
+	allocsSlack     float64 // absolute allocs/op regression always tolerated
+}
+
 // gate compares a run against the baseline and returns human-readable
-// verdict lines plus the failures. minNS skips baselines too small to gate
-// (pure scheduler noise at that scale).
-func gate(run, base Report, threshold, minNS float64) (lines []string, failures []string) {
+// verdict lines plus the failures.
+func gate(run, base Report, opts gateOptions) (lines []string, failures []string) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -82,22 +149,34 @@ func gate(run, base Report, threshold, minNS float64) (lines []string, failures 
 	sort.Strings(names)
 	for _, name := range names {
 		old := base.Benchmarks[name]
-		ns, ok := run.Benchmarks[name]
+		cur, ok := run.Benchmarks[name]
 		switch {
 		case !ok:
 			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from the run (refresh the baseline if it was removed)", name))
-		case old < minNS:
-			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (baseline %.0f below the %.0f ns gate floor, skipped)", name, ns, old, minNS))
-		case ns > old*(1+threshold):
+			continue
+		case old.NsOp < opts.minNS:
+			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (baseline %.0f below the %.0f ns gate floor, skipped)", name, cur.NsOp, old.NsOp, opts.minNS))
+			continue
+		case cur.NsOp > old.NsOp*(1+opts.threshold):
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
-				name, ns, old, 100*(ns/old-1), 100*threshold))
+				name, cur.NsOp, old.NsOp, 100*(cur.NsOp/old.NsOp-1), 100*opts.threshold))
 		default:
-			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%)", name, ns, old, 100*(ns/old-1)))
+			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%)", name, cur.NsOp, old.NsOp, 100*(cur.NsOp/old.NsOp-1)))
+		}
+		// The allocation gate runs alongside the timing verdict, but only
+		// when both sides recorded allocs.
+		switch {
+		case old.AllocsOp < 0 || cur.AllocsOp < 0:
+		case cur.AllocsOp > old.AllocsOp*(1+opts.allocsThreshold) && cur.AllocsOp > old.AllocsOp+opts.allocsSlack:
+			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit +%.0f%% and +%.0f absolute)",
+				name, cur.AllocsOp, old.AllocsOp, 100*(cur.AllocsOp/old.AllocsOp-1), 100*opts.allocsThreshold, opts.allocsSlack))
+		default:
+			lines = append(lines, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f", name, cur.AllocsOp, old.AllocsOp))
 		}
 	}
 	for name := range run.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {
-			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (new, not in baseline)", name, run.Benchmarks[name]))
+			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (new, not in baseline)", name, run.Benchmarks[name].NsOp))
 		}
 	}
 	return lines, failures
@@ -110,6 +189,8 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline JSON to gate against (empty: no gate)")
 		threshold = flag.Float64("threshold", 0.30, "max allowed ns/op regression, as a fraction")
 		minNS     = flag.Float64("min-ns", 100_000, "skip baselines below this many ns/op (noise floor)")
+		allocsThr = flag.Float64("allocs-threshold", 0.30, "max allowed allocs/op regression, as a fraction")
+		allocsSlk = flag.Float64("allocs-slack", 16, "absolute allocs/op regression always tolerated")
 	)
 	flag.Parse()
 
@@ -147,7 +228,12 @@ func main() {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		fatal(fmt.Errorf("benchcheck: baseline %s: %w", *baseline, err))
 	}
-	lines, failures := gate(run, base, *threshold, *minNS)
+	lines, failures := gate(run, base, gateOptions{
+		threshold:       *threshold,
+		minNS:           *minNS,
+		allocsThreshold: *allocsThr,
+		allocsSlack:     *allocsSlk,
+	})
 	for _, l := range lines {
 		fmt.Println(l)
 	}

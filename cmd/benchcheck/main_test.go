@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -9,11 +10,11 @@ const sampleOutput = `goos: linux
 goarch: amd64
 pkg: repro
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkInference_SparseBatch16 	      10	  12288496 ns/op
-BenchmarkInference_TransformerBatch16-8 	      10	    870526 ns/op
+BenchmarkInference_SparseBatch16 	      10	  12288496 ns/op	 5242880 B/op	     320 allocs/op
+BenchmarkInference_TransformerBatch16-8 	      10	    870526 ns/op	  131072 B/op	      64 allocs/op
 BenchmarkServePredict_Concurrent 	      20	    706111 ns/op
-BenchmarkGEMM 	     100	  11479391 ns/op	 115605504 flop/op
-BenchmarkTiny 	 1000000	      1052 ns/op
+BenchmarkGEMM 	     100	  11479391 ns/op	 115605504 flop/op	      12 allocs/op
+BenchmarkTiny 	 1000000	      1052 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	repro	3.797s
 `
@@ -23,31 +24,31 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"BenchmarkInference_SparseBatch16":      12288496,
-		"BenchmarkInference_TransformerBatch16": 870526, // -8 suffix stripped
-		"BenchmarkServePredict_Concurrent":      706111,
-		"BenchmarkGEMM":                         11479391, // extra flop/op metric ignored
-		"BenchmarkTiny":                         1052,
+	want := map[string]Metric{
+		"BenchmarkInference_SparseBatch16":      {NsOp: 12288496, AllocsOp: 320},
+		"BenchmarkInference_TransformerBatch16": {NsOp: 870526, AllocsOp: 64},   // -8 suffix stripped
+		"BenchmarkServePredict_Concurrent":      {NsOp: 706111, AllocsOp: -1},   // no allocs reported
+		"BenchmarkGEMM":                         {NsOp: 11479391, AllocsOp: 12}, // extra flop/op metric ignored
+		"BenchmarkTiny":                         {NsOp: 1052, AllocsOp: 0},
 	}
 	if len(rep.Benchmarks) != len(want) {
 		t.Fatalf("parsed %v, want %d entries", rep.Benchmarks, len(want))
 	}
-	for name, ns := range want {
-		if rep.Benchmarks[name] != ns {
-			t.Errorf("%s = %v, want %v", name, rep.Benchmarks[name], ns)
+	for name, m := range want {
+		if rep.Benchmarks[name] != m {
+			t.Errorf("%s = %+v, want %+v", name, rep.Benchmarks[name], m)
 		}
 	}
 }
 
 func TestParseBenchKeepsMinimumOfRepeats(t *testing.T) {
-	out := "BenchmarkX \t 10\t 2000000 ns/op\nBenchmarkX \t 10\t 1500000 ns/op\n"
+	out := "BenchmarkX \t 10\t 2000000 ns/op\t 10 allocs/op\nBenchmarkX \t 10\t 1500000 ns/op\t 12 allocs/op\n"
 	rep, err := parseBench(strings.NewReader(out))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Benchmarks["BenchmarkX"] != 1500000 {
-		t.Fatalf("repeats must keep the fastest: got %v", rep.Benchmarks["BenchmarkX"])
+	if got := rep.Benchmarks["BenchmarkX"]; got.NsOp != 1500000 || got.AllocsOp != 10 {
+		t.Fatalf("repeats must keep the per-metric minimum: got %+v", got)
 	}
 }
 
@@ -57,20 +58,60 @@ func TestParseBenchRejectsEmptyInput(t *testing.T) {
 	}
 }
 
+// TestLegacyBaselineLoads: baselines written before allocs/op was recorded
+// map benchmark names to bare ns/op numbers; they must still load, with the
+// allocation gate inactive.
+func TestLegacyBaselineLoads(t *testing.T) {
+	legacy := `{"benchmarks": {"BenchmarkA": 1000000, "BenchmarkB": 2.5e6}}`
+	var rep Report
+	if err := json.Unmarshal([]byte(legacy), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if m := rep.Benchmarks["BenchmarkA"]; m.NsOp != 1_000_000 || m.AllocsOp != -1 {
+		t.Fatalf("BenchmarkA = %+v", m)
+	}
+	if m := rep.Benchmarks["BenchmarkB"]; m.NsOp != 2_500_000 || m.AllocsOp != -1 {
+		t.Fatalf("BenchmarkB = %+v", m)
+	}
+	// Object form without allocs_op (e.g. a hand-merged baseline) must mean
+	// "not recorded", not "zero allocations".
+	var partial Report
+	if err := json.Unmarshal([]byte(`{"benchmarks": {"BenchmarkP": {"ns_op": 42}}}`), &partial); err != nil {
+		t.Fatal(err)
+	}
+	if m := partial.Benchmarks["BenchmarkP"]; m.NsOp != 42 || m.AllocsOp != -1 {
+		t.Fatalf("object form without allocs_op = %+v, want AllocsOp -1", m)
+	}
+	// Current-schema artifacts round-trip unchanged.
+	buf, err := json.Marshal(Report{Benchmarks: map[string]Metric{"BenchmarkC": {NsOp: 5, AllocsOp: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if m := back.Benchmarks["BenchmarkC"]; m.NsOp != 5 || m.AllocsOp != 7 {
+		t.Fatalf("round trip = %+v", m)
+	}
+}
+
+var testGateOpts = gateOptions{threshold: 0.30, minNS: 100_000, allocsThreshold: 0.30, allocsSlack: 16}
+
 func TestGate(t *testing.T) {
-	base := Report{Benchmarks: map[string]float64{
-		"BenchmarkSteady":  1_000_000,
-		"BenchmarkSlower":  1_000_000,
-		"BenchmarkGone":    1_000_000,
-		"BenchmarkTooTiny": 10_000, // below the noise floor
+	base := Report{Benchmarks: map[string]Metric{
+		"BenchmarkSteady":  {NsOp: 1_000_000, AllocsOp: 100},
+		"BenchmarkSlower":  {NsOp: 1_000_000, AllocsOp: 100},
+		"BenchmarkGone":    {NsOp: 1_000_000, AllocsOp: 100},
+		"BenchmarkTooTiny": {NsOp: 10_000, AllocsOp: 100}, // below the noise floor
 	}}
-	run := Report{Benchmarks: map[string]float64{
-		"BenchmarkSteady":  1_250_000, // +25%: inside the 30% budget
-		"BenchmarkSlower":  1_400_000, // +40%: regression
-		"BenchmarkTooTiny": 90_000,    // +800% but under the floor: skipped
-		"BenchmarkNew":     5_000_000, // not in baseline: reported, not failed
+	run := Report{Benchmarks: map[string]Metric{
+		"BenchmarkSteady":  {NsOp: 1_250_000, AllocsOp: 110}, // +25% ns, +10% allocs: inside budget
+		"BenchmarkSlower":  {NsOp: 1_400_000, AllocsOp: 100}, // +40% ns: regression
+		"BenchmarkTooTiny": {NsOp: 90_000, AllocsOp: 900},    // +800% but under the floor: skipped
+		"BenchmarkNew":     {NsOp: 5_000_000, AllocsOp: 5},   // not in baseline: reported, not failed
 	}}
-	lines, failures := gate(run, base, 0.30, 100_000)
+	lines, failures := gate(run, base, testGateOpts)
 	if len(failures) != 2 {
 		t.Fatalf("failures %v, want regression + missing", failures)
 	}
@@ -89,14 +130,37 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestGateAllocsRegression(t *testing.T) {
+	base := Report{Benchmarks: map[string]Metric{
+		"BenchmarkChurn": {NsOp: 1_000_000, AllocsOp: 100},
+		"BenchmarkTiny":  {NsOp: 1_000_000, AllocsOp: 2},
+		"BenchmarkNoOld": {NsOp: 1_000_000, AllocsOp: -1}, // legacy baseline entry
+	}}
+	run := Report{Benchmarks: map[string]Metric{
+		"BenchmarkChurn": {NsOp: 1_000_000, AllocsOp: 200}, // +100% and +100 absolute: regression
+		"BenchmarkTiny":  {NsOp: 1_000_000, AllocsOp: 10},  // +400% but within the absolute slack
+		"BenchmarkNoOld": {NsOp: 1_000_000, AllocsOp: 999}, // no baseline allocs: gate inactive
+	}}
+	lines, failures := gate(run, base, testGateOpts)
+	if len(failures) != 1 {
+		t.Fatalf("failures %v, want exactly the allocs regression", failures)
+	}
+	if !strings.Contains(failures[0], "BenchmarkChurn") || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("wrong failure: %v", failures[0])
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "BenchmarkTiny") {
+		t.Errorf("slack-tolerated benchmark missing from verdicts: %v", lines)
+	}
+}
+
 func TestGateCleanRun(t *testing.T) {
-	base := Report{Benchmarks: map[string]float64{"BenchmarkA": 1_000_000}}
-	run := Report{Benchmarks: map[string]float64{"BenchmarkA": 900_000}}
-	lines, failures := gate(run, base, 0.30, 100_000)
+	base := Report{Benchmarks: map[string]Metric{"BenchmarkA": {NsOp: 1_000_000, AllocsOp: 50}}}
+	run := Report{Benchmarks: map[string]Metric{"BenchmarkA": {NsOp: 900_000, AllocsOp: 40}}}
+	lines, failures := gate(run, base, testGateOpts)
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures %v", failures)
 	}
-	if len(lines) != 1 || !strings.Contains(lines[0], "-10.0%") {
+	if len(lines) != 2 || !strings.Contains(lines[0], "-10.0%") || !strings.Contains(lines[1], "allocs/op") {
 		t.Fatalf("lines %v", lines)
 	}
 }

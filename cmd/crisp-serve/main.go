@@ -21,9 +21,13 @@
 // When a personalization's predict queue is full the server sheds load
 // with 429 Too Many Requests instead of queueing without bound.
 //
+// With -pprof-addr the server additionally exposes net/http/pprof on a
+// separate listener (off by default; bind it to localhost), so CPU and heap
+// profiles of the predict hot path can be captured in-situ.
+//
 // Usage:
 //
-//	crisp-serve -addr :8080 -num-classes 20 -target 0.85 -snapshot-dir /var/lib/crisp
+//	crisp-serve -addr :8080 -num-classes 20 -target 0.85 -snapshot-dir /var/lib/crisp -pprof-addr localhost:6060
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only via -pprof-addr)
 	"time"
 
 	"repro/internal/data"
@@ -63,6 +68,7 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 16, "coalesce concurrent predicts up to this many samples per engine call (1 disables batching)")
 		linger     = flag.Duration("linger", 2*time.Millisecond, "max time a predict waits for batch mates before flushing")
 		maxQueue   = flag.Int("max-queue", 256, "per-personalization predict queue bound in samples (full queue replies 429)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty: disabled)")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -124,6 +130,20 @@ func main() {
 		}
 		st := s.Stats()
 		log.Printf("restored %d personalization(s) from %s (%d bad record(s) skipped)", n, *snapDir, st.RestoreErrors)
+	}
+
+	if *pprofAddr != "" {
+		// The profiling endpoint is opt-in and on its own listener (bind it
+		// to localhost), so hot-path profiles can be captured in-situ
+		// without exposing /debug/pprof next to the public API. The pprof
+		// import registers on DefaultServeMux; the API mux below is
+		// separate, so the main address never serves profiles.
+		go func() {
+			log.Printf("pprof on %s (go tool pprof http://%s/debug/pprof/profile)", *pprofAddr, *pprofAddr)
+			// A failed debug listener must not take live traffic down with
+			// it: log and keep serving the API.
+			log.Printf("pprof listener exited: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	log.Printf("serving on %s (%d workers, cache %d, max-batch %d, linger %v, max-queue %d)",

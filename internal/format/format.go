@@ -16,6 +16,19 @@
 //   - Blocked-ELLPACK: one ⌈log2 gridCols⌉-bit block-column index per kept
 //     block.
 //   - CRISP: Blocked-ELLPACK block indices + ⌈log2 M⌉ bits per kept N:M slot.
+//
+// # Execution plans
+//
+// The storage formats model what the hardware stores; executing them
+// directly pays block-grid arithmetic, offset decoding and padding-slot
+// branches on every SpMM. For software serving each encoding therefore
+// compiles — once, via Compile/CompilePlan — into a Plan: a flat
+// row-pointer / column-index / value layout with zero slots dropped, whose
+// kernel is a straight gather-multiply-accumulate that accumulates in
+// exactly the storage kernel's order (bit-identical results). Large SpMMs
+// fan out over a persistent package-level worker pool (see parallelRows);
+// the steady-state hot path spawns no goroutines and MatMulInto variants
+// let callers supply recycled output buffers.
 package format
 
 import (

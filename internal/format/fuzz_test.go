@@ -1,0 +1,96 @@
+package format
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// FuzzEncodeCRISPDecode drives the CRISP encoder with fuzzer-chosen
+// geometry, sparsity pattern and values. The raw inputs parameterize a
+// generator that always produces a matrix satisfying the hybrid invariants
+// (N:M inside rows, row-balanced kept blocks), so every run must:
+//
+//   - encode without error,
+//   - Decode back to exactly the source matrix (round trip),
+//   - compile to a Plan holding exactly the matrix's non-zeros,
+//   - and SpMM bit-identically through both the slot-walking kernel and
+//     the compiled plan.
+func FuzzEncodeCRISPDecode(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(1), uint8(0), uint8(1), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(1), uint8(0), uint8(2), uint8(3), uint8(3))
+	f.Add(int64(42), uint8(4), uint8(2), uint8(2), uint8(1), uint8(7), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, gr, gc, bSel, nmSel, pruned, zeros uint8) {
+		blocks := []int{4, 8, 16}
+		b := blocks[int(bSel)%len(blocks)]
+		nms := []sparsity.NM{{N: 1, M: 4}, {N: 2, M: 4}, {N: 3, M: 4}, {N: 2, M: 8}}
+		nm := nms[int(nmSel)%len(nms)]
+		if b%nm.M != 0 {
+			nm = sparsity.NM{N: 2, M: 4}
+		}
+		gridRows := int(gr)%4 + 1
+		gridCols := int(gc)%4 + 1
+		rows, cols := gridRows*b, gridCols*b
+
+		rng := rand.New(rand.NewSource(seed))
+		w := hybridMatrix(rng, rows, cols, b, nm, int(pruned)%gridCols)
+		// Sprinkle extra zeros over kept entries (padding slots in the
+		// encoding), but never empty a whole block: drop at most one
+		// survivor per matrix row, and only when the row keeps several.
+		if zeros%2 == 1 {
+			for r := 0; r < rows; r++ {
+				nz := 0
+				for c := 0; c < cols; c++ {
+					if w.Data[r*cols+c] != 0 {
+						nz++
+					}
+				}
+				if nz < 2 {
+					continue
+				}
+				victim := rng.Intn(nz)
+				for c, seen := 0, 0; c < cols; c++ {
+					if w.Data[r*cols+c] != 0 {
+						if seen == victim {
+							w.Data[r*cols+c] = 0
+							break
+						}
+						seen++
+					}
+				}
+			}
+		}
+		// Re-check balance: removing values may have emptied a block and
+		// broken row balance, in which case EncodeCRISP must reject — that
+		// is correct behaviour, not a failure.
+		e, err := EncodeCRISP(w, b, nm)
+		if err != nil {
+			g := sparsity.NewBlockGrid(rows, cols, b)
+			counts := sparsity.KeptBlocksPerRow(w, g)
+			for _, c := range counts[1:] {
+				if c != counts[0] {
+					t.Skip("generator produced imbalanced rows; rejection is correct")
+				}
+			}
+			t.Fatalf("balanced hybrid matrix rejected: %v", err)
+		}
+		if !tensor.Equal(e.Decode(), w, 0) {
+			t.Fatal("Decode does not round-trip the encoded matrix")
+		}
+		p := e.Compile()
+		if got, want := p.NNZ(), w.CountNonZero(); got != want {
+			t.Fatalf("plan stores %d entries, matrix has %d non-zeros", got, want)
+		}
+		x := tensor.Randn(rng, 1, cols, 5)
+		want := e.MatMul(x)
+		if !tensor.Equal(p.MatMul(x), want, 0) {
+			t.Fatal("compiled plan differs from slot-walking kernel")
+		}
+		dense := tensor.MatMul(w, x)
+		if !tensor.Equal(want, dense, 1e-9) {
+			t.Fatal("sparse SpMM differs from dense GEMM")
+		}
+	})
+}

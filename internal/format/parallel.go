@@ -1,42 +1,20 @@
 package format
 
-import (
-	"runtime"
-	"sync"
-)
+import "repro/internal/tensor"
 
 // spmmParallelThreshold is the number of multiply-accumulate operations
 // below which SpMM runs single-threaded, mirroring the dense GEMM's
-// threshold: goroutine fan-out costs more than it saves on small problems.
-// Single-sample inference on the scaled models stays under it; batched
-// inference (serve.Predict, Engine.LogitsBatch) crosses it and fans out.
+// threshold: handing work to the pool costs more than it saves on small
+// problems. Single-sample inference on the scaled models stays under it;
+// batched inference (serve.Predict, Engine.LogitsBatch) crosses it and
+// fans out. Plan.matmul tests this bound before building the fan-out
+// closure, so sub-threshold SpMMs are allocation-free.
 const spmmParallelThreshold = 1 << 16
 
-// parallelRows splits [0, rows) into contiguous chunks across GOMAXPROCS
-// workers when the total work is large enough to amortize goroutine
-// startup. Each output row is written by exactly one worker and accumulated
-// in the same order as the sequential loop, so results are bit-identical.
+// parallelRows fans an SpMM's row range out over the persistent kernel
+// worker pool shared with the dense GEMM (tensor.ParallelRows): no
+// goroutines are spawned per call, and each output row keeps a single
+// writer, so results stay bit-identical to the sequential loop.
 func parallelRows(rows, work int, fn func(r0, r1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if work < spmmParallelThreshold || workers == 1 || rows < 2 {
-		fn(0, rows)
-		return
-	}
-	if workers > rows {
-		workers = rows
-	}
-	chunk := (rows + workers - 1) / workers
-	var wg sync.WaitGroup
-	for r0 := 0; r0 < rows; r0 += chunk {
-		r1 := r0 + chunk
-		if r1 > rows {
-			r1 = rows
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			fn(r0, r1)
-		}(r0, r1)
-	}
-	wg.Wait()
+	tensor.ParallelRows(rows, work, fn)
 }

@@ -1,0 +1,189 @@
+package format
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Plan is a compiled sparse-execution plan: the flat, kernel-ready form of
+// an encoding. Where the storage formats keep the structure the hardware
+// metadata model needs (block-column indices, per-slot intra-group offsets,
+// padding slots), the plan keeps only what the SpMM inner loop needs:
+//
+//   - padding/zero slots are dropped entirely (no v == 0 branch),
+//   - per-slot offsets are resolved to absolute int32 column indices
+//     (no block-grid arithmetic in the inner loop),
+//   - per-output-row slot ranges are precomputed (RowPtr), so each row is a
+//     straight gather-multiply-accumulate over a contiguous Col/Val span.
+//
+// Compiling preserves the source kernel's per-row accumulation order
+// exactly: for every output element the same non-zero products are added in
+// the same order as the slot-walking (CRISP) or row-walking (CSR) kernel,
+// so plan results are bit-identical to the storage-format kernels. The
+// plan is immutable after compilation and safe for concurrent MatMul use.
+type Plan struct {
+	Rows, Cols int
+	// RowPtr[r] .. RowPtr[r+1] is row r's span in Col/Val (len Rows+1).
+	RowPtr []int32
+	// Col holds absolute column indices, Val the matching non-zero values.
+	Col []int32
+	Val []float64
+}
+
+// NNZ returns the number of stored (all non-zero) entries.
+func (p *Plan) NNZ() int { return len(p.Val) }
+
+// Planner is implemented by encodings that compile directly into a Plan.
+type Planner interface {
+	Compile() *Plan
+}
+
+// CompilePlan compiles any encoding into an execution plan. CRISPFormat and
+// CSR compile directly (preserving their kernels' accumulation order);
+// other formats fall back through Decode → CSR, which yields the canonical
+// column-major per-row order.
+func CompilePlan(e Encoded) *Plan {
+	if p, ok := e.(Planner); ok {
+		return p.Compile()
+	}
+	return EncodeCSR(e.Decode()).Compile()
+}
+
+// Compile implements Planner: CSR is already row-pointer + column-index +
+// value, so the plan is a direct image of the encoding.
+func (c *CSR) Compile() *Plan {
+	p := &Plan{
+		Rows:   c.Rows,
+		Cols:   c.Cols,
+		RowPtr: make([]int32, len(c.RowPtr)),
+		Col:    make([]int32, len(c.ColIdx)),
+		Val:    make([]float64, len(c.Val)),
+	}
+	copy(p.RowPtr, c.RowPtr)
+	copy(p.Col, c.ColIdx)
+	copy(p.Val, c.Val)
+	return p
+}
+
+// Compile implements Planner: the slot walk of CRISPFormat.MatMul is
+// replayed once at compile time, emitting one (column, value) pair per
+// non-zero slot into the owning output row. Padding slots (value 0)
+// disappear; intra-group offsets are resolved against their block bounds to
+// absolute column indices. Within each output row the emitted order is
+// exactly the slot-walk order (kept blocks in stored order, groups
+// left-to-right, slots in stored order), so MatMul over the plan
+// accumulates bit-identically to the slot-walking kernel.
+func (e *CRISPFormat) Compile() *Plan {
+	g := e.grid()
+	p := &Plan{Rows: e.Rows, Cols: e.Cols, RowPtr: make([]int32, e.Rows+1)}
+
+	// Pass 1: count non-zero slots per output row.
+	walk := func(visit func(r int, col int32, v float64)) {
+		si := 0
+		for br := 0; br < g.GridRows(); br++ {
+			for k := 0; k < e.KeptPerRow; k++ {
+				bc := int(e.BlockCols[br*e.KeptPerRow+k])
+				r0, r1, c0, c1 := g.Bounds(br, bc)
+				for r := r0; r < r1; r++ {
+					for g0 := c0; g0 < c1; g0 += e.NM.M {
+						for s := 0; s < e.NM.N; s++ {
+							if v := e.Val[si]; v != 0 {
+								visit(r, int32(g0+int(e.Offsets[si])), v)
+							}
+							si++
+						}
+					}
+				}
+			}
+		}
+	}
+	walk(func(r int, _ int32, _ float64) { p.RowPtr[r+1]++ })
+	for r := 0; r < e.Rows; r++ {
+		p.RowPtr[r+1] += p.RowPtr[r]
+	}
+
+	// Pass 2: fill, using a moving cursor per row.
+	p.Col = make([]int32, p.RowPtr[e.Rows])
+	p.Val = make([]float64, p.RowPtr[e.Rows])
+	next := make([]int32, e.Rows)
+	copy(next, p.RowPtr[:e.Rows])
+	walk(func(r int, col int32, v float64) {
+		p.Col[next[r]] = col
+		p.Val[next[r]] = v
+		next[r]++
+	})
+	return p
+}
+
+// MatMul computes Plan · B for a dense Cols×n matrix B into a new tensor.
+func (p *Plan) MatMul(b *tensor.Tensor) *tensor.Tensor {
+	_, n := checkSpMM(b, p.Cols)
+	out := tensor.New(p.Rows, n)
+	p.matmul(b, out, n)
+	return out
+}
+
+// MatMulInto computes Plan · B into out, which must be a rank-2 Rows×n
+// tensor; its previous contents are overwritten (callers may hand the plan
+// an uninitialized arena buffer). Returns out.
+func (p *Plan) MatMulInto(b, out *tensor.Tensor) *tensor.Tensor {
+	_, n := checkSpMM(b, p.Cols)
+	if len(out.Shape) != 2 || out.Shape[0] != p.Rows || out.Shape[1] != n {
+		panic(fmt.Sprintf("format: MatMulInto output %v, want [%d %d]", out.Shape, p.Rows, n))
+	}
+	p.matmul(b, out, n)
+	return out
+}
+
+// matmul is the plan kernel. The single-sample path calls rowRange
+// directly — routing it through a closure would heap-allocate the closure
+// on every SpMM call, because the worker pool's task channel makes it
+// escape — and only batch-scale problems pay for the fan-out wrapper.
+func (p *Plan) matmul(b, out *tensor.Tensor, n int) {
+	if len(p.Val)*n < spmmParallelThreshold || p.Rows < 2 {
+		p.rowRange(b, out, n, 0, p.Rows)
+		return
+	}
+	parallelRows(p.Rows, len(p.Val)*n, func(row0, row1 int) {
+		p.rowRange(b, out, n, row0, row1)
+	})
+}
+
+// rowRange computes output rows [row0, row1). Each row is zeroed and
+// accumulated by exactly one worker, walking its Col/Val span in storage
+// order — the same per-element addition sequence as the source encoding's
+// kernel. Rows are unrolled four entries at a time purely to cut dst
+// loads/stores; the per-element additions stay in the same order
+// ((((d+v0*s0)+v1*s1)+...)), so results remain bit-identical to the
+// one-entry-at-a-time loop.
+func (p *Plan) rowRange(b, out *tensor.Tensor, n, row0, row1 int) {
+	bd := b.Data
+	for r := row0; r < row1; r++ {
+		dst := out.Data[r*n : (r+1)*n]
+		clear(dst)
+		i := int(p.RowPtr[r])
+		end := int(p.RowPtr[r+1])
+		for ; i+3 < end; i += 4 {
+			v0, v1, v2, v3 := p.Val[i], p.Val[i+1], p.Val[i+2], p.Val[i+3]
+			s0 := bd[int(p.Col[i])*n : int(p.Col[i])*n+n]
+			s1 := bd[int(p.Col[i+1])*n : int(p.Col[i+1])*n+n]
+			s2 := bd[int(p.Col[i+2])*n : int(p.Col[i+2])*n+n]
+			s3 := bd[int(p.Col[i+3])*n : int(p.Col[i+3])*n+n]
+			for j, b0 := range s0 {
+				a := dst[j] + v0*b0
+				a += v1 * s1[j]
+				a += v2 * s2[j]
+				a += v3 * s3[j]
+				dst[j] = a
+			}
+		}
+		for ; i < end; i++ {
+			v := p.Val[i]
+			src := bd[int(p.Col[i])*n : (int(p.Col[i])+1)*n]
+			for j, bv := range src {
+				dst[j] += v * bv
+			}
+		}
+	}
+}

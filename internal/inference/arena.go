@@ -1,0 +1,119 @@
+package inference
+
+import "repro/internal/tensor"
+
+// arenaSlabFloats is the minimum slab size (floats). One slab comfortably
+// holds several small-layer activations; big layers get a dedicated slab of
+// exactly their size on first use.
+const arenaSlabFloats = 1 << 16
+
+// arena is the engine-owned scratch allocator behind one forward pass. It
+// bump-allocates float buffers out of recycled slabs and hands out recycled
+// tensor headers, so the steady-state predict path performs (near) zero
+// heap allocations: every im2col matrix, transpose, SpMM output, bias
+// fan-out and batch concat lives in arena memory.
+//
+// Within one pass no allocation is ever reused — residual shortcuts can
+// hold any earlier activation alive — so there is no aliasing to reason
+// about; the whole arena resets at once when the pass completes and goes
+// back to the engine's sync.Pool. Capacity is learned on the first pass per
+// batch size (slabs grow, never shrink) and is stable afterwards; the pool
+// discards arenas under memory pressure.
+//
+// A nil *arena is valid and falls back to plain heap allocation, which
+// keeps the executors usable without an engine pass (tests, one-offs).
+//
+// Buffers come back with stale contents. Executors either overwrite every
+// element (the Into kernels' documented contract) or ask for tensorZero
+// when they accumulate with +=.
+type arena struct {
+	slabs [][]float64
+	slab  int // slab currently being bump-allocated
+	off   int // offset into slabs[slab]
+
+	hdrs []*tensor.Tensor // recycled tensor headers
+	used int              // headers handed out this pass
+}
+
+// reset recycles the arena for the next pass; memory is retained.
+func (a *arena) reset() {
+	a.slab, a.off, a.used = 0, 0, 0
+}
+
+// alloc returns an n-float buffer with arbitrary contents.
+func (a *arena) alloc(n int) []float64 {
+	if a == nil {
+		return make([]float64, n)
+	}
+	for a.slab < len(a.slabs) {
+		if s := a.slabs[a.slab]; a.off+n <= len(s) {
+			out := s[a.off : a.off+n : a.off+n]
+			a.off += n
+			return out
+		}
+		a.slab++
+		a.off = 0
+	}
+	sz := arenaSlabFloats
+	if n > sz {
+		sz = n
+	}
+	a.slabs = append(a.slabs, make([]float64, sz))
+	a.off = n
+	return a.slabs[a.slab][:n:n]
+}
+
+// header returns a recycled tensor header with the given shape (data unset).
+func (a *arena) header(shape []int) *tensor.Tensor {
+	var t *tensor.Tensor
+	if a.used < len(a.hdrs) {
+		t = a.hdrs[a.used]
+	} else {
+		t = &tensor.Tensor{}
+		a.hdrs = append(a.hdrs, t)
+	}
+	a.used++
+	t.Shape = append(t.Shape[:0], shape...)
+	return t
+}
+
+// tensor returns an arena tensor with arbitrary contents; callers must
+// overwrite every element (all Into kernels do).
+//
+// The nil-arena fallbacks below copy shape themselves instead of passing it
+// to tensor.New/FromSlice: those constructors' panic diagnostics make shape
+// a leaking parameter, which would force every call site's variadic slice
+// onto the heap — exactly the per-layer allocation this arena exists to
+// remove.
+func (a *arena) tensor(shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if a == nil {
+		return &tensor.Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+	}
+	t := a.header(shape)
+	t.Data = a.alloc(n)
+	return t
+}
+
+// tensorZero returns a zero-filled arena tensor, for executors that
+// accumulate with +=.
+func (a *arena) tensorZero(shape ...int) *tensor.Tensor {
+	t := a.tensor(shape...)
+	if a != nil {
+		clear(t.Data)
+	}
+	return t
+}
+
+// view wraps existing data in a recycled header (a zero-copy reshape).
+func (a *arena) view(data []float64, shape ...int) *tensor.Tensor {
+	if a == nil {
+		return &tensor.Tensor{Shape: append([]int(nil), shape...), Data: data}
+	}
+	t := a.header(shape)
+	t.Data = data
+	return t
+}

@@ -1,19 +1,36 @@
 // Package inference executes a pruned classifier using compressed sparse
 // weights: convolution and fully connected layers run their GEMMs through
-// the CRISP storage format's SpMM kernel (falling back to CSR where the
-// hybrid structure does not apply), instead of multiplying masked dense
-// matrices. It is the software analogue of deploying the pruned model on
-// CRISP-STC, and doubles as an end-to-end validation that the compressed
-// representation computes exactly what the masked dense model computes.
+// execution plans compiled from the CRISP storage format (falling back to
+// CSR where the hybrid structure does not apply), instead of multiplying
+// masked dense matrices. It is the software analogue of deploying the
+// pruned model on CRISP-STC, and doubles as an end-to-end validation that
+// the compressed representation computes exactly what the masked dense
+// model computes.
 //
-// The engine is inference-only: layers run in evaluation mode and no
-// gradients exist. Multi-head attention keeps masked-dense projections
-// (its four GEMMs interleave with the attention pattern); every other
-// weight-bearing layer executes from its compressed encoding.
+// The hot path is built for serving:
+//
+//   - Weight encodings are compiled once, at New time, into flat
+//     format.Plan gather-multiply-accumulate kernels (padding slots
+//     dropped, offsets resolved to absolute columns, per-row spans
+//     precomputed) that run bit-identically to the slot-walking kernels.
+//   - Every forward pass draws its scratch — im2col matrices, transposes,
+//     SpMM outputs, bias fan-outs, batch concats, attention state — from an
+//     engine-owned arena recycled through a sync.Pool, so steady-state
+//     Predict/PredictBatch calls are (near) zero-allocation. See arena.go
+//     for the lifecycle.
+//   - Multi-head attention keeps masked-dense projections (its four GEMMs
+//     interleave with the attention pattern), but the masked weights are
+//     materialized once at compile time instead of per call.
+//
+// The engine is inference-only and immutable after New: it snapshots the
+// classifier's masked weights, layers run in evaluation mode, and no
+// gradients exist. Concurrent Logits/Predict calls are safe — each pass
+// owns its arena and the compiled state is read-only.
 package inference
 
 import (
-	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/format"
 	"repro/internal/nn"
@@ -22,19 +39,21 @@ import (
 )
 
 // Engine is a compiled sparse-execution plan for one classifier. An engine
-// is immutable after New and safe for concurrent Logits/LogitsBatch calls:
-// the forward pass runs in evaluation mode, which touches no layer state.
+// is immutable after New and safe for concurrent Logits/LogitsBatch calls.
 type Engine struct {
 	clf  *nn.Classifier
-	root nn.Layer
+	root execLayer
 	// CompressedLayers counts the layers running from sparse encodings; it
 	// is fixed at compile time.
 	CompressedLayers int
+	// arenas recycles per-call scratch arenas across forward passes.
+	arenas sync.Pool
 }
 
 // New compiles clf's current masks into a sparse execution plan. The
 // classifier must already be pruned; non-exempt layers are encoded in the
-// CRISP format at the given block size and N:M pattern, exempt ones in CSR.
+// CRISP format at the given block size and N:M pattern, exempt ones in CSR,
+// and both are flattened into format.Plan kernels.
 func New(clf *nn.Classifier, blockSize int, nm sparsity.NM) (*Engine, error) {
 	e := &Engine{clf: clf}
 	root, err := e.compile(clf.Net, blockSize, nm)
@@ -45,9 +64,27 @@ func New(clf *nn.Classifier, blockSize int, nm sparsity.NM) (*Engine, error) {
 	return e, nil
 }
 
-// Logits runs the sparse forward pass.
+// getArena checks an arena out of the pool for one forward pass.
+func (e *Engine) getArena() *arena {
+	if a, ok := e.arenas.Get().(*arena); ok {
+		return a
+	}
+	return &arena{}
+}
+
+// putArena resets and recycles a pass's arena.
+func (e *Engine) putArena(a *arena) {
+	a.reset()
+	e.arenas.Put(a)
+}
+
+// Logits runs the sparse forward pass. The result is detached from the
+// pass's arena (one small copy), so callers may hold it indefinitely.
 func (e *Engine) Logits(x *tensor.Tensor) *tensor.Tensor {
-	return e.root.Forward(x, false)
+	a := e.getArena()
+	out := e.root.forward(x, a).Clone()
+	e.putArena(a)
+	return out
 }
 
 // LogitsBatch stacks B sample tensors into one [B, ...] batch and runs a
@@ -56,26 +93,80 @@ func (e *Engine) Logits(x *tensor.Tensor) *tensor.Tensor {
 // calling Logits per sample: each output element is the same dot product
 // accumulated in the same order regardless of batch size.
 func (e *Engine) LogitsBatch(xs []*tensor.Tensor) *tensor.Tensor {
-	return e.Logits(tensor.Concat(xs))
+	a := e.getArena()
+	out := e.root.forward(concatArena(xs, a), a).Clone()
+	e.putArena(a)
+	return out
 }
 
 // Predict returns the argmax class of every sample in the batch.
 func (e *Engine) Predict(x *tensor.Tensor) []int {
-	return nn.ArgmaxRows(e.Logits(x), e.clf.NumClasses)
+	a := e.getArena()
+	preds := nn.ArgmaxRows(e.root.forward(x, a), e.clf.NumClasses)
+	e.putArena(a)
+	return preds
+}
+
+// PredictBatch concatenates the sample tensors inside the pass's arena,
+// runs one forward pass, and returns the per-row argmax — the serving
+// batcher's entry point: a whole coalesced batch costs the same steady-state
+// allocations as a single sample (the returned class slice).
+func (e *Engine) PredictBatch(xs []*tensor.Tensor) []int {
+	a := e.getArena()
+	x := xs[0]
+	if len(xs) > 1 {
+		x = concatArena(xs, a)
+	}
+	preds := nn.ArgmaxRows(e.root.forward(x, a), e.clf.NumClasses)
+	e.putArena(a)
+	return preds
+}
+
+// concatArena is tensor.Concat with the destination drawn from the arena.
+// The destination header is composed in place (first tensor's shape with
+// the lead dimension summed), so a batch concat costs zero allocations.
+func concatArena(xs []*tensor.Tensor, a *arena) *tensor.Tensor {
+	if len(xs) == 1 {
+		// Still copied (callers may mutate their sample after the call),
+		// matching tensor.Concat's semantics.
+		dst := a.tensor(xs[0].Shape...)
+		copy(dst.Data, xs[0].Data)
+		return dst
+	}
+	if a == nil {
+		return tensor.Concat(xs)
+	}
+	lead, vol := 0, 0
+	for _, x := range xs {
+		lead += x.Shape[0]
+		vol += len(x.Data)
+	}
+	dst := a.header(xs[0].Shape)
+	dst.Shape[0] = lead
+	dst.Data = a.alloc(vol)
+	return tensor.ConcatInto(xs, dst)
+}
+
+// execLayer is one node of the compiled forward pass. forward must draw all
+// scratch from the arena (nil = plain heap) and may return arena-backed
+// tensors; callers that outlive the pass must copy.
+type execLayer interface {
+	forward(x *tensor.Tensor, a *arena) *tensor.Tensor
 }
 
 // compile mirrors the layer tree, swapping weight-bearing layers for
-// sparse executors.
-func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (nn.Layer, error) {
+// plan-backed executors and eval-mode layers for arena-backed ones.
+// Unrecognized layers execute through their own Forward in eval mode.
+func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (execLayer, error) {
 	switch v := l.(type) {
 	case *nn.Sequential:
-		out := &nn.Sequential{}
+		out := &execSeq{}
 		for _, c := range v.Layers {
 			cc, err := e.compile(c, b, nm)
 			if err != nil {
 				return nil, err
 			}
-			out.Layers = append(out.Layers, cc)
+			out.layers = append(out.layers, cc)
 		}
 		return out, nil
 	case *nn.Residual:
@@ -83,85 +174,144 @@ func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (nn.Layer, error) {
 		if err != nil {
 			return nil, err
 		}
-		var short nn.Layer
+		var short execLayer
 		if v.Shortcut != nil {
 			short, err = e.compile(v.Shortcut, b, nm)
 			if err != nil {
 				return nil, err
 			}
 		}
-		return nn.NewResidual(main, short), nil
+		return &execResidual{main: main, shortcut: short}, nil
 	case *nn.Conv2D:
-		enc, err := encodeParam(v.Weight, b, nm)
+		plan, err := encodeParam(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
 		e.CompressedLayers++
-		return &sparseConv{conv: v, enc: enc}, nil
+		return &sparseConv{conv: v, plan: plan}, nil
 	case *nn.Linear:
-		enc, err := encodeParam(v.Weight, b, nm)
+		plan, err := encodeParam(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
 		e.CompressedLayers++
-		return &sparseLinear{lin: v, enc: enc}, nil
+		return &sparseLinear{lin: v, plan: plan}, nil
 	case *nn.TokenLinear:
-		enc, err := encodeParam(v.Weight, b, nm)
+		plan, err := encodeParam(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
 		e.CompressedLayers++
-		return &sparseTokenLinear{lin: v, enc: enc}, nil
+		return &sparseTokenLinear{lin: v, plan: plan}, nil
 	case *nn.PatchEmbed:
-		enc, err := encodeParam(v.Weight, b, nm)
+		plan, err := encodeParam(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
 		e.CompressedLayers++
-		return &sparsePatchEmbed{pe: v, enc: enc}, nil
+		return &sparsePatchEmbed{pe: v, plan: plan}, nil
+	case *nn.MultiHeadAttention:
+		return &execAttention{
+			d: v.D, heads: v.Heads,
+			wq: v.Wq.Effective(), wk: v.Wk.Effective(),
+			wv: v.Wv.Effective(), wo: v.Wo.Effective(),
+		}, nil
+	case *nn.DepthwiseConv2D:
+		return &execDepthwise{conv: v, weff: v.Weight.Effective()}, nil
+	case *nn.BatchNorm2D:
+		return &execBatchNorm{bn: v}, nil
+	case *nn.ReLU:
+		return &execReLU{relu: v}, nil
+	case *nn.LayerNorm:
+		return &execLayerNorm{ln: v}, nil
+	case *nn.MaxPool2D:
+		return &execMaxPool{k: v.K, stride: v.Stride}, nil
+	case *nn.GlobalAvgPool:
+		return &execGlobalAvgPool{}, nil
+	case *nn.MeanPoolTokens:
+		return &execMeanPool{}, nil
+	case *nn.Flatten:
+		return &execFlatten{}, nil
 	default:
 		// Stateless or statistics-only layers execute as-is (eval mode).
-		return l, nil
+		return &execDense{l: l}, nil
 	}
 }
 
-// encodeParam compresses one parameter's masked weights. Dense and exempt
-// parameters use CSR; hybrid-masked ones use the CRISP format.
-func encodeParam(p *nn.Param, b int, nm sparsity.NM) (format.Encoded, error) {
+// encodeParam compresses one parameter's masked weights and compiles the
+// execution plan. Dense and exempt parameters use CSR; hybrid-masked ones
+// use the CRISP format. Either way the plan's per-row accumulation order is
+// the storage kernel's, so results are bit-identical to slot walking.
+func encodeParam(p *nn.Param, b int, nm sparsity.NM) (*format.Plan, error) {
 	masked := tensor.Mul(p.MatrixView(), p.MaskMatrixView())
 	if p.BlockExempt || p.Mask == nil || !p.Prunable {
-		return format.EncodeCSR(masked), nil
+		return format.EncodeCSR(masked).Compile(), nil
 	}
 	enc, err := format.EncodeCRISP(masked, b, nm)
 	if err != nil {
 		// Dense or non-conforming masks (e.g. a baseline pruner) still
 		// execute, just without the hybrid layout.
-		return format.EncodeCSR(masked), nil
+		return format.EncodeCSR(masked).Compile(), nil
 	}
-	return enc, nil
+	return enc.Compile(), nil
 }
 
-// inferenceOnly panics for backward passes.
-func inferenceOnly() *tensor.Tensor {
-	panic("inference: engine layers do not support backward")
+// execSeq chains executors.
+type execSeq struct {
+	layers []execLayer
 }
 
-// sparseConv runs Conv2D from a compressed weight matrix.
+func (s *execSeq) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.forward(x, a)
+	}
+	return x
+}
+
+// execResidual computes main(x) + shortcut(x) (nil shortcut = identity)
+// into an arena buffer. The arena never reuses memory within a pass, so x
+// stays intact across the main branch.
+type execResidual struct {
+	main, shortcut execLayer
+}
+
+func (r *execResidual) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	m := r.main.forward(x, a)
+	s := x
+	if r.shortcut != nil {
+		s = r.shortcut.forward(x, a)
+	}
+	out := a.tensor(m.Shape...)
+	for i, v := range m.Data {
+		out.Data[i] = v + s.Data[i]
+	}
+	return out
+}
+
+// execDense runs an uncompiled layer through its own eval-mode Forward.
+type execDense struct {
+	l nn.Layer
+}
+
+func (d *execDense) forward(x *tensor.Tensor, _ *arena) *tensor.Tensor {
+	return d.l.Forward(x, false)
+}
+
+// sparseConv runs Conv2D from a compiled weight plan.
 type sparseConv struct {
 	conv *nn.Conv2D
-	enc  format.Encoded
+	plan *format.Plan
 }
 
-// Forward implements nn.Layer.
-func (s *sparseConv) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (s *sparseConv) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	g := s.conv.Geom
 	g.InH, g.InW = x.Shape[2], x.Shape[3]
 	n := x.Shape[0]
 	oh, ow := g.OutH(), g.OutW()
-	cols := tensor.Im2Col(x, g)
-	outMat := s.enc.MatMul(cols) // [S, N*OH*OW]
+	cols := tensor.Im2ColInto(x, g, a.tensor(g.InC*g.KH*g.KW, n*oh*ow))
+	outMat := s.plan.MatMulInto(cols, a.tensor(s.plan.Rows, n*oh*ow)) // [S, N*OH*OW]
 	p := oh * ow
-	y := tensor.New(n, s.conv.OutC, oh, ow)
+	y := a.tensor(n, s.conv.OutC, oh, ow)
 	for oc := 0; oc < s.conv.OutC; oc++ {
 		bias := 0.0
 		if s.conv.Bias != nil {
@@ -178,25 +328,18 @@ func (s *sparseConv) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return y
 }
 
-// Backward implements nn.Layer.
-func (s *sparseConv) Backward(*tensor.Tensor) *tensor.Tensor { return inferenceOnly() }
-
-// Params implements nn.Layer.
-func (s *sparseConv) Params() []*nn.Param { return nil }
-
-// sparseLinear runs Linear from a compressed weight matrix: y = (W·xᵀ)ᵀ+b.
+// sparseLinear runs Linear from a compiled weight plan: y = (W·xᵀ)ᵀ + b.
 type sparseLinear struct {
-	lin *nn.Linear
-	enc format.Encoded
+	lin  *nn.Linear
+	plan *format.Plan
 }
 
-// Forward implements nn.Layer.
-func (s *sparseLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (s *sparseLinear) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	n := x.Shape[0]
 	// SpMM computes W·B for B = xᵀ [In, N].
-	xt := transpose(x)
-	out := s.enc.MatMul(xt) // [Out, N]
-	y := tensor.New(n, s.lin.Out)
+	xt := tensor.TransposeInto(x, a.tensor(s.lin.In, n))
+	out := s.plan.MatMulInto(xt, a.tensor(s.lin.Out, n)) // [Out, N]
+	y := a.tensor(n, s.lin.Out)
 	for j := 0; j < s.lin.Out; j++ {
 		for b := 0; b < n; b++ {
 			y.Data[b*s.lin.Out+j] = out.Data[j*n+b] + s.lin.Bias.W.Data[j]
@@ -205,79 +348,323 @@ func (s *sparseLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return y
 }
 
-// Backward implements nn.Layer.
-func (s *sparseLinear) Backward(*tensor.Tensor) *tensor.Tensor { return inferenceOnly() }
-
-// Params implements nn.Layer.
-func (s *sparseLinear) Params() []*nn.Param { return nil }
-
-// sparseTokenLinear runs TokenLinear from a compressed weight matrix.
+// sparseTokenLinear runs TokenLinear from a compiled weight plan.
 type sparseTokenLinear struct {
-	lin *nn.TokenLinear
-	enc format.Encoded
+	lin  *nn.TokenLinear
+	plan *format.Plan
 }
 
-// Forward implements nn.Layer.
-func (s *sparseTokenLinear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (s *sparseTokenLinear) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	n, t := x.Shape[0], x.Shape[1]
-	flat := x.Reshape(n*t, s.lin.In)
-	xt := transpose(flat)
-	out := s.enc.MatMul(xt) // [Out, N*T]
-	y := tensor.New(n*t, s.lin.Out)
+	flat := a.view(x.Data, n*t, s.lin.In)
+	xt := tensor.TransposeInto(flat, a.tensor(s.lin.In, n*t))
+	out := s.plan.MatMulInto(xt, a.tensor(s.lin.Out, n*t)) // [Out, N*T]
+	y := a.tensor(n*t, s.lin.Out)
 	for j := 0; j < s.lin.Out; j++ {
 		for r := 0; r < n*t; r++ {
 			y.Data[r*s.lin.Out+j] = out.Data[j*n*t+r] + s.lin.Bias.W.Data[j]
 		}
 	}
-	return y.Reshape(n, t, s.lin.Out)
+	return a.view(y.Data, n, t, s.lin.Out)
 }
 
-// Backward implements nn.Layer.
-func (s *sparseTokenLinear) Backward(*tensor.Tensor) *tensor.Tensor { return inferenceOnly() }
-
-// Params implements nn.Layer.
-func (s *sparseTokenLinear) Params() []*nn.Param { return nil }
-
-// sparsePatchEmbed runs PatchEmbed from a compressed weight matrix.
+// sparsePatchEmbed runs PatchEmbed from a compiled weight plan.
 type sparsePatchEmbed struct {
-	pe  *nn.PatchEmbed
-	enc format.Encoded
+	pe   *nn.PatchEmbed
+	plan *format.Plan
 }
 
-// Forward implements nn.Layer.
-func (s *sparsePatchEmbed) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (s *sparsePatchEmbed) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	// Reuse the dense patch extraction, then the sparse projection.
-	patches := s.pe.ExtractPatches(x) // [N*T, C*P*P]
-	nt := patches.Shape[0]
-	xt := transpose(patches)
-	out := s.enc.MatMul(xt) // [D, N*T]
-	y := tensor.New(nt, s.pe.D)
+	n := x.Shape[0]
+	t := (x.Shape[2] / s.pe.P) * (x.Shape[3] / s.pe.P)
+	in := s.pe.C * s.pe.P * s.pe.P
+	patches := s.pe.ExtractPatchesInto(x, a.tensor(n*t, in)) // [N*T, C*P*P]
+	xt := tensor.TransposeInto(patches, a.tensor(in, n*t))
+	out := s.plan.MatMulInto(xt, a.tensor(s.pe.D, n*t)) // [D, N*T]
+	y := a.tensor(n*t, s.pe.D)
 	for j := 0; j < s.pe.D; j++ {
-		for r := 0; r < nt; r++ {
-			y.Data[r*s.pe.D+j] = out.Data[j*nt+r] + s.pe.Bias.W.Data[j]
+		for r := 0; r < n*t; r++ {
+			y.Data[r*s.pe.D+j] = out.Data[j*n*t+r] + s.pe.Bias.W.Data[j]
 		}
 	}
-	n := x.Shape[0]
-	return y.Reshape(n, nt/n, s.pe.D)
+	return a.view(y.Data, n, t, s.pe.D)
 }
 
-// Backward implements nn.Layer.
-func (s *sparsePatchEmbed) Backward(*tensor.Tensor) *tensor.Tensor { return inferenceOnly() }
+// execAttention runs multi-head self-attention with the masked projection
+// weights materialized once at compile time; all intermediate state (Q, K,
+// V, attention rows, head outputs) lives in the pass's arena. The math is
+// the eval-mode nn.MultiHeadAttention forward, step for step.
+type execAttention struct {
+	d, heads       int
+	wq, wk, wv, wo *tensor.Tensor // effective [D, D] weights
+}
 
-// Params implements nn.Layer.
-func (s *sparsePatchEmbed) Params() []*nn.Param { return nil }
+func (m *execAttention) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	n, t := x.Shape[0], x.Shape[1]
+	dh := m.d / m.heads
+	scale := 1.0 / math.Sqrt(float64(dh))
 
-// transpose returns mᵀ for a rank-2 tensor.
-func transpose(m *tensor.Tensor) *tensor.Tensor {
-	if len(m.Shape) != 2 {
-		panic(fmt.Sprintf("inference: transpose requires rank-2, got %v", m.Shape))
+	// project computes tokens · Wᵀ into a flat [N*T, D] arena tensor
+	// (Gemm's beta=0 path clears the uninitialized destination).
+	project := func(src []float64, w *tensor.Tensor) *tensor.Tensor {
+		out := a.tensor(n*t, m.d)
+		tensor.Gemm(false, true, n*t, m.d, m.d, 1, src, w.Data, 0, out.Data)
+		return out
 	}
-	r, c := m.Shape[0], m.Shape[1]
-	out := tensor.New(c, r)
-	for i := 0; i < r; i++ {
-		for j := 0; j < c; j++ {
-			out.Data[j*r+i] = m.Data[i*c+j]
+	q := project(x.Data, m.wq)
+	k := project(x.Data, m.wk)
+	v := project(x.Data, m.wv)
+	z := a.tensorZero(n*t, m.d) // accumulated head by head
+	attn := a.alloc(n * m.heads * t * t)
+
+	for b := 0; b < n; b++ {
+		for h := 0; h < m.heads; h++ {
+			off := h * dh
+			aBase := (b*m.heads + h) * t * t
+			// S[i][j] = q_i · k_j * scale; softmax rows → A; Z = A·V.
+			for i := 0; i < t; i++ {
+				qi := q.Data[(b*t+i)*m.d+off : (b*t+i)*m.d+off+dh]
+				row := attn[aBase+i*t : aBase+(i+1)*t]
+				maxv := math.Inf(-1)
+				for j := 0; j < t; j++ {
+					kj := k.Data[(b*t+j)*m.d+off : (b*t+j)*m.d+off+dh]
+					s := 0.0
+					for l, qv := range qi {
+						s += qv * kj[l]
+					}
+					row[j] = s * scale
+					if row[j] > maxv {
+						maxv = row[j]
+					}
+				}
+				sum := 0.0
+				for j := range row {
+					row[j] = math.Exp(row[j] - maxv)
+					sum += row[j]
+				}
+				zi := z.Data[(b*t+i)*m.d+off : (b*t+i)*m.d+off+dh]
+				for j := range row {
+					row[j] /= sum
+					vj := v.Data[(b*t+j)*m.d+off : (b*t+j)*m.d+off+dh]
+					for l := range zi {
+						zi[l] += row[j] * vj[l]
+					}
+				}
+			}
 		}
 	}
-	return out
+	out := project(z.Data, m.wo)
+	return a.view(out.Data, n, t, m.d)
+}
+
+// execDepthwise runs DepthwiseConv2D with the masked kernels materialized
+// at compile time and the output drawn from the arena.
+type execDepthwise struct {
+	conv *nn.DepthwiseConv2D
+	weff *tensor.Tensor
+}
+
+func (d *execDepthwise) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	g := d.conv.Geom
+	g.InH, g.InW = x.Shape[2], x.Shape[3]
+	n, cch := x.Shape[0], g.InC
+	oh, ow := g.OutH(), g.OutW()
+	y := a.tensor(n, cch, oh, ow)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < cch; ch++ {
+			src := x.Data[(b*cch+ch)*g.InH*g.InW : (b*cch+ch+1)*g.InH*g.InW]
+			ker := d.weff.Data[ch*g.KH*g.KW : (ch+1)*g.KH*g.KW]
+			dst := y.Data[(b*cch+ch)*oh*ow : (b*cch+ch+1)*oh*ow]
+			bias := 0.0
+			if d.conv.Bias != nil {
+				bias = d.conv.Bias.W.Data[ch]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := bias
+					for kh := 0; kh < g.KH; kh++ {
+						iy := oy*g.Stride + kh - g.Pad
+						if iy < 0 || iy >= g.InH {
+							continue
+						}
+						for kw := 0; kw < g.KW; kw++ {
+							ix := ox*g.Stride + kw - g.Pad
+							if ix < 0 || ix >= g.InW {
+								continue
+							}
+							s += ker[kh*g.KW+kw] * src[iy*g.InW+ix]
+						}
+					}
+					dst[oy*ow+ox] = s
+				}
+			}
+		}
+	}
+	return y
+}
+
+// execBatchNorm is the eval branch of nn.BatchNorm2D (running statistics)
+// with the output drawn from the arena.
+type execBatchNorm struct {
+	bn *nn.BatchNorm2D
+}
+
+func (e *execBatchNorm) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	bn := e.bn
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := a.tensor(x.Shape...)
+	for ch := 0; ch < c; ch++ {
+		inv := 1.0 / math.Sqrt(bn.RunVar.Data[ch]+bn.Eps)
+		mean := bn.RunMean.Data[ch]
+		g, be := bn.Gamma.W.Data[ch], bn.Beta.W.Data[ch]
+		for b := 0; b < n; b++ {
+			off := (b*c + ch) * h * w
+			for i := 0; i < h*w; i++ {
+				y.Data[off+i] = g*(x.Data[off+i]-mean)*inv + be
+			}
+		}
+	}
+	return y
+}
+
+// execReLU is the eval-mode rectifier (optionally clipped) with the output
+// drawn from the arena. Activation statistics, when attached, still
+// accumulate — matching nn.ReLU.Forward.
+type execReLU struct {
+	relu *nn.ReLU
+}
+
+func (e *execReLU) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	y := a.tensor(x.Shape...)
+	c := e.relu.Cap
+	for i, v := range x.Data {
+		out := v
+		if v < 0 {
+			out = 0
+		} else if c > 0 && v > c {
+			out = c
+		}
+		y.Data[i] = out
+	}
+	if e.relu.Stats != nil {
+		e.relu.Stats.Total += int64(len(y.Data))
+		for _, v := range y.Data {
+			if v != 0 {
+				e.relu.Stats.NonZeros++
+			}
+		}
+	}
+	return y
+}
+
+// execLayerNorm is eval-mode nn.LayerNorm with the output drawn from the
+// arena.
+type execLayerNorm struct {
+	ln *nn.LayerNorm
+}
+
+func (e *execLayerNorm) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	ln := e.ln
+	rows := x.Shape[0] * x.Shape[1]
+	y := a.tensor(x.Shape...)
+	d := float64(ln.D)
+	for r := 0; r < rows; r++ {
+		seg := x.Data[r*ln.D : (r+1)*ln.D]
+		mean := 0.0
+		for _, v := range seg {
+			mean += v
+		}
+		mean /= d
+		variance := 0.0
+		for _, v := range seg {
+			variance += (v - mean) * (v - mean)
+		}
+		variance /= d
+		inv := 1.0 / math.Sqrt(variance+ln.Eps)
+		out := y.Data[r*ln.D : (r+1)*ln.D]
+		for i, v := range seg {
+			out[i] = ln.Gamma.W.Data[i]*((v-mean)*inv) + ln.Beta.W.Data[i]
+		}
+	}
+	return y
+}
+
+// execMaxPool is eval-mode nn.MaxPool2D with the output drawn from the
+// arena.
+type execMaxPool struct {
+	k, stride int
+}
+
+func (e *execMaxPool) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-e.k)/e.stride + 1
+	ow := (w-e.k)/e.stride + 1
+	y := a.tensor(n, c, oh, ow)
+	oi := 0
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(b*c+ch)*h*w : (b*c+ch+1)*h*w]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := plane[oy*e.stride*w+ox*e.stride]
+					for ky := 0; ky < e.k; ky++ {
+						for kx := 0; kx < e.k; kx++ {
+							if v := plane[(oy*e.stride+ky)*w+ox*e.stride+kx]; v > best {
+								best = v
+							}
+						}
+					}
+					y.Data[oi] = best
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// execGlobalAvgPool is nn.GlobalAvgPool with the output drawn from the
+// arena.
+type execGlobalAvgPool struct{}
+
+func (execGlobalAvgPool) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := a.tensor(n, c)
+	inv := 1.0 / float64(h*w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			s := 0.0
+			for _, v := range x.Data[(b*c+ch)*h*w : (b*c+ch+1)*h*w] {
+				s += v
+			}
+			y.Data[b*c+ch] = s * inv
+		}
+	}
+	return y
+}
+
+// execMeanPool is nn.MeanPoolTokens with the output drawn from the arena
+// (zeroed: the token loop accumulates).
+type execMeanPool struct{}
+
+func (execMeanPool) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	n, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	y := a.tensorZero(n, d)
+	inv := 1.0 / float64(t)
+	for b := 0; b < n; b++ {
+		for tt := 0; tt < t; tt++ {
+			for j := 0; j < d; j++ {
+				y.Data[b*d+j] += x.Data[(b*t+tt)*d+j] * inv
+			}
+		}
+	}
+	return y
+}
+
+// execFlatten reshapes [N, ...] to [N, D] as a zero-copy arena view.
+type execFlatten struct{}
+
+func (execFlatten) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
+	return a.view(x.Data, x.Shape[0], len(x.Data)/x.Shape[0])
 }

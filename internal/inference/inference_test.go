@@ -1,7 +1,9 @@
 package inference
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/data"
@@ -139,29 +141,94 @@ func TestEngineRepeatedCalls(t *testing.T) {
 	}
 }
 
-func TestEngineBackwardPanics(t *testing.T) {
+// TestPredictBatchMatchesPredict: the batcher entry point must return
+// exactly the per-sample argmaxes, for a lone sample and for a coalesced
+// batch.
+func TestPredictBatchMatchesPredict(t *testing.T) {
 	clf, x, nm, b := prunedModel(t, models.ResNet)
 	eng, err := New(clf, b, nm)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = x
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on backward through inference layers")
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	xs := make([]*tensor.Tensor, n)
+	for i := 0; i < n; i++ {
+		xs[i] = tensor.FromSlice(x.Data[i*c*h*w:(i+1)*c*h*w], 1, c, h, w)
+	}
+	want := eng.Predict(x)
+	got := eng.PredictBatch(xs)
+	if len(got) != n {
+		t.Fatalf("batch predictions %d for %d samples", len(got), n)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: PredictBatch %d vs Predict %d", i, got[i], want[i])
 		}
-	}()
-	(&sparseLinear{lin: nn.NewLinear("x", rand.New(rand.NewSource(1)), 2, 2, false)}).Backward(nil)
-	_ = eng
+	}
+	for i := range xs {
+		solo := eng.PredictBatch(xs[i : i+1])
+		if len(solo) != 1 || solo[0] != want[i] {
+			t.Fatalf("sample %d: single-element PredictBatch %v vs %d", i, solo, want[i])
+		}
+	}
 }
 
-func TestTranspose(t *testing.T) {
-	m := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
-	mt := transpose(m)
-	if mt.Shape[0] != 3 || mt.Shape[1] != 2 {
-		t.Fatalf("shape %v", mt.Shape)
+// TestEngineArenaReuseDeterministic hammers one engine with interleaved
+// batch sizes: recycled arena buffers (which come back dirty) must never
+// leak into results — every pass must be bit-identical to a fresh engine's.
+func TestEngineArenaReuseDeterministic(t *testing.T) {
+	for _, f := range []models.Family{models.ResNet, models.Transformer, models.MobileNet} {
+		clf, x, nm, b := prunedModel(t, f)
+		eng, err := New(clf, b, nm)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+		one := tensor.FromSlice(x.Data[:c*h*w], 1, c, h, w)
+		wantBatch := eng.Logits(x)
+		wantOne := eng.Logits(one)
+		// Interleave shapes so every layer sees shrinking and growing
+		// buffers drawn from the same recycled arena.
+		for i := 0; i < 3; i++ {
+			if got := eng.Logits(one); !tensor.Equal(got, wantOne, 0) {
+				t.Fatalf("%s: single-sample pass %d diverged after arena reuse", f, i)
+			}
+			if got := eng.Logits(x); !tensor.Equal(got, wantBatch, 0) {
+				t.Fatalf("%s: %d-sample pass %d diverged after arena reuse", f, n, i)
+			}
+		}
 	}
-	if mt.At(0, 1) != 4 || mt.At(2, 0) != 3 {
-		t.Fatalf("values wrong: %v", mt.Data)
+}
+
+// TestEngineConcurrentBitIdentical runs many concurrent passes (each with
+// its own pooled arena) and checks every result against the serial one —
+// the -race guard for the engine's shared compiled state.
+func TestEngineConcurrentBitIdentical(t *testing.T) {
+	clf, x, nm, b := prunedModel(t, models.ResNet)
+	eng, err := New(clf, b, nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eng.Logits(x)
+	var wg sync.WaitGroup
+	const goroutines = 8
+	errs := make([]error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if got := eng.Logits(x); !tensor.Equal(got, want, 0) {
+					errs[gi] = fmt.Errorf("goroutine %d pass %d diverged", gi, i)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

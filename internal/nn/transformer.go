@@ -383,14 +383,23 @@ func NewPatchEmbed(name string, rng *rand.Rand, c, p, d int) *PatchEmbed {
 // tokens returns the patch count for an H×W image.
 func (pe *PatchEmbed) tokens(h, w int) int { return (h / pe.P) * (w / pe.P) }
 
-// extract gathers patch vectors: row (b, ty, tx) = flattened [C,P,P] patch.
 // ExtractPatches gathers patch vectors: row (b, ty, tx) is the flattened
 // [C,P,P] patch. Exposed for the sparse inference engine.
 func (pe *PatchEmbed) ExtractPatches(x *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	return pe.ExtractPatchesInto(x, tensor.New(n*(h/pe.P)*(w/pe.P), c*pe.P*pe.P))
+}
+
+// ExtractPatchesInto is ExtractPatches writing into out, which must have
+// shape [N*T, C*P*P]. Every element of out is written, so it may be an
+// uninitialized scratch buffer. Returns out.
+func (pe *PatchEmbed) ExtractPatchesInto(x, out *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	ty, tx := h/pe.P, w/pe.P
 	in := c * pe.P * pe.P
-	out := tensor.New(n*ty*tx, in)
+	if len(out.Shape) != 2 || out.Shape[0] != n*ty*tx || out.Shape[1] != in {
+		panic(fmt.Sprintf("nn: ExtractPatchesInto out %v, want [%d %d]", out.Shape, n*ty*tx, in))
+	}
 	for b := 0; b < n; b++ {
 		for py := 0; py < ty; py++ {
 			for px := 0; px < tx; px++ {

@@ -16,17 +16,30 @@ import (
 var ErrOverloaded = errors.New("serve: overloaded: predict queue full")
 
 // predictReq is one caller's Predict waiting in a batcher's queue. The
-// caller blocks on done; the flusher fills preds/err before closing it.
+// caller blocks on done; the flusher fills preds/err and then sends one
+// value on done (not close: requests are pooled, and a buffered channel can
+// be reused where a closed one cannot).
 type predictReq struct {
 	x    *tensor.Tensor // [B,C,H,W]
 	rows int            // x.Shape[0]
-	done chan struct{}
+	done chan struct{}  // buffered(1); one send per enqueue
 	// preds is this request's slice of the fanned-out batch result; err is
 	// set instead when the whole batch failed (or the queue rejected it
 	// before enqueueing).
 	preds []int
 	err   error
 }
+
+// reqPool recycles predictReqs (with their channels) across Predict calls:
+// the submitting goroutine is the only owner after the done signal, so it
+// returns the request once it has copied the result out. Keeps the
+// steady-state batched predict path allocation-free on the serve side.
+var reqPool = sync.Pool{New: func() any {
+	return &predictReq{done: make(chan struct{}, 1)}
+}}
+
+// lingerTimers recycles the leaders' linger timers (one per flush).
+var lingerTimers sync.Pool
 
 // batcher coalesces concurrent Predict calls against one personalized
 // engine into shared LogitsBatch invocations. There is no background
@@ -38,8 +51,8 @@ type predictReq struct {
 //
 // The engine call is bit-identical to running each request alone: batched
 // SpMM accumulates every output element in the same order regardless of
-// batch size (see inference.Engine.LogitsBatch), and tensor.Concat is a
-// pure row-wise copy.
+// batch size (see inference.Engine.LogitsBatch), and the concat the engine
+// performs inside its arena is a pure row-wise copy.
 //
 // Admission control: at most maxQueue samples wait in the queue; a request
 // that would overflow it is rejected with ErrOverloaded instead of queueing
@@ -47,16 +60,25 @@ type predictReq struct {
 // the queue is empty — it flushes as its own batch and could never be
 // admitted otherwise).
 type batcher struct {
-	run      func(*tensor.Tensor) []int // one engine invocation over a batch
-	maxBatch int                        // soft flush threshold, in samples
-	linger   time.Duration              // leader's max wait for followers
-	maxQueue int                        // admission bound, in samples
-	counters *predictCounters           // shared with the owning Server
+	// run is one engine invocation over the batch's sample tensors
+	// (inference.Engine.PredictBatch): the engine concatenates them inside
+	// its own arena, so a coalesced flush allocates no more than a solo one.
+	run      func([]*tensor.Tensor) []int
+	maxBatch int              // soft flush threshold, in samples
+	linger   time.Duration    // leader's max wait for followers
+	maxQueue int              // admission bound, in samples
+	counters *predictCounters // shared with the owning Server
 
 	mu      sync.Mutex
 	pending []*predictReq
 	queued  int  // samples in pending
 	forced  bool // a forceFlush kicked the current generation
+	// spareReqs/spareXs recycle the previous generation's queue and fan-out
+	// slices (returned by the leader after the flush, picked up by the next
+	// generation's first submit), so steady-state batching never regrows
+	// them.
+	spareReqs []*predictReq
+	spareXs   []*tensor.Tensor
 
 	// kick wakes a lingering leader early (queue reached maxBatch, or a
 	// forced flush). Buffered so enqueuers never block on it; sends and
@@ -67,7 +89,7 @@ type batcher struct {
 // newBatcher builds the per-personalization batcher, or returns nil when
 // batching is disabled (MaxBatch <= 1): a nil batcher makes Server.Predict
 // take the solo path.
-func (s *Server) newBatcher(run func(*tensor.Tensor) []int) *batcher {
+func (s *Server) newBatcher(run func([]*tensor.Tensor) []int) *batcher {
 	if s.opts.MaxBatch <= 1 {
 		return nil
 	}
@@ -84,15 +106,22 @@ func (s *Server) newBatcher(run func(*tensor.Tensor) []int) *batcher {
 // submit enqueues x, drives the flush if this caller is the leader, and
 // blocks until the request's rows are predicted (or rejected/failed).
 func (b *batcher) submit(x *tensor.Tensor) ([]int, error) {
-	req := &predictReq{x: x, rows: x.Shape[0], done: make(chan struct{})}
+	req := reqPool.Get().(*predictReq)
+	req.x, req.rows, req.preds, req.err = x, x.Shape[0], nil, nil
 
 	b.mu.Lock()
 	if b.queued > 0 && b.queued+req.rows > b.maxQueue {
+		queued := b.queued
 		b.mu.Unlock()
+		req.x = nil
+		reqPool.Put(req)
 		b.counters.rejected.Add(1)
-		return nil, fmt.Errorf("%w (%d samples queued, bound %d)", ErrOverloaded, b.queued, b.maxQueue)
+		return nil, fmt.Errorf("%w (%d samples queued, bound %d)", ErrOverloaded, queued, b.maxQueue)
 	}
 	leader := len(b.pending) == 0
+	if b.pending == nil && b.spareReqs != nil {
+		b.pending, b.spareReqs = b.spareReqs, nil
+	}
 	b.pending = append(b.pending, req)
 	b.queued += req.rows
 	b.counters.queued.Add(int64(req.rows))
@@ -105,7 +134,12 @@ func (b *batcher) submit(x *tensor.Tensor) ([]int, error) {
 		b.lead()
 	}
 	<-req.done
-	return req.preds, req.err
+	// The flusher is done with req after the send; this goroutine owns it
+	// again and recycles it once the result is copied out.
+	preds, err := req.preds, req.err
+	req.x, req.preds, req.err = nil, nil, nil
+	reqPool.Put(req)
+	return preds, err
 }
 
 // kickLocked wakes the lingering leader without blocking; callers hold mu.
@@ -133,19 +167,31 @@ func (b *batcher) forceFlush() {
 // the engine once, fan out.
 func (b *batcher) lead() {
 	if b.linger > 0 {
-		t := time.NewTimer(b.linger)
+		t, _ := lingerTimers.Get().(*time.Timer)
+		if t == nil {
+			t = time.NewTimer(b.linger)
+		} else {
+			t.Reset(b.linger)
+		}
 		select {
 		case <-t.C:
 		case <-b.kick:
-			t.Stop()
+			// Drain a concurrent fire so the recycled timer's channel is
+			// empty before the next Reset.
+			if !t.Stop() {
+				<-t.C
+			}
 		}
+		lingerTimers.Put(t)
 	}
 
 	b.mu.Lock()
 	batch := b.pending
 	total := b.queued
 	forced := b.forced
+	xs := b.spareXs
 	b.pending = nil
+	b.spareXs = nil
 	b.queued = 0
 	b.forced = false
 	b.counters.queued.Add(-int64(total))
@@ -171,15 +217,11 @@ func (b *batcher) lead() {
 		b.counters.flushLinger.Add(1)
 	}
 
-	x := batch[0].x
-	if len(batch) > 1 {
-		xs := make([]*tensor.Tensor, len(batch))
-		for i, r := range batch {
-			xs[i] = r.x
-		}
-		x = tensor.Concat(xs)
+	xs = xs[:0]
+	for _, r := range batch {
+		xs = append(xs, r.x)
 	}
-	preds, err := b.invoke(x, total)
+	preds, err := b.invoke(xs, total)
 	off := 0
 	for _, r := range batch {
 		if err != nil {
@@ -188,21 +230,30 @@ func (b *batcher) lead() {
 			r.preds = preds[off : off+r.rows : off+r.rows]
 		}
 		off += r.rows
-		close(r.done)
+		r.done <- struct{}{} // hands ownership of r back to its submitter
 	}
+
+	// Return this generation's slices for the next one to reuse (cleared:
+	// the requests are already back with their submitters).
+	clear(batch)
+	clear(xs)
+	b.mu.Lock()
+	b.spareReqs = batch[:0]
+	b.spareXs = xs[:0]
+	b.mu.Unlock()
 }
 
 // invoke runs one engine call over the concatenated batch, recovering a
 // panic into an error: a poisoned batch must fail every waiter, not strand
 // the followers behind a dead leader.
-func (b *batcher) invoke(x *tensor.Tensor, total int) (preds []int, err error) {
+func (b *batcher) invoke(xs []*tensor.Tensor, total int) (preds []int, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("serve: batched predict over %d samples failed: %v", total, r)
 		}
 	}()
 	start := time.Now()
-	preds = b.run(x)
+	preds = b.run(xs)
 	b.counters.observe(total, time.Since(start))
 	return preds, nil
 }

@@ -17,10 +17,12 @@ import (
 func stubBatcher(maxBatch int, linger time.Duration, maxQueue int) (*batcher, *predictCounters) {
 	c := &predictCounters{}
 	b := &batcher{
-		run: func(x *tensor.Tensor) []int {
-			preds := make([]int, x.Shape[0])
-			for i := range preds {
-				preds[i] = int(x.Data[i])
+		run: func(xs []*tensor.Tensor) []int {
+			var preds []int
+			for _, x := range xs {
+				for r := 0; r < x.Shape[0]; r++ {
+					preds = append(preds, int(x.Data[r]))
+				}
 			}
 			return preds
 		},
@@ -169,7 +171,7 @@ func TestBatcherOversizeRequestAdmitted(t *testing.T) {
 // an error, never strand followers behind a dead leader.
 func TestBatcherPanicFansOutError(t *testing.T) {
 	b, _ := stubBatcher(3, time.Minute, 100)
-	b.run = func(*tensor.Tensor) []int { panic("kernel exploded") }
+	b.run = func([]*tensor.Tensor) []int { panic("kernel exploded") }
 	const n = 3
 	errs := make([]error, n)
 	var wg sync.WaitGroup

@@ -52,9 +52,11 @@
 //     early the moment the queue reaches MaxBatch samples
 //     (Stats.FlushSize / Stats.FlushLinger / Stats.FlushForced record
 //     whether MaxBatch, the timer, or a DrainBatches flushed each batch).
-//   - Flushing: the leader takes the whole queue, concatenates the inputs
-//     (tensor.Concat), runs ONE engine call (Stats.PredictBatches,
-//     Stats.PredictNS, Stats.BatchSizeHist), and fans the argmax rows back
+//   - Flushing: the leader takes the whole queue and runs ONE engine call
+//     over the sample tensors (inference.Engine.PredictBatch, which
+//     concatenates them inside the engine's recycled arena — a coalesced
+//     flush allocates no more than a solo predict; Stats.PredictBatches,
+//     Stats.PredictNS, Stats.BatchSizeHist), then fans the argmax rows back
 //     out to every waiting request. A panic inside the engine fails every
 //     rider with an error instead of stranding followers. Requests that
 //     arrived during the flush have already elected the next leader.

@@ -446,7 +446,7 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, bool,
 		Accuracy: clone.Accuracy(test.X, test.Labels),
 		engine:   eng,
 		clf:      clone,
-		bat:      s.newBatcher(eng.Predict),
+		bat:      s.newBatcher(eng.PredictBatch),
 	}, false, nil
 }
 
@@ -462,9 +462,16 @@ func (s *Server) Predict(classes []int, x *tensor.Tensor) ([]int, error) {
 	if err := s.checkInput(x); err != nil {
 		return nil, err
 	}
-	p, _, err := s.Personalize(classes)
-	if err != nil {
-		return nil, err
+	// The hot path — an already-canonical class set with a cached engine —
+	// skips Canonicalize's map/join allocations entirely; anything else
+	// (unsorted sets, duplicates, cache misses) takes the full path.
+	p := s.predictFast(classes)
+	if p == nil {
+		var err error
+		p, _, err = s.Personalize(classes)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if p.bat != nil {
 		return p.bat.submit(x)
@@ -473,6 +480,43 @@ func (s *Server) Predict(classes []int, x *tensor.Tensor) ([]int, error) {
 	preds := p.engine.Predict(x)
 	s.counters.observe(len(preds), time.Since(start))
 	return preds, nil
+}
+
+// predictFast returns the cached personalization for an already-canonical
+// (strictly increasing, in-range) class set, or nil when the set is
+// non-canonical or not cached — the callers' slow path handles both. It is
+// allocation-free: the cache key is composed in a stack buffer and looked
+// up without materializing a string, and the usual Personalize bookkeeping
+// (Requests, CacheHits, LRU touch) still happens under mu.
+func (s *Server) predictFast(classes []int) *Personalization {
+	if len(classes) == 0 {
+		return nil
+	}
+	var buf [96]byte
+	key := buf[:0]
+	prev := -1
+	for i, c := range classes {
+		if c <= prev || c >= s.ds.NumClasses {
+			return nil
+		}
+		prev = c
+		if i > 0 {
+			key = append(key, ',')
+		}
+		key = strconv.AppendInt(key, int64(c), 10)
+	}
+	s.mu.Lock()
+	el, ok := s.entries[string(key)]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.lru.MoveToFront(el)
+	s.stats.Requests++
+	s.stats.CacheHits++
+	p := el.Value.(*Personalization)
+	s.mu.Unlock()
+	return p
 }
 
 // DrainBatches kicks every queued predict batch to flush immediately

@@ -170,7 +170,7 @@ func (s *Server) restoreOne(key string) (*Personalization, error) {
 		Accuracy: rec.Accuracy,
 		engine:   eng,
 		clf:      clone,
-		bat:      s.newBatcher(eng.Predict),
+		bat:      s.newBatcher(eng.PredictBatch),
 	}, nil
 }
 

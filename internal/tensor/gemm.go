@@ -1,15 +1,6 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
-
-// parallelThreshold is the number of multiply-accumulate operations below
-// which GEMM runs single-threaded; goroutine fan-out costs more than it saves
-// on tiny matrices.
-const parallelThreshold = 1 << 16
+import "fmt"
 
 // MatMul computes C = A·B for A (m×k) and B (k×n), returning a new m×n
 // tensor. Both inputs must be rank-2.
@@ -31,8 +22,9 @@ func MatMul(a, b *Tensor) *Tensor {
 // op(A) is m×k and op(B) is k×n; transA/transB select whether the stored
 // buffer is the transpose of the operand. C must have length m*n.
 //
-// The row loop is parallelized across GOMAXPROCS workers when the problem is
-// large enough to amortize goroutine startup.
+// The row loop fans out over the persistent kernel worker pool
+// (ParallelRows) when the problem is large enough to amortize the handoff;
+// no goroutines are spawned per call.
 func Gemm(transA, transB bool, m, n, k int, alpha float64, a, b []float64, beta float64, c []float64) {
 	if len(c) != m*n {
 		panic(fmt.Sprintf("tensor: Gemm output length %d != %d*%d", len(c), m, n))
@@ -55,91 +47,76 @@ func Gemm(transA, transB bool, m, n, k int, alpha float64, a, b []float64, beta 
 		return
 	}
 
-	rowRange := func(i0, i1 int) {
-		switch {
-		case !transA && !transB:
-			// A[i][l] * B[l][j]: stream B rows for cache friendliness.
-			for i := i0; i < i1; i++ {
-				ci := c[i*n : (i+1)*n]
-				ai := a[i*k : (i+1)*k]
-				for l := 0; l < k; l++ {
-					av := alpha * ai[l]
-					if av == 0 {
-						continue
-					}
-					bl := b[l*n : (l+1)*n]
-					for j, bv := range bl {
-						ci[j] += av * bv
-					}
-				}
-			}
-		case transA && !transB:
-			// A stored k×m: A[l][i].
-			for i := i0; i < i1; i++ {
-				ci := c[i*n : (i+1)*n]
-				for l := 0; l < k; l++ {
-					av := alpha * a[l*m+i]
-					if av == 0 {
-						continue
-					}
-					bl := b[l*n : (l+1)*n]
-					for j, bv := range bl {
-						ci[j] += av * bv
-					}
-				}
-			}
-		case !transA && transB:
-			// B stored n×k: B[j][l]; dot products.
-			for i := i0; i < i1; i++ {
-				ai := a[i*k : (i+1)*k]
-				ci := c[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					bj := b[j*k : (j+1)*k]
-					s := 0.0
-					for l, av := range ai {
-						s += av * bj[l]
-					}
-					ci[j] += alpha * s
-				}
-			}
-		default: // transA && transB
-			for i := i0; i < i1; i++ {
-				ci := c[i*n : (i+1)*n]
-				for j := 0; j < n; j++ {
-					s := 0.0
-					for l := 0; l < k; l++ {
-						s += a[l*m+i] * b[j*k+l]
-					}
-					ci[j] += alpha * s
-				}
-			}
-		}
-	}
-
+	// The serial path calls gemmRows directly: a closure here would escape
+	// into the worker pool's task queue and heap-allocate on every call,
+	// even for the small GEMMs that never fan out.
 	if m*n*k < parallelThreshold {
-		rowRange(0, m)
+		gemmRows(transA, transB, m, n, k, alpha, a, b, c, 0, m)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		i0 := w * chunk
-		i1 := i0 + chunk
-		if i1 > m {
-			i1 = m
+	ParallelRows(m, m*n*k, func(i0, i1 int) {
+		gemmRows(transA, transB, m, n, k, alpha, a, b, c, i0, i1)
+	})
+}
+
+// gemmRows computes output rows [i0, i1) of C = alpha*op(A)*op(B) + C.
+func gemmRows(transA, transB bool, m, n, k int, alpha float64, a, b, c []float64, i0, i1 int) {
+	switch {
+	case !transA && !transB:
+		// A[i][l] * B[l][j]: stream B rows for cache friendliness.
+		for i := i0; i < i1; i++ {
+			ci := c[i*n : (i+1)*n]
+			ai := a[i*k : (i+1)*k]
+			for l := 0; l < k; l++ {
+				av := alpha * ai[l]
+				if av == 0 {
+					continue
+				}
+				bl := b[l*n : (l+1)*n]
+				for j, bv := range bl {
+					ci[j] += av * bv
+				}
+			}
 		}
-		if i0 >= i1 {
-			break
+	case transA && !transB:
+		// A stored k×m: A[l][i].
+		for i := i0; i < i1; i++ {
+			ci := c[i*n : (i+1)*n]
+			for l := 0; l < k; l++ {
+				av := alpha * a[l*m+i]
+				if av == 0 {
+					continue
+				}
+				bl := b[l*n : (l+1)*n]
+				for j, bv := range bl {
+					ci[j] += av * bv
+				}
+			}
 		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			rowRange(i0, i1)
-		}(i0, i1)
+	case !transA && transB:
+		// B stored n×k: B[j][l]; dot products.
+		for i := i0; i < i1; i++ {
+			ai := a[i*k : (i+1)*k]
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				s := 0.0
+				for l, av := range ai {
+					s += av * bj[l]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	default: // transA && transB
+		for i := i0; i < i1; i++ {
+			ci := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for l := 0; l < k; l++ {
+					s += a[l*m+i] * b[j*k+l]
+				}
+				ci[j] += alpha * s
+			}
+		}
 	}
-	wg.Wait()
 }

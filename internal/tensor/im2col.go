@@ -38,6 +38,15 @@ func (g ConvGeom) Validate() error {
 // GEMM with the weight matrix reshaped to [OutC, C*KH*KW]. Out-of-bounds
 // (padding) taps contribute zeros.
 func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	n := x.Shape[0]
+	return Im2ColInto(x, g, New(g.InC*g.KH*g.KW, n*g.OutH()*g.OutW()))
+}
+
+// Im2ColInto is Im2Col writing into dst, which must have shape
+// [C*KH*KW, N*OutH*OutW]. Every element of dst is written — padding taps
+// store explicit zeros — so dst may be an uninitialized scratch buffer.
+// Returns dst.
+func Im2ColInto(x *Tensor, g ConvGeom, dst *Tensor) *Tensor {
 	if len(x.Shape) != 4 {
 		panic(fmt.Sprintf("tensor: Im2Col requires [N,C,H,W] input, got %v", x.Shape))
 	}
@@ -48,36 +57,54 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	oh, ow := g.OutH(), g.OutW()
 	rows := g.InC * g.KH * g.KW
 	cols := n * oh * ow
-	out := New(rows, cols)
+	if len(dst.Shape) != 2 || dst.Shape[0] != rows || dst.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst %v, want [%d %d]", dst.Shape, rows, cols))
+	}
 
 	// Row index r encodes (c, kh, kw); column index encodes (n, oy, ox).
 	for c := 0; c < g.InC; c++ {
 		for kh := 0; kh < g.KH; kh++ {
 			for kw := 0; kw < g.KW; kw++ {
 				r := (c*g.KH+kh)*g.KW + kw
-				dst := out.Data[r*cols : (r+1)*cols]
+				d := dst.Data[r*cols : (r+1)*cols]
+				// ox ∈ [ox0, ox1) are the taps with in-bounds ix; the rest
+				// of the output row is explicit padding zeros.
+				ox0 := 0
+				if g.Pad > kw {
+					ox0 = (g.Pad - kw + g.Stride - 1) / g.Stride
+				}
+				ox1 := (g.InW + g.Pad - kw + g.Stride - 1) / g.Stride
+				if ox1 > ow {
+					ox1 = ow
+				}
+				if ox1 < 0 {
+					ox1 = 0
+				}
+				if ox0 > ox1 {
+					ox0 = ox1
+				}
 				for b := 0; b < n; b++ {
 					src := x.Data[(b*g.InC+c)*g.InH*g.InW : (b*g.InC+c+1)*g.InH*g.InW]
 					for oy := 0; oy < oh; oy++ {
 						iy := oy*g.Stride + kh - g.Pad
 						base := (b*oh + oy) * ow
+						row := d[base : base+ow]
 						if iy < 0 || iy >= g.InH {
-							continue // zeros already in place
+							clear(row)
+							continue
 						}
 						rowSrc := src[iy*g.InW : (iy+1)*g.InW]
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*g.Stride + kw - g.Pad
-							if ix < 0 || ix >= g.InW {
-								continue
-							}
-							dst[base+ox] = rowSrc[ix]
+						clear(row[:ox0])
+						for ox := ox0; ox < ox1; ox++ {
+							row[ox] = rowSrc[ox*g.Stride+kw-g.Pad]
 						}
+						clear(row[ox1:])
 					}
 				}
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters (accumulating) a matrix of

@@ -1,0 +1,83 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-accumulate operations below
+// which GEMM and SpMM kernels run single-threaded; handing work to the pool
+// costs more than it saves on tiny matrices.
+const parallelThreshold = 1 << 16
+
+// poolTask is one contiguous row chunk of one kernel call.
+type poolTask struct {
+	fn     func(r0, r1 int)
+	r0, r1 int
+	wg     *sync.WaitGroup
+}
+
+// workerPool is the persistent, package-level kernel worker pool shared by
+// the dense GEMM and (via format.parallelRows) the sparse SpMM plans. It is
+// started lazily on the first call large enough to fan out; the
+// steady-state predict path spawns no goroutines. Worker count is fixed at
+// GOMAXPROCS observed at start; tasks are leaf computations that never
+// submit further tasks, so concurrent kernel calls can share the one queue
+// without deadlock.
+var workerPool struct {
+	once    sync.Once
+	workers int
+	tasks   chan poolTask
+}
+
+func startWorkerPool() {
+	workerPool.workers = runtime.GOMAXPROCS(0)
+	workerPool.tasks = make(chan poolTask, 4*workerPool.workers)
+	for i := 0; i < workerPool.workers; i++ {
+		go func() {
+			for t := range workerPool.tasks {
+				t.fn(t.r0, t.r1)
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// ParallelRows splits [0, rows) into contiguous chunks across the
+// persistent worker pool when work (a multiply-accumulate count) is large
+// enough to amortize the handoff; smaller problems run inline on the
+// caller. Each row chunk is processed by exactly one worker, so kernels
+// that give every output row a single writer stay bit-identical to their
+// sequential loops. The submitting goroutine executes the last chunk
+// itself: a fan-out over w chunks costs w-1 queue handoffs and no
+// goroutine startup.
+//
+// Callers on an allocation-sensitive path should test the threshold
+// themselves and call their row kernel directly when under it — a closure
+// passed here escapes (it enters the task queue) and costs one heap
+// allocation per call.
+func ParallelRows(rows, work int, fn func(r0, r1 int)) {
+	if work < parallelThreshold || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	workerPool.once.Do(startWorkerPool)
+	workers := workerPool.workers
+	if workers > rows {
+		workers = rows
+	}
+	if workers == 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	last := 0
+	for r0 := 0; r0+chunk < rows; r0 += chunk {
+		wg.Add(1)
+		workerPool.tasks <- poolTask{fn: fn, r0: r0, r1: r0 + chunk, wg: &wg}
+		last = r0 + chunk
+	}
+	fn(last, rows) // the caller's own share
+	wg.Wait()
+}

@@ -202,6 +202,32 @@ func Add(a, b *Tensor) *Tensor {
 // become one [B,C,H,W] batch that a single forward pass (one GEMM per
 // layer) can serve.
 func Concat(ts []*Tensor) *Tensor {
+	return ConcatInto(ts, New(concatShape(ts)...))
+}
+
+// ConcatInto concatenates tensors along dimension 0 into dst, which must
+// have the concatenated shape; every element of dst is overwritten, so dst
+// may be an uninitialized scratch buffer. Returns dst.
+func ConcatInto(ts []*Tensor, dst *Tensor) *Tensor {
+	shape := concatShape(ts)
+	if len(dst.Shape) != len(shape) {
+		panic(fmt.Sprintf("tensor: ConcatInto dst rank %v, want %v", dst.Shape, shape))
+	}
+	for i, d := range shape {
+		if dst.Shape[i] != d {
+			panic(fmt.Sprintf("tensor: ConcatInto dst shape %v, want %v", dst.Shape, shape))
+		}
+	}
+	off := 0
+	for _, t := range ts {
+		copy(dst.Data[off:], t.Data)
+		off += len(t.Data)
+	}
+	return dst
+}
+
+// concatShape validates the inputs of a concat and returns the result shape.
+func concatShape(ts []*Tensor) []int {
 	if len(ts) == 0 {
 		panic("tensor: Concat of zero tensors")
 	}
@@ -219,14 +245,54 @@ func Concat(ts []*Tensor) *Tensor {
 		}
 		lead += t.Shape[0]
 	}
-	shape := append([]int{lead}, rest...)
-	out := New(shape...)
-	off := 0
-	for _, t := range ts {
-		copy(out.Data[off:], t.Data)
-		off += len(t.Data)
+	return append([]int{lead}, rest...)
+}
+
+// transposeBlock is the square tile edge (in elements) of the cache-blocked
+// transpose: 32×32 float64 tiles are 8 KiB, so one source tile row and one
+// destination tile column both stay resident while the tile is shuffled.
+const transposeBlock = 32
+
+// Transpose returns mᵀ for a rank-2 tensor.
+func Transpose(m *Tensor) *Tensor {
+	if len(m.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose requires rank-2, got %v", m.Shape))
 	}
-	return out
+	return TransposeInto(m, New(m.Shape[1], m.Shape[0]))
+}
+
+// TransposeInto writes mᵀ into dst, which must be rank-2 with the
+// transposed shape; every element of dst is overwritten, so dst may be an
+// uninitialized scratch buffer. The copy is cache-blocked: walking the
+// source row-major would stride the destination by its full row length, so
+// both sides are visited in square tiles instead. Returns dst.
+func TransposeInto(m, dst *Tensor) *Tensor {
+	if len(m.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: TransposeInto requires rank-2, got %v", m.Shape))
+	}
+	r, c := m.Shape[0], m.Shape[1]
+	if len(dst.Shape) != 2 || dst.Shape[0] != c || dst.Shape[1] != r {
+		panic(fmt.Sprintf("tensor: TransposeInto dst %v, want [%d %d]", dst.Shape, c, r))
+	}
+	for i0 := 0; i0 < r; i0 += transposeBlock {
+		i1 := i0 + transposeBlock
+		if i1 > r {
+			i1 = r
+		}
+		for j0 := 0; j0 < c; j0 += transposeBlock {
+			j1 := j0 + transposeBlock
+			if j1 > c {
+				j1 = c
+			}
+			for i := i0; i < i1; i++ {
+				src := m.Data[i*c+j0 : i*c+j1]
+				for j, v := range src {
+					dst.Data[(j0+j)*r+i] = v
+				}
+			}
+		}
+	}
+	return dst
 }
 
 // Sum returns the sum of all elements.
