@@ -253,6 +253,54 @@ func BenchmarkSpMM_CSR(b *testing.B) {
 	}
 }
 
+// benchPlanPair compiles the float and int8 plans of one memory-bound
+// hybrid-sparse matrix plus a batch-16 activation block — the SpMM
+// precision shoot-out fixture (512×4096 at ~10% density: the gather walks
+// far more activation memory than fits in cache lines per row, so the
+// kernels are bound by operand traffic, which is exactly where 8-bit
+// operands pay).
+func benchPlanPair(b *testing.B) (*format.Plan, *format.QuantPlan, *tensor.Tensor) {
+	b.Helper()
+	w := benchHybridMatrix(512, 4096, 16, sparsity.NM{N: 2, M: 4})
+	p := format.EncodeCSR(w).Compile()
+	q, err := p.Quantize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.Randn(rng, 1, 4096, 16)
+	return p, q, x
+}
+
+// BenchmarkSpMM_PlanFloatBatch16 is the float compiled-plan kernel on the
+// batch-16 memory-bound shape — the reference the int8 kernel must meet.
+// Output and scratch live outside the loop, so steady state is
+// allocation-free up to the row-parallel fan-out.
+func BenchmarkSpMM_PlanFloatBatch16(b *testing.B) {
+	b.ReportAllocs()
+	p, _, x := benchPlanPair(b)
+	out := tensor.New(p.Rows, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MatMulInto(x, out)
+	}
+}
+
+// BenchmarkSpMM_PlanInt8Batch16 is the quantized kernel on the same shape:
+// per-column activation quantization + SWAR integer MAC + dequantizing
+// store, with recycled scratch. The acceptance bar is ns/op at or below
+// the float plan's.
+func BenchmarkSpMM_PlanInt8Batch16(b *testing.B) {
+	b.ReportAllocs()
+	_, q, x := benchPlanPair(b)
+	out := tensor.New(q.Rows, 16)
+	s := q.Scratch(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.MatMulInto(x, out, s)
+	}
+}
+
 // BenchmarkApplyNM measures N:M mask generation on a large layer.
 func BenchmarkApplyNM(b *testing.B) {
 	b.ReportAllocs()
@@ -410,6 +458,42 @@ func BenchmarkInference_TransformerBatch16(b *testing.B) {
 	}
 }
 
+// BenchmarkInference_Int8Batch16 serves the 16-sample CNN workload through
+// the int8 engine — the quantized twin of Inference_SparseBatch16 (same
+// model, same batch): per-column activation quantization, SWAR integer
+// MACs and dequantizing stores ride the engine arena, so allocs/op must
+// stay at the float engine's level.
+func BenchmarkInference_Int8Batch16(b *testing.B) {
+	b.ReportAllocs()
+	clf, x := benchPrunedModel(b)
+	eng, err := inference.NewWithOptions(clf, 4, sparsity.NM{N: 2, M: 4}, inference.CompileOptions{Precision: inference.Int8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := benchSamples(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.LogitsBatch(xs)
+	}
+}
+
+// BenchmarkInference_Int8TransformerBatch16 is the quantized twin of
+// Inference_TransformerBatch16 — the token-heavy family where SpMM
+// dominates the pass.
+func BenchmarkInference_Int8TransformerBatch16(b *testing.B) {
+	b.ReportAllocs()
+	clf, x := benchPrunedFamily(b, models.Transformer)
+	eng, err := inference.NewWithOptions(clf, 4, sparsity.NM{N: 2, M: 4}, inference.CompileOptions{Precision: inference.Int8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := benchSamples(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.LogitsBatch(xs)
+	}
+}
+
 // benchPrunedModel builds a 90%-sparse classifier and an input batch.
 func benchPrunedModel(b *testing.B) (*nn.Classifier, *tensor.Tensor) {
 	return benchPrunedFamily(b, models.ResNet)
@@ -491,7 +575,7 @@ var benchServeEnv = sync.OnceValue(func() *serveBenchEnv {
 // workload dynamic batching exists for. One benchmark op is one predict per
 // client (16 predicts), so Concurrent vs Solo ns/op is directly the
 // throughput ratio of batching on vs off.
-func benchServePredict(b *testing.B, maxBatch int) {
+func benchServePredict(b *testing.B, maxBatch int, precision inference.Precision) {
 	env := benchServeEnv()
 	s, err := serve.NewServer(env.build, env.base, env.ds, serve.Options{
 		Prune: pruner.Options{
@@ -503,6 +587,7 @@ func benchServePredict(b *testing.B, maxBatch int) {
 		MaxBatch:      maxBatch,
 		Linger:        time.Millisecond,
 		MaxQueue:      1024,
+		Precision:     precision,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -540,9 +625,25 @@ func benchServePredict(b *testing.B, maxBatch int) {
 // BenchmarkServePredict_Concurrent is the batched serving path: concurrent
 // predicts coalesce into shared engine invocations (MaxBatch 16). The
 // acceptance bar is ≥1.5× the throughput of ServePredict_Solo.
-func BenchmarkServePredict_Concurrent(b *testing.B) { b.ReportAllocs(); benchServePredict(b, 16) }
+func BenchmarkServePredict_Concurrent(b *testing.B) {
+	b.ReportAllocs()
+	benchServePredict(b, 16, inference.Float32)
+}
 
 // BenchmarkServePredict_Solo is the same workload with batching disabled
 // (MaxBatch 1): every request runs its own engine call — the pre-batching
 // serving path, kept as the baseline for the coalescing win.
-func BenchmarkServePredict_Solo(b *testing.B) { b.ReportAllocs(); benchServePredict(b, 1) }
+func BenchmarkServePredict_Solo(b *testing.B) {
+	b.ReportAllocs()
+	benchServePredict(b, 1, inference.Float32)
+}
+
+// BenchmarkServePredict_Int8 is the batched serving path on an Int8 server
+// (quantized engines end to end): same 16-client workload as _Concurrent,
+// so their ns/op compare the deployed cost of precision directly; the
+// allocs/op gate holds the quantized predict path to the float path's
+// steady state.
+func BenchmarkServePredict_Int8(b *testing.B) {
+	b.ReportAllocs()
+	benchServePredict(b, 16, inference.Int8)
+}

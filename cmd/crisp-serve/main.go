@@ -21,13 +21,20 @@
 // When a personalization's predict queue is full the server sheds load
 // with 429 Too Many Requests instead of queueing without bound.
 //
+// With -precision int8 every personalized engine runs from int8 quantized
+// plans (the CRISP-STC deployment precision): int8 weight codes, int32
+// accumulation, dequantize-on-store. Each personalization measures its
+// top-1 agreement against the full-precision engine once, on its held-out
+// split; /personalize reports it per tenant and /stats and /metrics
+// aggregate it fleet-wide (crisp_serve_top1_agreement).
+//
 // With -pprof-addr the server additionally exposes net/http/pprof on a
 // separate listener (off by default; bind it to localhost), so CPU and heap
 // profiles of the predict hot path can be captured in-situ.
 //
 // Usage:
 //
-//	crisp-serve -addr :8080 -num-classes 20 -target 0.85 -snapshot-dir /var/lib/crisp -pprof-addr localhost:6060
+//	crisp-serve -addr :8080 -num-classes 20 -target 0.85 -precision int8 -snapshot-dir /var/lib/crisp -pprof-addr localhost:6060
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/inference"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pruner"
@@ -68,6 +76,7 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 16, "coalesce concurrent predicts up to this many samples per engine call (1 disables batching)")
 		linger     = flag.Duration("linger", 2*time.Millisecond, "max time a predict waits for batch mates before flushing")
 		maxQueue   = flag.Int("max-queue", 256, "per-personalization predict queue bound in samples (full queue replies 429)")
+		precision  = flag.String("precision", "float32", "engine precision: float32 (exact) or int8 (quantized plans; ~int8 tensor-core deployment)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty: disabled)")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
@@ -78,6 +87,16 @@ func main() {
 	case models.ResNet, models.VGG, models.MobileNet, models.Transformer:
 	default:
 		log.Fatalf("unknown model %q (want resnet-s, vgg-s, mobilenet-s or transformer-s)", *family)
+	}
+
+	var prec inference.Precision
+	switch *precision {
+	case "float32", "float", "fp32":
+		prec = inference.Float32
+	case "int8", "i8":
+		prec = inference.Int8
+	default:
+		log.Fatalf("unknown precision %q (want float32 or int8)", *precision)
 	}
 
 	// Reject bad pruning flags before paying for pre-training.
@@ -116,6 +135,7 @@ func main() {
 		MaxBatch:    *maxBatch,
 		Linger:      *linger,
 		MaxQueue:    *maxQueue,
+		Precision:   prec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -146,8 +166,8 @@ func main() {
 		}()
 	}
 
-	log.Printf("serving on %s (%d workers, cache %d, max-batch %d, linger %v, max-queue %d)",
-		*addr, s.Stats().Workers, *cacheSize, *maxBatch, *linger, *maxQueue)
+	log.Printf("serving on %s (%d workers, cache %d, max-batch %d, linger %v, max-queue %d, precision %s)",
+		*addr, s.Stats().Workers, *cacheSize, *maxBatch, *linger, *maxQueue, prec)
 	log.Fatal(http.ListenAndServe(*addr, newMux(s, ds)))
 }
 
@@ -183,6 +203,8 @@ func newMux(s *serve.Server, ds *data.Dataset) *http.ServeMux {
 			"sparsity":          p.Report.AchievedSparsity,
 			"flops_ratio":       p.Report.FLOPsRatio,
 			"compressed_layers": p.Engine().CompressedLayers,
+			"precision":         p.Engine().Precision().String(),
+			"agreement":         p.Agreement,
 		})
 	})
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
@@ -291,10 +313,17 @@ func writeMetrics(w io.Writer, st serve.Stats) {
 	counter("snapshot_errors_total", "Failed snapshot writes.", st.SnapshotErrors)
 	counter("restore_hits_total", "Engines rebuilt from disk instead of re-pruned.", st.RestoreHits)
 	counter("restore_errors_total", "Snapshot records that failed to load.", st.RestoreErrors)
+	counter("agreement_samples_total", "Held-out samples measured for int8-vs-float top-1 agreement.", st.AgreementSamples)
+	counter("agreement_matches_total", "Measured samples whose int8 and float top-1 agreed.", st.AgreementMatches)
 	gauge("cached_engines", "Engines currently in the LRU cache.", st.CachedEngines)
 	gauge("in_flight", "Personalization jobs currently running.", st.InFlight)
 	gauge("queue_depth", "Samples waiting in predict queues.", st.QueueDepth)
 	gauge("workers", "Worker pool bound.", st.Workers)
+
+	// Precision as an info-style gauge (the mode is a label) and the
+	// measured agreement ratio as a float gauge.
+	fmt.Fprintf(w, "# HELP crisp_serve_precision Engine precision mode (1 for the active mode).\n# TYPE crisp_serve_precision gauge\ncrisp_serve_precision{mode=%q} 1\n", st.Precision)
+	fmt.Fprintf(w, "# HELP crisp_serve_top1_agreement Measured int8-vs-float top-1 agreement ratio (1 when unmeasured).\n# TYPE crisp_serve_top1_agreement gauge\ncrisp_serve_top1_agreement %g\n", st.Top1Agreement)
 
 	// Batch sizes as a cumulative histogram; Stats buckets are per-range.
 	fmt.Fprintf(w, "# HELP crisp_serve_batch_size Samples per predict engine invocation.\n# TYPE crisp_serve_batch_size histogram\n")

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/inference"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pruner"
@@ -407,5 +408,74 @@ func TestConcurrentHTTPClients(t *testing.T) {
 	}
 	if fmt.Sprint(st.CacheHits+st.CacheMisses+st.DedupJoins) != fmt.Sprint(st.Requests) {
 		t.Fatalf("request accounting inconsistent: %+v", st)
+	}
+}
+
+// TestInt8ServingHTTP is the -precision int8 acceptance path over HTTP: the
+// quantized server personalizes and predicts end to end, reports the
+// precision and measured agreement per tenant on /personalize, and exposes
+// the fleet-wide agreement telemetry on /stats and /metrics.
+func TestInt8ServingHTTP(t *testing.T) {
+	mux, _, _ := newTestMuxOpts(t, func(o *serve.Options) { o.Precision = inference.Int8 })
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var pr struct {
+		Key       string  `json:"key"`
+		Precision string  `json:"precision"`
+		Agreement float64 `json:"agreement"`
+	}
+	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{1, 3}}, &pr); code != http.StatusOK {
+		t.Fatalf("/personalize status %d", code)
+	}
+	if pr.Precision != "int8" {
+		t.Fatalf("personalize precision %q, want int8", pr.Precision)
+	}
+	if pr.Agreement <= 0 || pr.Agreement > 1 {
+		t.Fatalf("personalize agreement %v outside (0, 1]", pr.Agreement)
+	}
+
+	var pd struct {
+		Predictions []int `json:"predictions"`
+	}
+	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1, 3}, "samples": 8}, &pd); code != http.StatusOK {
+		t.Fatalf("/predict status %d", code)
+	}
+	if len(pd.Predictions) != 8 {
+		t.Fatalf("%d predictions, want 8", len(pd.Predictions))
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Precision != "int8" || st.AgreementSamples == 0 {
+		t.Fatalf("int8 stats over HTTP: %+v", st)
+	}
+
+	mresp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"crisp_serve_precision{mode=\"int8\"} 1\n",
+		fmt.Sprintf("crisp_serve_agreement_samples_total %d\n", st.AgreementSamples),
+		fmt.Sprintf("crisp_serve_agreement_matches_total %d\n", st.AgreementMatches),
+		"crisp_serve_top1_agreement ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
 	}
 }

@@ -37,6 +37,16 @@
 // previously personalized class sets reload with bit-identical engines
 // instead of re-running the prune+fine-tune pipeline.
 //
+// Set ServerConfig.Precision to PrecisionInt8 to serve from int8 quantized
+// plans (the deployment precision of CRISP-STC's sparse tensor cores):
+// weights compile to int8 codes with per-row scales, activations quantize
+// per column on the fly, products accumulate in int32 and dequantize on
+// store. Results are approximate; every personalization measures its top-1
+// agreement against the full-precision engine on its held-out split
+// (Personalization.Agreement, aggregated in Stats), and snapshot restore
+// re-quantizes deterministically — the restored engine carries exactly the
+// pre-restart codes.
+//
 // The heavy lifting lives in the internal packages (tensor, nn, sparsity,
 // saliency, pruner, format, accel, energy, data, models, exp, serve); this
 // package re-exports the workflow a downstream user needs.
@@ -184,6 +194,20 @@ type ServerConfig = serve.Options
 // personalization's predict queue is full and the request was dropped.
 // Callers should back off and retry (cmd/crisp-serve maps it to HTTP 429).
 var ErrOverloaded = serve.ErrOverloaded
+
+// Precision re-exports the engine execution precision for
+// ServerConfig.Precision.
+type Precision = inference.Precision
+
+// Precision modes: the full-precision reference (default) and int8
+// quantized execution (int8 weight codes and activations, int32
+// accumulate — the sparse-tensor-core deployment precision; approximate,
+// with the accuracy cost measured per personalization as
+// Personalization.Agreement).
+const (
+	PrecisionFloat32 = inference.Float32
+	PrecisionInt8    = inference.Int8
+)
 
 // Personalization re-exports one cached tenant model.
 type Personalization = serve.Personalization

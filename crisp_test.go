@@ -233,3 +233,55 @@ func TestFacadeDeployWorkflow(t *testing.T) {
 		t.Fatal("deployed engine disagrees with restored model")
 	}
 }
+
+// TestFacadeQuantizedServing: the public int8 serving path — a server
+// configured with PrecisionInt8 personalizes, serves predictions from
+// quantized engines, and reports the measured agreement per tenant and in
+// the aggregate stats.
+func TestFacadeQuantizedServing(t *testing.T) {
+	ds := NewDataset(data.Config{
+		Name: "server-int8-test", NumClasses: 8, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 44,
+	})
+	model := NewModel(ResNet, ds.NumClasses, 1, 45)
+	Pretrain(model, ds, 2, 8, 46)
+
+	cfg := DefaultConfig(0.7)
+	cfg.BlockSize = 4
+	cfg.Iterations = 1
+	cfg.FinetuneEpochs = 1
+	cfg.BatchSize = 8
+	cfg.LR = 0.01
+	srv, err := NewServer(model, ResNet, 1, 45, ds, ServerConfig{
+		Prune: cfg, TrainPerClass: 6, TestPerClass: 4,
+		Precision: PrecisionInt8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	user := []int{2, 5}
+	p, _, err := srv.Personalize(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Engine().Precision(); got != PrecisionInt8 {
+		t.Fatalf("engine precision %v, want int8", got)
+	}
+	if p.Agreement <= 0 || p.Agreement > 1 {
+		t.Fatalf("agreement %v outside (0, 1]", p.Agreement)
+	}
+	test := ds.MakeSplit("server-int8-predict", user, 4)
+	preds, err := srv.Predict(user, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != test.Len() {
+		t.Fatalf("%d predictions for %d samples", len(preds), test.Len())
+	}
+	st := srv.Stats()
+	if st.Precision != "int8" || st.AgreementSamples == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

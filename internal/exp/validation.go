@@ -140,7 +140,12 @@ func (h *Harness) AblationQuant() ([]QuantRow, *Table) {
 		o.NM = sparsity.NM{N: 2, M: 4}
 		pruner.NewCRISP(o).Prune(clf, sc.Train)
 		before := clf.Accuracy(sc.Test.X, sc.Test.Labels)
-		errs := quant.QuantizeModel(clf, quant.PerChannel)
+		errs, err := quant.QuantizeModel(clf, quant.PerChannel)
+		if err != nil {
+			// A pruned+fine-tuned model with non-finite weights means the
+			// training diverged — an experiment invariant, not a data error.
+			panic(fmt.Sprintf("exp: quantizing %s: %v", f, err))
+		}
 		after := clf.Accuracy(sc.Test.X, sc.Test.Labels)
 		worst := 0.0
 		for _, e := range errs {

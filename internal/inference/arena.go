@@ -2,16 +2,48 @@ package inference
 
 import "repro/internal/tensor"
 
-// arenaSlabFloats is the minimum slab size (floats). One slab comfortably
+// arenaSlabFloats is the minimum slab size (elements). One slab comfortably
 // holds several small-layer activations; big layers get a dedicated slab of
 // exactly their size on first use.
 const arenaSlabFloats = 1 << 16
 
+// slabRun is one element type's bump allocator inside the arena: recycled
+// slabs walked front to back, growing (never shrinking) as a pass demands.
+type slabRun[T uint64 | float64] struct {
+	slabs [][]T
+	slab  int // slab currently being bump-allocated
+	off   int // offset into slabs[slab]
+}
+
+func (s *slabRun[T]) reset() { s.slab, s.off = 0, 0 }
+
+// alloc returns an n-element buffer with arbitrary contents.
+func (s *slabRun[T]) alloc(n int) []T {
+	for s.slab < len(s.slabs) {
+		if sl := s.slabs[s.slab]; s.off+n <= len(sl) {
+			out := sl[s.off : s.off+n : s.off+n]
+			s.off += n
+			return out
+		}
+		s.slab++
+		s.off = 0
+	}
+	sz := arenaSlabFloats
+	if n > sz {
+		sz = n
+	}
+	s.slabs = append(s.slabs, make([]T, sz))
+	s.off = n
+	return s.slabs[s.slab][:n:n]
+}
+
 // arena is the engine-owned scratch allocator behind one forward pass. It
-// bump-allocates float buffers out of recycled slabs and hands out recycled
+// bump-allocates buffers out of recycled slabs and hands out recycled
 // tensor headers, so the steady-state predict path performs (near) zero
 // heap allocations: every im2col matrix, transpose, SpMM output, bias
-// fan-out and batch concat lives in arena memory.
+// fan-out and batch concat lives in arena memory. Int8 engines additionally
+// draw their packed activation-code and integer-accumulator words from a
+// second slab run pooled exactly like the float slabs.
 //
 // Within one pass no allocation is ever reused — residual shortcuts can
 // hold any earlier activation alive — so there is no aliasing to reason
@@ -27,9 +59,8 @@ const arenaSlabFloats = 1 << 16
 // element (the Into kernels' documented contract) or ask for tensorZero
 // when they accumulate with +=.
 type arena struct {
-	slabs [][]float64
-	slab  int // slab currently being bump-allocated
-	off   int // offset into slabs[slab]
+	f64 slabRun[float64]
+	u64 slabRun[uint64]
 
 	hdrs []*tensor.Tensor // recycled tensor headers
 	used int              // headers handed out this pass
@@ -37,7 +68,9 @@ type arena struct {
 
 // reset recycles the arena for the next pass; memory is retained.
 func (a *arena) reset() {
-	a.slab, a.off, a.used = 0, 0, 0
+	a.f64.reset()
+	a.u64.reset()
+	a.used = 0
 }
 
 // alloc returns an n-float buffer with arbitrary contents.
@@ -45,22 +78,16 @@ func (a *arena) alloc(n int) []float64 {
 	if a == nil {
 		return make([]float64, n)
 	}
-	for a.slab < len(a.slabs) {
-		if s := a.slabs[a.slab]; a.off+n <= len(s) {
-			out := s[a.off : a.off+n : a.off+n]
-			a.off += n
-			return out
-		}
-		a.slab++
-		a.off = 0
+	return a.f64.alloc(n)
+}
+
+// allocU64 returns an n-word buffer with arbitrary contents (the quantized
+// SpMM's packed activation codes and 32-bit-lane accumulators).
+func (a *arena) allocU64(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, n)
 	}
-	sz := arenaSlabFloats
-	if n > sz {
-		sz = n
-	}
-	a.slabs = append(a.slabs, make([]float64, sz))
-	a.off = n
-	return a.slabs[a.slab][:n:n]
+	return a.u64.alloc(n)
 }
 
 // header returns a recycled tensor header with the given shape (data unset).

@@ -22,6 +22,19 @@
 //     interleave with the attention pattern), but the masked weights are
 //     materialized once at compile time instead of per call.
 //
+// The engine also has a deployment-precision mode
+// (NewWithOptions(CompileOptions{Precision: Int8})): every plan-backed
+// layer materializes an int8 quantized plan at compile time — int8 weight
+// codes at symmetric per-row scales — and the forward pass quantizes
+// activations per column on the fly, accumulates int8×int8 products in
+// 32-bit integer lanes (format.QuantPlan's SWAR kernel), and dequantizes
+// once on store, mirroring sparse tensor cores in int8 mode. The quantized
+// path rides the same arena (packed code and accumulator slabs pooled like
+// the float slabs), so it is equally allocation-free; its outputs are
+// approximate, with the accuracy cost
+// bounded by the golden agreement suite in quant_test.go (top-1 agreement
+// ≥95% vs the Float32 engine, per-family logit error bounds).
+//
 // The engine is inference-only and immutable after New: it snapshots the
 // classifier's masked weights, layers run in evaluation mode, and no
 // gradients exist. Concurrent Logits/Predict calls are safe — each pass
@@ -29,6 +42,7 @@
 package inference
 
 import (
+	"hash/fnv"
 	"math"
 	"sync"
 
@@ -38,11 +52,48 @@ import (
 	"repro/internal/tensor"
 )
 
+// Precision selects the arithmetic the compiled sparse layers run at. It is
+// named for the deployment dtype on the accelerator (CRISP-STC serves
+// float or int8 operands), not for this reproduction's host arithmetic —
+// the Float32 path computes in float64 like everything else here.
+type Precision int
+
+const (
+	// Float32 is the full-precision reference path: compiled float plans,
+	// bit-identical to the masked dense model.
+	Float32 Precision = iota
+	// Int8 runs every plan-backed layer (sparse conv/linear/token/patch)
+	// from int8 quantized plans: int8 weight codes at per-row scales,
+	// activations quantized per column on the fly, int32 accumulation,
+	// dequantize-on-store. Outputs are approximate; the golden agreement
+	// suite bounds the top-1 disagreement against the Float32 engine.
+	Int8
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	if p == Int8 {
+		return "int8"
+	}
+	return "float32"
+}
+
+// CompileOptions tunes how NewWithOptions compiles a classifier into an
+// engine. The zero value is the full-precision default.
+type CompileOptions struct {
+	// Precision selects float or int8 execution for the plan-backed layers.
+	Precision Precision
+}
+
 // Engine is a compiled sparse-execution plan for one classifier. An engine
 // is immutable after New and safe for concurrent Logits/LogitsBatch calls.
 type Engine struct {
-	clf  *nn.Classifier
-	root execLayer
+	clf       *nn.Classifier
+	root      execLayer
+	precision Precision
+	// quantPlans lists every compiled quantized plan (Int8 engines only),
+	// in compile order — the QuantSignature surface.
+	quantPlans []*format.QuantPlan
 	// CompressedLayers counts the layers running from sparse encodings; it
 	// is fixed at compile time.
 	CompressedLayers int
@@ -55,13 +106,61 @@ type Engine struct {
 // CRISP format at the given block size and N:M pattern, exempt ones in CSR,
 // and both are flattened into format.Plan kernels.
 func New(clf *nn.Classifier, blockSize int, nm sparsity.NM) (*Engine, error) {
-	e := &Engine{clf: clf}
+	return NewWithOptions(clf, blockSize, nm, CompileOptions{})
+}
+
+// NewWithOptions is New with explicit compile options: with
+// CompileOptions{Precision: Int8} every plan-backed layer additionally
+// materializes its int8 quantized plan at compile time, and the forward
+// pass runs the quantized kernels (per-column activation quantization,
+// 32-bit integer accumulation, dequantize-on-store) with the packed
+// quantization scratch drawn from the same engine-owned arena as the float
+// buffers.
+func NewWithOptions(clf *nn.Classifier, blockSize int, nm sparsity.NM, opts CompileOptions) (*Engine, error) {
+	e := &Engine{clf: clf, precision: opts.Precision}
 	root, err := e.compile(clf.Net, blockSize, nm)
 	if err != nil {
 		return nil, err
 	}
 	e.root = root
 	return e, nil
+}
+
+// Precision reports the compiled execution precision.
+func (e *Engine) Precision() Precision { return e.precision }
+
+// QuantSignature returns a checksum over every quantized plan's layout,
+// codes and scales, in compile order — 0 for Float32 engines. Two engines
+// compiled from the same weights and masks at Int8 always agree: plan
+// compilation and quantization are deterministic, which is what lets the
+// serving layer re-quantize a restored snapshot and verify it reproduced
+// the pre-restart codes exactly.
+func (e *Engine) QuantSignature() uint64 {
+	if len(e.quantPlans) == 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, q := range e.quantPlans {
+		put(uint64(q.Rows))
+		put(uint64(q.Cols))
+		for _, p := range q.RowPtr {
+			put(uint64(uint32(p)))
+		}
+		for i, c := range q.Col {
+			put(uint64(uint32(c))<<8 | uint64(uint8(q.Code[i])))
+		}
+		for _, s := range q.RowScale {
+			put(math.Float64bits(s))
+		}
+	}
+	return h.Sum64()
 }
 
 // getArena checks an arena out of the pool for one forward pass.
@@ -183,33 +282,29 @@ func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (execLayer, error) {
 		}
 		return &execResidual{main: main, shortcut: short}, nil
 	case *nn.Conv2D:
-		plan, err := encodeParam(v.Weight, b, nm)
+		mm, err := e.newSpMM(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
-		e.CompressedLayers++
-		return &sparseConv{conv: v, plan: plan}, nil
+		return &sparseConv{conv: v, mm: mm}, nil
 	case *nn.Linear:
-		plan, err := encodeParam(v.Weight, b, nm)
+		mm, err := e.newSpMM(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
-		e.CompressedLayers++
-		return &sparseLinear{lin: v, plan: plan}, nil
+		return &sparseLinear{lin: v, mm: mm}, nil
 	case *nn.TokenLinear:
-		plan, err := encodeParam(v.Weight, b, nm)
+		mm, err := e.newSpMM(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
-		e.CompressedLayers++
-		return &sparseTokenLinear{lin: v, plan: plan}, nil
+		return &sparseTokenLinear{lin: v, mm: mm}, nil
 	case *nn.PatchEmbed:
-		plan, err := encodeParam(v.Weight, b, nm)
+		mm, err := e.newSpMM(v.Weight, b, nm)
 		if err != nil {
 			return nil, err
 		}
-		e.CompressedLayers++
-		return &sparsePatchEmbed{pe: v, plan: plan}, nil
+		return &sparsePatchEmbed{pe: v, mm: mm}, nil
 	case *nn.MultiHeadAttention:
 		return &execAttention{
 			d: v.D, heads: v.Heads,
@@ -236,6 +331,54 @@ func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (execLayer, error) {
 		// Stateless or statistics-only layers execute as-is (eval mode).
 		return &execDense{l: l}, nil
 	}
+}
+
+// spmm is the executors' shared SpMM dispatch: the compiled float plan and,
+// in Int8 engines, its quantized twin. Executors are precision-agnostic —
+// they compose shapes and biases and call into; which kernel runs was
+// decided once, at compile time.
+type spmm struct {
+	plan  *format.Plan
+	qplan *format.QuantPlan // nil in Float32 engines
+}
+
+// into computes W·B into out ([plan.Rows, n]). The quantized path draws its
+// activation-code (int8), column-scale (float) and accumulator (int32)
+// scratch from the pass's arena, so it stays allocation-free in steady
+// state just like the float path.
+func (s *spmm) into(b, out *tensor.Tensor, a *arena) *tensor.Tensor {
+	if s.qplan == nil {
+		return s.plan.MatMulInto(b, out)
+	}
+	n := out.Shape[1]
+	halfW := (n + 1) / 2
+	return s.qplan.MatMulInto(b, out, format.QuantScratch{
+		Packed:   a.allocU64(s.qplan.Cols * halfW),
+		ColScale: a.alloc(n),
+		ColInv:   a.alloc(n),
+		AccP:     a.allocU64(s.qplan.Rows * halfW),
+		AccN:     a.allocU64(s.qplan.Rows * halfW),
+	})
+}
+
+// newSpMM compiles one weight-bearing layer's SpMM dispatch at the engine's
+// precision and counts it as a compressed layer.
+func (e *Engine) newSpMM(p *nn.Param, b int, nm sparsity.NM) (spmm, error) {
+	plan, err := encodeParam(p, b, nm)
+	if err != nil {
+		return spmm{}, err
+	}
+	s := spmm{plan: plan}
+	if e.precision == Int8 {
+		q, err := plan.Quantize()
+		if err != nil {
+			return spmm{}, err
+		}
+		s.qplan = q
+		e.quantPlans = append(e.quantPlans, q)
+	}
+	e.CompressedLayers++
+	return s, nil
 }
 
 // encodeParam compresses one parameter's masked weights and compiles the
@@ -300,7 +443,7 @@ func (d *execDense) forward(x *tensor.Tensor, _ *arena) *tensor.Tensor {
 // sparseConv runs Conv2D from a compiled weight plan.
 type sparseConv struct {
 	conv *nn.Conv2D
-	plan *format.Plan
+	mm   spmm
 }
 
 func (s *sparseConv) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
@@ -308,8 +451,15 @@ func (s *sparseConv) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	g.InH, g.InW = x.Shape[2], x.Shape[3]
 	n := x.Shape[0]
 	oh, ow := g.OutH(), g.OutW()
-	cols := tensor.Im2ColInto(x, g, a.tensor(g.InC*g.KH*g.KW, n*oh*ow))
-	outMat := s.plan.MatMulInto(cols, a.tensor(s.plan.Rows, n*oh*ow)) // [S, N*OH*OW]
+	var outMat *tensor.Tensor // [S, N*OH*OW]
+	if s.mm.qplan != nil && quantConvSupported(ow) {
+		// Int8: quantize-before-im2col (see quantconv.go) — one encode per
+		// input element instead of one per im2col duplicate.
+		outMat = quantConvForward(s.mm.qplan, x, g, n, oh, ow, a)
+	} else {
+		cols := tensor.Im2ColInto(x, g, a.tensor(g.InC*g.KH*g.KW, n*oh*ow))
+		outMat = s.mm.into(cols, a.tensor(s.mm.plan.Rows, n*oh*ow), a)
+	}
 	p := oh * ow
 	y := a.tensor(n, s.conv.OutC, oh, ow)
 	for oc := 0; oc < s.conv.OutC; oc++ {
@@ -330,15 +480,15 @@ func (s *sparseConv) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 
 // sparseLinear runs Linear from a compiled weight plan: y = (W·xᵀ)ᵀ + b.
 type sparseLinear struct {
-	lin  *nn.Linear
-	plan *format.Plan
+	lin *nn.Linear
+	mm  spmm
 }
 
 func (s *sparseLinear) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	n := x.Shape[0]
 	// SpMM computes W·B for B = xᵀ [In, N].
 	xt := tensor.TransposeInto(x, a.tensor(s.lin.In, n))
-	out := s.plan.MatMulInto(xt, a.tensor(s.lin.Out, n)) // [Out, N]
+	out := s.mm.into(xt, a.tensor(s.lin.Out, n), a) // [Out, N]
 	y := a.tensor(n, s.lin.Out)
 	for j := 0; j < s.lin.Out; j++ {
 		for b := 0; b < n; b++ {
@@ -350,15 +500,15 @@ func (s *sparseLinear) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 
 // sparseTokenLinear runs TokenLinear from a compiled weight plan.
 type sparseTokenLinear struct {
-	lin  *nn.TokenLinear
-	plan *format.Plan
+	lin *nn.TokenLinear
+	mm  spmm
 }
 
 func (s *sparseTokenLinear) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	n, t := x.Shape[0], x.Shape[1]
 	flat := a.view(x.Data, n*t, s.lin.In)
 	xt := tensor.TransposeInto(flat, a.tensor(s.lin.In, n*t))
-	out := s.plan.MatMulInto(xt, a.tensor(s.lin.Out, n*t)) // [Out, N*T]
+	out := s.mm.into(xt, a.tensor(s.lin.Out, n*t), a) // [Out, N*T]
 	y := a.tensor(n*t, s.lin.Out)
 	for j := 0; j < s.lin.Out; j++ {
 		for r := 0; r < n*t; r++ {
@@ -370,8 +520,8 @@ func (s *sparseTokenLinear) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 
 // sparsePatchEmbed runs PatchEmbed from a compiled weight plan.
 type sparsePatchEmbed struct {
-	pe   *nn.PatchEmbed
-	plan *format.Plan
+	pe *nn.PatchEmbed
+	mm spmm
 }
 
 func (s *sparsePatchEmbed) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
@@ -381,7 +531,7 @@ func (s *sparsePatchEmbed) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	in := s.pe.C * s.pe.P * s.pe.P
 	patches := s.pe.ExtractPatchesInto(x, a.tensor(n*t, in)) // [N*T, C*P*P]
 	xt := tensor.TransposeInto(patches, a.tensor(in, n*t))
-	out := s.plan.MatMulInto(xt, a.tensor(s.pe.D, n*t)) // [D, N*T]
+	out := s.mm.into(xt, a.tensor(s.pe.D, n*t), a) // [D, N*T]
 	y := a.tensor(n*t, s.pe.D)
 	for j := 0; j < s.pe.D; j++ {
 		for r := 0; r < n*t; r++ {

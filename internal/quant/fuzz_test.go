@@ -1,0 +1,108 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// FuzzQuantizeRoundTrip drives Quantize across arbitrary weight tensors,
+// magnitudes and schemes and asserts the contract the int8 serving path
+// depends on:
+//
+//   - finite inputs quantize with strictly positive scales and
+//     per-element reconstruction error ≤ scale/2 (+ rounding headroom),
+//   - codes stay inside the symmetric window [-127, 127],
+//   - quantization is deterministic (same input → same codes/scales, the
+//     snapshot-restore re-quantization invariant),
+//   - NaN/Inf inputs fail closed with an error instead of garbage codes.
+func FuzzQuantizeRoundTrip(f *testing.F) {
+	f.Add(int64(1), 1.0, false, uint8(0), uint16(0))
+	f.Add(int64(2), 1e-6, true, uint8(1), uint16(3))
+	f.Add(int64(3), 1e6, false, uint8(2), uint16(17))
+	f.Add(int64(4), 0.0, true, uint8(3), uint16(65535))
+	f.Fuzz(func(t *testing.T, seed int64, scale float64, perTensor bool, poison uint8, poisonAt uint16) {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e12 {
+			t.Skip("scale itself out of the finite test envelope")
+		}
+		rows, cols := 1+int(uint(seed)%7), 1+int(uint(seed>>8)%15)
+		m := tensor.New(rows, cols)
+		rng := newSplitMix(uint64(seed))
+		for i := range m.Data {
+			m.Data[i] = scale * (rng.next() - 0.5)
+		}
+		scheme := PerChannel
+		if perTensor {
+			scheme = PerTensor
+		}
+
+		// poison != 0 injects one non-finite value: Quantize must reject the
+		// whole tensor, never emit codes for it.
+		if poison%4 != 0 {
+			bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}[poison%4-1]
+			m.Data[int(poisonAt)%len(m.Data)] = bad
+			if q, err := Quantize(m, scheme); err == nil {
+				t.Fatalf("non-finite input %v produced codes %v instead of failing closed", bad, q.Codes)
+			}
+			return
+		}
+
+		q, err := Quantize(m, scheme)
+		if err != nil {
+			t.Fatalf("finite input rejected: %v", err)
+		}
+		for r, s := range q.Scales {
+			if !(s > 0) || math.IsInf(s, 0) || math.IsNaN(s) {
+				t.Fatalf("row %d scale %v not strictly positive and finite", r, s)
+			}
+		}
+		for i, c := range q.Codes {
+			if c < -127 || c > 127 {
+				t.Fatalf("code %d = %d outside the symmetric int8 window", i, c)
+			}
+		}
+		dq := q.Dequantize()
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				e := math.Abs(dq.At(r, c) - m.At(r, c))
+				if bound := q.Scales[r]/2 + 1e-9*q.Scales[r]; e > bound {
+					t.Fatalf("%s [%d,%d]: reconstruction error %v exceeds half-scale %v",
+						scheme, r, c, e, q.Scales[r]/2)
+				}
+			}
+		}
+
+		// Determinism: the serving layer re-quantizes restored snapshots and
+		// requires identical codes.
+		q2, err := Quantize(m, scheme)
+		if err != nil {
+			t.Fatalf("second quantization rejected: %v", err)
+		}
+		for i := range q.Codes {
+			if q.Codes[i] != q2.Codes[i] {
+				t.Fatalf("code %d differs across quantizations of the same tensor", i)
+			}
+		}
+		for r := range q.Scales {
+			if q.Scales[r] != q2.Scales[r] {
+				t.Fatalf("scale %d differs across quantizations of the same tensor", r)
+			}
+		}
+	})
+}
+
+// splitMix is a tiny deterministic generator for fuzz inputs (keeps the
+// corpus seed-stable without importing math/rand's global state).
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed} }
+
+func (g *splitMix) next() float64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

@@ -43,9 +43,17 @@ type QTensor struct {
 }
 
 // Quantize encodes a rank-2 tensor at 8 bits with the given scheme.
-func Quantize(m *tensor.Tensor, scheme Scheme) *QTensor {
+// Non-finite inputs fail closed: a NaN or Inf weight would otherwise poison
+// its row's scale (or survive as an undefined float→int8 conversion), so
+// the whole tensor is rejected instead of producing garbage codes.
+func Quantize(m *tensor.Tensor, scheme Scheme) (*QTensor, error) {
 	if len(m.Shape) != 2 {
 		panic(fmt.Sprintf("quant: rank-2 tensor required, got %v", m.Shape))
+	}
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("quant: non-finite weight %v at element %d", v, i)
+		}
 	}
 	rows, cols := m.Shape[0], m.Shape[1]
 	q := &QTensor{Rows: rows, Cols: cols, Codes: make([]int8, rows*cols), Scales: make([]float64, rows)}
@@ -66,7 +74,7 @@ func Quantize(m *tensor.Tensor, scheme Scheme) *QTensor {
 			q.Codes[r*cols+c] = encode(m.Data[r*cols+c], s)
 		}
 	}
-	return q
+	return q, nil
 }
 
 // rowScale returns max|v|/127 (1 when the row is all zero, so zero encodes
@@ -123,15 +131,21 @@ func (q *QTensor) MaxError(m *tensor.Tensor) float64 {
 // QuantizeModel replaces every prunable weight of clf with its fake-quantized
 // (quantize → dequantize) value under the current mask, simulating 8-bit
 // deployment while keeping the float execution engine. Masked positions
-// stay zero. It returns the per-layer worst reconstruction error.
-func QuantizeModel(clf *nn.Classifier, scheme Scheme) map[string]float64 {
+// stay zero. It returns the per-layer worst reconstruction error. A layer
+// with non-finite weights fails the whole call (fail closed) with the model
+// untouched beyond the layers already processed — such a model is broken
+// either way and must not be deployed quantized.
+func QuantizeModel(clf *nn.Classifier, scheme Scheme) (map[string]float64, error) {
 	errs := map[string]float64{}
 	for _, p := range clf.PrunableParams() {
 		masked := tensor.Mul(p.MatrixView(), p.MaskMatrixView())
-		q := Quantize(masked, scheme)
+		q, err := Quantize(masked, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("quant: layer %s: %w", p.Name, err)
+		}
 		errs[p.Name] = q.MaxError(masked)
 		dq := q.Dequantize()
 		copy(p.MatrixView().Data, dq.Data)
 	}
-	return errs
+	return errs, nil
 }

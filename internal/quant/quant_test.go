@@ -15,7 +15,10 @@ func TestQuantizeRoundTripBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	m := tensor.Randn(rng, 2, 8, 16)
 	for _, scheme := range []Scheme{PerTensor, PerChannel} {
-		q := Quantize(m, scheme)
+		q, err := Quantize(m, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Error bounded by scale/2 per element.
 		dq := q.Dequantize()
 		for r := 0; r < 8; r++ {
@@ -47,8 +50,15 @@ func TestPerChannelBeatsPerTensorOnSkewedRows(t *testing.T) {
 		}
 		return worst
 	}
-	pt := rowErr(Quantize(m, PerTensor))
-	pc := rowErr(Quantize(m, PerChannel))
+	mustQuantize := func(scheme Scheme) *QTensor {
+		q, err := Quantize(m, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	pt := rowErr(mustQuantize(PerTensor))
+	pc := rowErr(mustQuantize(PerChannel))
 	if pc >= pt {
 		t.Fatalf("per-channel small-row error %v not better than per-tensor %v", pc, pt)
 	}
@@ -56,7 +66,10 @@ func TestPerChannelBeatsPerTensorOnSkewedRows(t *testing.T) {
 
 func TestZerosEncodeToZero(t *testing.T) {
 	m := tensor.New(4, 4) // all zeros (e.g. fully masked row)
-	q := Quantize(m, PerChannel)
+	q, err := Quantize(m, PerChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, c := range q.Codes {
 		if c != 0 {
 			t.Fatal("zero input must encode to zero")
@@ -75,7 +88,9 @@ func TestMaskedZerosStayZeroAfterModelQuantization(t *testing.T) {
 	for i := 0; i < mask.Len(); i += 2 {
 		mask.Data[i] = 0
 	}
-	QuantizeModel(clf, PerChannel)
+	if _, err := QuantizeModel(clf, PerChannel); err != nil {
+		t.Fatal(err)
+	}
 	mv := p.MatrixView()
 	for i := 0; i < mask.Len(); i += 2 {
 		if mv.Data[i] != 0 {
@@ -99,7 +114,10 @@ func TestQuantizedModelAccuracyClose(t *testing.T) {
 	}
 	test := ds.MakeSplit("test", []int{0, 1, 2, 3, 4, 5}, 6)
 	before := clf.Accuracy(test.X, test.Labels)
-	errs := QuantizeModel(clf, PerChannel)
+	errs, err := QuantizeModel(clf, PerChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
 	after := clf.Accuracy(test.X, test.Labels)
 	if math.Abs(before-after) > 0.15 {
 		t.Fatalf("8-bit quantization moved accuracy %v → %v", before, after)
@@ -115,7 +133,10 @@ func TestQuantErrorBoundProperty(t *testing.T) {
 	f := func(seed int64, scale uint8) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := tensor.Randn(rng, float64(scale%50)+0.1, 4, 8)
-		q := Quantize(m, PerChannel)
+		q, err := Quantize(m, PerChannel)
+		if err != nil {
+			return false
+		}
 		dq := q.Dequantize()
 		for r := 0; r < 4; r++ {
 			for c := 0; c < 8; c++ {

@@ -129,6 +129,32 @@
 //	  → the same counters in the Prometheus text exposition format
 //	  (crisp_serve_* families; batch sizes as a cumulative histogram).
 //
+// # Precision (Options.Precision)
+//
+// Options.Precision selects the execution precision every personalized
+// engine compiles at: inference.Float32 (default — compiled float plans,
+// bit-identical to the masked dense model) or inference.Int8 (quantized
+// plans: int8 weight codes at per-row scales, on-the-fly activation
+// quantization, 32-bit integer accumulation, dequantize-on-store — the
+// CRISP-STC deployment precision). Int8 is approximate, and the server
+// treats that as a first-class, measured property:
+//
+//   - At personalization (and restore) time the server compiles the float
+//     reference engine once and measures top-1 agreement on the held-out
+//     split — never on the predict path. The result is surfaced per
+//     tenant (Personalization.Agreement) and aggregated in Stats
+//     (AgreementSamples/AgreementMatches/Top1Agreement).
+//   - Snapshot records are precision-agnostic: they persist float weights
+//     and masks only, so a directory written by a Float32 server restores
+//     on an Int8 server (re-quantizing) and vice versa. Quantization is
+//     deterministic — a restored engine carries exactly the pre-restart
+//     codes (inference.Engine.QuantSignature pins this in the tests), so
+//     int8 predictions are bit-identical across restarts even though they
+//     are approximate relative to float.
+//   - Quantization fails closed: a model with NaN/Inf weights errors at
+//     compile instead of encoding garbage, and the personalization
+//     surfaces that error to the caller.
+//
 // The same Pool type fans the experiment suite out across GOMAXPROCS
 // (exp.RunParallel), so the serving scheduler and the figure runner share
 // one scheduling substrate.

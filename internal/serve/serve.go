@@ -51,6 +51,14 @@ type Options struct {
 	// a request that would overflow it is rejected with ErrOverloaded
 	// (admission control) instead of queueing unboundedly (<= 0: 256).
 	MaxQueue int
+	// Precision selects the execution precision personalized engines are
+	// compiled at: inference.Float32 (the default, bit-identical to the
+	// masked dense model) or inference.Int8 (quantized plans — int8 weight
+	// codes, int32 accumulate; approximate). At Int8 every personalization
+	// additionally compiles a float reference engine once and measures its
+	// top-1 agreement on the held-out split, surfaced per tenant as
+	// Personalization.Agreement and aggregated in Stats.
+	Precision inference.Precision
 }
 
 // withDefaults fills unset serving options.
@@ -89,6 +97,11 @@ type Personalization struct {
 	Report pruner.Report
 	// Accuracy is top-1 accuracy on held-out samples of the classes.
 	Accuracy float64
+	// Agreement is the measured top-1 agreement between this engine and the
+	// full-precision reference on the held-out split — the per-tenant cost
+	// of int8 deployment. Trivially 1 for Float32 engines (they are the
+	// reference).
+	Agreement float64
 
 	engine *inference.Engine
 	clf    *nn.Classifier
@@ -153,6 +166,18 @@ type Stats struct {
 	InFlight      int `json:"in_flight"`
 	// Workers echoes the pool bound.
 	Workers int `json:"workers"`
+	// Precision echoes the engine precision mode every personalization is
+	// compiled at ("float32" or "int8").
+	Precision string `json:"precision"`
+	// AgreementSamples and AgreementMatches accumulate the per-
+	// personalization int8-vs-float top-1 agreement measurements (Int8
+	// servers only; each completed or restored personalization contributes
+	// its held-out split once). Top1Agreement is their ratio — the measured
+	// fleet-wide accuracy cost of serving quantized — or 1 when nothing has
+	// been measured yet.
+	AgreementSamples uint64  `json:"agreement_samples"`
+	AgreementMatches uint64  `json:"agreement_matches"`
+	Top1Agreement    float64 `json:"top1_agreement"`
 }
 
 // predictCounters are the predict-path counters. The control-plane counters
@@ -255,6 +280,7 @@ func NewServer(build func() *nn.Classifier, base *nn.Classifier, ds *data.Datase
 		s.store = store
 	}
 	s.stats.Workers = s.pool.Workers()
+	s.stats.Precision = opts.Precision.String()
 	return s, nil
 }
 
@@ -429,9 +455,9 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, bool,
 	train := s.ds.MakeSplit("serve-train/"+key, classes, s.opts.TrainPerClass)
 	test := s.ds.MakeSplit("serve-test/"+key, classes, s.opts.TestPerClass)
 	rep := pruner.NewCRISP(s.opts.Prune).Prune(clone, train)
-	eng, err := inference.New(clone, s.opts.Prune.BlockSize, s.opts.Prune.NM)
+	eng, agreement, err := s.compileEngine(clone, key, func() data.Split { return test })
 	if err != nil {
-		return nil, false, fmt.Errorf("serve: compiling engine for {%s}: %w", key, err)
+		return nil, false, err
 	}
 	if s.store != nil {
 		// Register the write-behind snapshot here, inside the job, so it
@@ -440,14 +466,52 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, bool,
 		s.pendingAdd(&s.pendingSnaps)
 	}
 	return &Personalization{
-		Key:      key,
-		Classes:  classes,
-		Report:   rep,
-		Accuracy: clone.Accuracy(test.X, test.Labels),
-		engine:   eng,
-		clf:      clone,
-		bat:      s.newBatcher(eng.PredictBatch),
+		Key:       key,
+		Classes:   classes,
+		Report:    rep,
+		Accuracy:  clone.Accuracy(test.X, test.Labels),
+		Agreement: agreement,
+		engine:    eng,
+		clf:       clone,
+		bat:       s.newBatcher(eng.PredictBatch),
 	}, false, nil
+}
+
+// compileEngine builds the serving engine for a personalized clone at the
+// server's precision. At Int8 it also compiles the float reference engine
+// (once, at personalization time — never on the predict path) and measures
+// top-1 agreement over the held-out split, feeding the per-tenant
+// Agreement field and the aggregate Stats counters; at Float32 the engine
+// is the reference and agreement is trivially 1. The split is requested
+// through a thunk so callers that don't already have one (the restore
+// path) only synthesize it when the precision actually needs it.
+func (s *Server) compileEngine(clone *nn.Classifier, key string, testSplit func() data.Split) (*inference.Engine, float64, error) {
+	bs, nm := s.opts.Prune.BlockSize, s.opts.Prune.NM
+	eng, err := inference.NewWithOptions(clone, bs, nm, inference.CompileOptions{Precision: s.opts.Precision})
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: compiling engine for {%s}: %w", key, err)
+	}
+	if s.opts.Precision != inference.Int8 {
+		return eng, 1, nil
+	}
+	ref, err := inference.New(clone, bs, nm)
+	if err != nil {
+		return nil, 0, fmt.Errorf("serve: compiling reference engine for {%s}: %w", key, err)
+	}
+	test := testSplit()
+	want := ref.Predict(test.X)
+	got := eng.Predict(test.X)
+	matches := 0
+	for i := range want {
+		if got[i] == want[i] {
+			matches++
+		}
+	}
+	s.mu.Lock()
+	s.stats.AgreementSamples += uint64(len(want))
+	s.stats.AgreementMatches += uint64(matches)
+	s.mu.Unlock()
+	return eng, float64(matches) / float64(len(want)), nil
 }
 
 // Predict personalizes (or fetches) the engine for the class set and runs
@@ -605,6 +669,10 @@ func (s *Server) Stats() Stats {
 	st.QueueDepth = int(s.counters.queued.Load())
 	for i := range st.BatchSizeHist {
 		st.BatchSizeHist[i] = s.counters.hist[i].Load()
+	}
+	st.Top1Agreement = 1
+	if st.AgreementSamples > 0 {
+		st.Top1Agreement = float64(st.AgreementMatches) / float64(st.AgreementSamples)
 	}
 	return st
 }

@@ -10,7 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/checkpoint"
-	"repro/internal/inference"
+	"repro/internal/data"
 	"repro/internal/nn"
 )
 
@@ -153,24 +153,34 @@ var errNoSnapshot = errors.New("serve: no snapshot for key")
 // weights and masks load into a fresh clone and the sparse formats are
 // recompiled from the masks — compiled CSR/CRISP buffers are never
 // persisted, so the on-disk format stays independent of the kernel layout.
+// On an Int8 server that recompilation re-quantizes: snapshot records are
+// precision-agnostic (float weights + masks), and because quantization is
+// deterministic the restored engine carries exactly the pre-restart codes
+// (Engine.QuantSignature pins this); the agreement measurement is re-run on
+// the same deterministic held-out split.
 func (s *Server) restoreOne(key string) (*Personalization, error) {
 	clone := s.build()
 	rec, err := s.store.load(key, clone)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := inference.New(clone, s.opts.Prune.BlockSize, s.opts.Prune.NM)
+	// The split is only synthesized when the precision measures agreement
+	// (Int8); Float32 restores skip the generation cost entirely.
+	eng, agreement, err := s.compileEngine(clone, key, func() data.Split {
+		return s.ds.MakeSplit("serve-test/"+key, rec.Classes, s.opts.TestPerClass)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("serve: compiling restored engine for {%s}: %w", key, err)
+		return nil, fmt.Errorf("serve: restoring {%s}: %w", key, err)
 	}
 	return &Personalization{
-		Key:      key,
-		Classes:  rec.Classes,
-		Report:   rec.Report,
-		Accuracy: rec.Accuracy,
-		engine:   eng,
-		clf:      clone,
-		bat:      s.newBatcher(eng.PredictBatch),
+		Key:       key,
+		Classes:   rec.Classes,
+		Report:    rec.Report,
+		Accuracy:  rec.Accuracy,
+		Agreement: agreement,
+		engine:    eng,
+		clf:       clone,
+		bat:       s.newBatcher(eng.PredictBatch),
 	}, nil
 }
 
