@@ -1,6 +1,7 @@
 package crisp
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -646,4 +647,84 @@ func BenchmarkServePredict_Solo(b *testing.B) {
 func BenchmarkServePredict_Int8(b *testing.B) {
 	b.ReportAllocs()
 	benchServePredict(b, 16, inference.Int8)
+}
+
+// --- Memory-density benchmark (the tiered-cache acceptance gate) ---
+
+// tenantsDensity is the once-computed density measurement shared across
+// benchmark repeats: the tenant fixture is deterministic, so re-personalizing
+// per repeat would re-measure the same bytes at great cost.
+type tenantsDensity struct {
+	tenantsPerGB float64 // resident tenants per GB under the byte budget
+	ratio        float64 // density vs the full-copy cache (acceptance: >= 3x)
+	err          error
+}
+
+var benchDensity = sync.OnceValue(func() *tenantsDensity {
+	env := benchServeEnv()
+	opts := serve.Options{
+		Prune: pruner.Options{
+			Target: 0.9, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+			Iterations: 1, FinetuneEpochs: 1, BatchSize: 16, LR: 0.01,
+		},
+		TrainPerClass: 8,
+		TestPerClass:  4,
+	}
+	sets := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 7}, {1, 6}}
+
+	// Full-copy baseline: no budget, every tenant stays a hot engine.
+	full, err := serve.NewServer(env.build, env.base, env.ds, opts)
+	if err != nil {
+		return &tenantsDensity{err: err}
+	}
+	defer full.Close()
+	for _, set := range sets {
+		if _, _, err := full.Personalize(set); err != nil {
+			return &tenantsDensity{err: err}
+		}
+	}
+	fullBytes := full.Stats().HotBytes
+
+	// Tiered: a budget a third of the full-copy residency forces all but
+	// one tenant into warm delta records.
+	opts.MemoryBudgetBytes = fullBytes / 3
+	tiered, err := serve.NewServer(env.build, env.base, env.ds, opts)
+	if err != nil {
+		return &tenantsDensity{err: err}
+	}
+	defer tiered.Close()
+	for _, set := range sets {
+		if _, _, err := tiered.Personalize(set); err != nil {
+			return &tenantsDensity{err: err}
+		}
+	}
+	st := tiered.Stats()
+	if st.CachedEngines+st.WarmEntries != len(sets) {
+		return &tenantsDensity{err: fmt.Errorf("only %d of %d tenants resident (hot %d, warm %d)",
+			st.CachedEngines+st.WarmEntries, len(sets), st.CachedEngines, st.WarmEntries)}
+	}
+	resident := st.HotBytes + st.WarmBytes
+	return &tenantsDensity{
+		tenantsPerGB: float64(len(sets)) * float64(1<<30) / float64(resident),
+		ratio:        float64(fullBytes) / float64(resident),
+	}
+})
+
+// BenchmarkServeTenantsPerGB measures how many resident tenants one GB of
+// tenant state holds under the tiered cache, and the density multiple over
+// the full-copy engine cache at identical serving behavior (promotion is
+// bit-identical). Both surface as custom benchmark metrics; benchcheck
+// gates them as higher-is-better against BENCH_baseline.json, so a change
+// that bloats warm records or stops demoting fails CI the same way a
+// latency regression does.
+func BenchmarkServeTenantsPerGB(b *testing.B) {
+	var d *tenantsDensity
+	for i := 0; i < b.N; i++ {
+		d = benchDensity()
+	}
+	if d.err != nil {
+		b.Fatal(d.err)
+	}
+	b.ReportMetric(d.tenantsPerGB, "tenants/GB")
+	b.ReportMetric(d.ratio, "densityX")
 }

@@ -19,6 +19,13 @@
 //   - or a baseline benchmark disappeared from the run entirely (a deleted
 //     or renamed benchmark must refresh the baseline).
 //
+// Custom metrics a benchmark reports via b.ReportMetric are recorded in the
+// artifact under "custom". Units listed in gatedUnits (tenants/GB,
+// densityX) are gated in their own direction — higher is better, so the
+// gate fails when the value DROPS by more than -threshold, and when a
+// baseline's gated unit disappears from the run; the timing noise floor
+// does not silence them. All other custom units are informational.
+//
 // Benchmarks absent from the baseline are reported but never fail — they
 // are adopted on the next refresh. Sub-(-min-ns) baselines are skipped
 // entirely: below that scale, scheduler noise swamps any real regression.
@@ -40,6 +47,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches one `go test -bench` result line, e.g.
@@ -54,10 +62,24 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+
 var allocsField = regexp.MustCompile(`\s([0-9.e+]+) allocs/op`)
 
 // Metric is one benchmark's recorded costs. AllocsOp is -1 when the run
-// (or a pre-allocs baseline) did not report allocations.
+// (or a pre-allocs baseline) did not report allocations. Custom holds every
+// non-standard unit the benchmark reported via b.ReportMetric (e.g.
+// "tenants/GB"); all are recorded in artifacts, but only units listed in
+// gatedUnits participate in the regression gate.
 type Metric struct {
-	NsOp     float64 `json:"ns_op"`
-	AllocsOp float64 `json:"allocs_op"`
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp float64            `json:"allocs_op"`
+	Custom   map[string]float64 `json:"custom,omitempty"`
+}
+
+// gatedUnits names the custom units the gate enforces and their direction:
+// true means larger is an improvement (throughput, density — the gate fails
+// when the value drops past the threshold), false means smaller is.
+// Unlisted custom units (flop/op, MB/s, ...) are informational only: gating
+// arbitrary units would let one noisy reporter fail unrelated changes.
+var gatedUnits = map[string]bool{
+	"tenants/GB": true,
+	"densityX":   true,
 }
 
 // UnmarshalJSON accepts both the current object form and the legacy
@@ -109,9 +131,10 @@ func parseBench(r io.Reader) (Report, error) {
 				return rep, fmt.Errorf("benchcheck: bad allocs/op in %q: %w", line, err)
 			}
 		}
+		custom := parseCustom(line)
 		cur, seen := rep.Benchmarks[m[1]]
 		if !seen {
-			rep.Benchmarks[m[1]] = Metric{NsOp: ns, AllocsOp: allocs}
+			rep.Benchmarks[m[1]] = Metric{NsOp: ns, AllocsOp: allocs, Custom: custom}
 			continue
 		}
 		if ns < cur.NsOp {
@@ -119,6 +142,16 @@ func parseBench(r io.Reader) (Report, error) {
 		}
 		if allocs >= 0 && (cur.AllocsOp < 0 || allocs < cur.AllocsOp) {
 			cur.AllocsOp = allocs
+		}
+		// Repeats keep the best value per direction: the run least disturbed
+		// by the machine (max for higher-is-better units, min otherwise).
+		for unit, v := range custom {
+			if cur.Custom == nil {
+				cur.Custom = map[string]float64{}
+			}
+			if old, ok := cur.Custom[unit]; !ok || (gatedUnits[unit] && v > old) || (!gatedUnits[unit] && v < old) {
+				cur.Custom[unit] = v
+			}
 		}
 		rep.Benchmarks[m[1]] = cur
 	}
@@ -129,6 +162,32 @@ func parseBench(r io.Reader) (Report, error) {
 		return rep, fmt.Errorf("benchcheck: no benchmark lines found in input")
 	}
 	return rep, nil
+}
+
+// stdUnits are the metric units handled by dedicated parsing (or ignored);
+// anything else on a result line is a custom b.ReportMetric unit.
+var stdUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
+
+// parseCustom extracts the custom value/unit pairs from one result line.
+// After the name and iteration count, gotest output is strictly
+// "value unit" pairs, so a pair scan is exact; nil when there are none.
+func parseCustom(line string) map[string]float64 {
+	f := strings.Fields(line)
+	var out map[string]float64
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			break
+		}
+		if stdUnits[f[i+1]] {
+			continue
+		}
+		if out == nil {
+			out = map[string]float64{}
+		}
+		out[f[i+1]] = v
+	}
+	return out
 }
 
 // gateOptions are the regression thresholds (see the command doc).
@@ -150,13 +209,17 @@ func gate(run, base Report, opts gateOptions) (lines []string, failures []string
 	for _, name := range names {
 		old := base.Benchmarks[name]
 		cur, ok := run.Benchmarks[name]
-		switch {
-		case !ok:
+		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from the run (refresh the baseline if it was removed)", name))
 			continue
-		case old.NsOp < opts.minNS:
+		}
+		// The timing floor silences timing and allocation verdicts — at that
+		// scale scheduler noise swamps both — but not custom units: a density
+		// or throughput metric is a measured property, not a wall time.
+		skipTiming := old.NsOp < opts.minNS
+		switch {
+		case skipTiming:
 			lines = append(lines, fmt.Sprintf("%s: %.0f ns/op (baseline %.0f below the %.0f ns gate floor, skipped)", name, cur.NsOp, old.NsOp, opts.minNS))
-			continue
 		case cur.NsOp > old.NsOp*(1+opts.threshold):
 			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%.0f%%)",
 				name, cur.NsOp, old.NsOp, 100*(cur.NsOp/old.NsOp-1), 100*opts.threshold))
@@ -166,12 +229,39 @@ func gate(run, base Report, opts gateOptions) (lines []string, failures []string
 		// The allocation gate runs alongside the timing verdict, but only
 		// when both sides recorded allocs.
 		switch {
-		case old.AllocsOp < 0 || cur.AllocsOp < 0:
+		case skipTiming || old.AllocsOp < 0 || cur.AllocsOp < 0:
 		case cur.AllocsOp > old.AllocsOp*(1+opts.allocsThreshold) && cur.AllocsOp > old.AllocsOp+opts.allocsSlack:
 			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (%+.1f%%, limit +%.0f%% and +%.0f absolute)",
 				name, cur.AllocsOp, old.AllocsOp, 100*(cur.AllocsOp/old.AllocsOp-1), 100*opts.allocsThreshold, opts.allocsSlack))
 		default:
 			lines = append(lines, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f", name, cur.AllocsOp, old.AllocsOp))
+		}
+		// Custom-unit gate: only gatedUnits fail the run, in their own
+		// direction; everything else custom is informational.
+		units := make([]string, 0, len(old.Custom))
+		for unit := range old.Custom {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov := old.Custom[unit]
+			cv, have := cur.Custom[unit]
+			higher, gated := gatedUnits[unit]
+			if !gated {
+				continue
+			}
+			switch {
+			case !have:
+				failures = append(failures, fmt.Sprintf("%s: custom metric %s in baseline but missing from the run", name, unit))
+			case higher && cv < ov*(1-opts.threshold):
+				failures = append(failures, fmt.Sprintf("%s: %.2f %s vs baseline %.2f (%+.1f%%, limit -%.0f%%)",
+					name, cv, unit, ov, 100*(cv/ov-1), 100*opts.threshold))
+			case !higher && cv > ov*(1+opts.threshold):
+				failures = append(failures, fmt.Sprintf("%s: %.2f %s vs baseline %.2f (%+.1f%%, limit +%.0f%%)",
+					name, cv, unit, ov, 100*(cv/ov-1), 100*opts.threshold))
+			default:
+				lines = append(lines, fmt.Sprintf("%s: %.2f %s vs baseline %.2f (%+.1f%%)", name, cv, unit, ov, 100*(cv/ov-1)))
+			}
 		}
 	}
 	for name := range run.Benchmarks {

@@ -19,6 +19,20 @@ PASS
 ok  	repro	3.797s
 `
 
+// metricEq compares two metrics including their custom units (Metric holds
+// a map, so == is unavailable).
+func metricEq(a, b Metric) bool {
+	if a.NsOp != b.NsOp || a.AllocsOp != b.AllocsOp || len(a.Custom) != len(b.Custom) {
+		return false
+	}
+	for unit, v := range a.Custom {
+		if b.Custom[unit] != v {
+			return false
+		}
+	}
+	return true
+}
+
 func TestParseBench(t *testing.T) {
 	rep, err := parseBench(strings.NewReader(sampleOutput))
 	if err != nil {
@@ -26,18 +40,48 @@ func TestParseBench(t *testing.T) {
 	}
 	want := map[string]Metric{
 		"BenchmarkInference_SparseBatch16":      {NsOp: 12288496, AllocsOp: 320},
-		"BenchmarkInference_TransformerBatch16": {NsOp: 870526, AllocsOp: 64},   // -8 suffix stripped
-		"BenchmarkServePredict_Concurrent":      {NsOp: 706111, AllocsOp: -1},   // no allocs reported
-		"BenchmarkGEMM":                         {NsOp: 11479391, AllocsOp: 12}, // extra flop/op metric ignored
+		"BenchmarkInference_TransformerBatch16": {NsOp: 870526, AllocsOp: 64}, // -8 suffix stripped
+		"BenchmarkServePredict_Concurrent":      {NsOp: 706111, AllocsOp: -1}, // no allocs reported
+		"BenchmarkGEMM":                         {NsOp: 11479391, AllocsOp: 12, Custom: map[string]float64{"flop/op": 115605504}},
 		"BenchmarkTiny":                         {NsOp: 1052, AllocsOp: 0},
 	}
 	if len(rep.Benchmarks) != len(want) {
 		t.Fatalf("parsed %v, want %d entries", rep.Benchmarks, len(want))
 	}
 	for name, m := range want {
-		if rep.Benchmarks[name] != m {
+		if !metricEq(rep.Benchmarks[name], m) {
 			t.Errorf("%s = %+v, want %+v", name, rep.Benchmarks[name], m)
 		}
+	}
+}
+
+func TestParseBenchCustomMetrics(t *testing.T) {
+	// Repeats keep the best value per direction: max for gated
+	// higher-is-better units, min for everything else.
+	out := "BenchmarkServeTenantsPerGB \t 1\t 900000000 ns/op\t 140.50 tenants/GB\t 3.20 densityX\n" +
+		"BenchmarkServeTenantsPerGB \t 1\t 800000000 ns/op\t 150.25 tenants/GB\t 3.10 densityX\n"
+	rep, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Benchmarks["BenchmarkServeTenantsPerGB"]
+	if m.NsOp != 800000000 {
+		t.Fatalf("ns/op %v, want min of repeats", m.NsOp)
+	}
+	if m.Custom["tenants/GB"] != 150.25 || m.Custom["densityX"] != 3.20 {
+		t.Fatalf("custom metrics %v, want max of repeats for gated units", m.Custom)
+	}
+	// Round-trips through the JSON artifact schema.
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !metricEq(back.Benchmarks["BenchmarkServeTenantsPerGB"], m) {
+		t.Fatalf("round trip = %+v, want %+v", back.Benchmarks["BenchmarkServeTenantsPerGB"], m)
 	}
 }
 
@@ -150,6 +194,55 @@ func TestGateAllocsRegression(t *testing.T) {
 	}
 	if !strings.Contains(strings.Join(lines, "\n"), "BenchmarkTiny") {
 		t.Errorf("slack-tolerated benchmark missing from verdicts: %v", lines)
+	}
+}
+
+func TestGateCustomMetrics(t *testing.T) {
+	base := Report{Benchmarks: map[string]Metric{
+		"BenchmarkDenser": {NsOp: 1_000_000, Custom: map[string]float64{"tenants/GB": 100, "densityX": 4}},
+		"BenchmarkLost":   {NsOp: 1_000_000, Custom: map[string]float64{"tenants/GB": 100}},
+		"BenchmarkInfo":   {NsOp: 1_000_000, Custom: map[string]float64{"flop/op": 100}},
+		"BenchmarkFast":   {NsOp: 10_000, Custom: map[string]float64{"tenants/GB": 100}}, // under the ns floor
+	}}
+	run := Report{Benchmarks: map[string]Metric{
+		// densityX improved, tenants/GB collapsed past -30%: one failure.
+		"BenchmarkDenser": {NsOp: 1_000_000, Custom: map[string]float64{"tenants/GB": 60, "densityX": 5}},
+		// Stopped reporting a gated unit: failure.
+		"BenchmarkLost": {NsOp: 1_000_000},
+		// Ungated unit regressing wildly: informational only.
+		"BenchmarkInfo": {NsOp: 1_000_000, Custom: map[string]float64{"flop/op": 10_000}},
+		// Timing floor must not silence the custom gate.
+		"BenchmarkFast": {NsOp: 9_000, Custom: map[string]float64{"tenants/GB": 50}},
+	}}
+	lines, failures := gate(run, base, testGateOpts)
+	if len(failures) != 3 {
+		t.Fatalf("failures %v, want drop + missing unit + under-floor drop", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	for _, want := range []string{
+		"BenchmarkDenser: 60.00 tenants/GB vs baseline 100.00",
+		"BenchmarkLost: custom metric tenants/GB in baseline but missing",
+		"BenchmarkFast: 50.00 tenants/GB vs baseline 100.00",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("failures missing %q:\n%s", want, joined)
+		}
+	}
+	all := strings.Join(lines, "\n")
+	if !strings.Contains(all, "densityX vs baseline 4.00") {
+		t.Errorf("improved gated unit missing from verdicts:\n%s", all)
+	}
+	if strings.Contains(joined, "flop/op") {
+		t.Errorf("ungated unit must never fail the gate:\n%s", joined)
+	}
+
+	// A gated improvement alone is a clean pass.
+	_, failures = gate(
+		Report{Benchmarks: map[string]Metric{"BenchmarkDenser": {NsOp: 1_000_000, Custom: map[string]float64{"tenants/GB": 400, "densityX": 4}}}},
+		Report{Benchmarks: map[string]Metric{"BenchmarkDenser": {NsOp: 1_000_000, Custom: map[string]float64{"tenants/GB": 100, "densityX": 4}}}},
+		testGateOpts)
+	if len(failures) != 0 {
+		t.Fatalf("improvement failed the gate: %v", failures)
 	}
 }
 

@@ -16,6 +16,15 @@
 // snapshotted write-behind, evicted engines keep their disk copy, and a
 // restart restores every engine from disk instead of re-pruning.
 //
+// With -memory-budget (e.g. -memory-budget 512M) the engine cache becomes a
+// three-tier hot/warm/cold hierarchy: hot compiled engines up to
+// -hot-fraction of the budget, evicted engines demoted to compact warm
+// delta records over the shared universal weights, and warm records
+// squeezed past the budget falling back to disk snapshots. Promotion back
+// to hot is bit-identical (QuantSignature-identical on int8); /metrics
+// exposes the tier gauges and flow counters (crisp_serve_hot_bytes,
+// crisp_serve_warm_bytes, crisp_serve_demotions_total, ...).
+//
 // Concurrent /predict requests for the same class set coalesce into shared
 // engine invocations (dynamic batching; -max-batch, -linger, -max-queue).
 // When a personalization's predict queue is full the server sheds load
@@ -47,6 +56,8 @@ import (
 	"math/rand"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only via -pprof-addr)
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/data"
@@ -72,6 +83,8 @@ func main() {
 		target     = flag.Float64("target", 0.85, "global sparsity target κ per personalization")
 		workers    = flag.Int("workers", 0, "personalization worker bound (0 = GOMAXPROCS)")
 		cacheSize  = flag.Int("cache", 64, "maximum cached engines (LRU beyond)")
+		memBudget  = flag.String("memory-budget", "", "resident tenant-state byte budget enabling the hot/warm/cold tiered cache, e.g. 512M or 2G (empty: single-level LRU)")
+		hotFrac    = flag.Float64("hot-fraction", 0.75, "share of -memory-budget reserved for hot compiled engines; the rest holds warm delta records")
 		snapDir    = flag.String("snapshot-dir", "", "durable personalization store directory (empty: memory-only)")
 		maxBatch   = flag.Int("max-batch", 16, "coalesce concurrent predicts up to this many samples per engine call (1 disables batching)")
 		linger     = flag.Duration("linger", 2*time.Millisecond, "max time a predict waits for batch mates before flushing")
@@ -97,6 +110,11 @@ func main() {
 		prec = inference.Int8
 	default:
 		log.Fatalf("unknown precision %q (want float32 or int8)", *precision)
+	}
+
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Reject bad pruning flags before paying for pre-training.
@@ -128,14 +146,16 @@ func main() {
 	log.Printf("pre-trained in %.1fs", time.Since(start).Seconds())
 
 	s, err := serve.NewServer(build, base, ds, serve.Options{
-		Workers:     *workers,
-		CacheSize:   *cacheSize,
-		Prune:       prune,
-		SnapshotDir: *snapDir,
-		MaxBatch:    *maxBatch,
-		Linger:      *linger,
-		MaxQueue:    *maxQueue,
-		Precision:   prec,
+		Workers:           *workers,
+		CacheSize:         *cacheSize,
+		Prune:             prune,
+		SnapshotDir:       *snapDir,
+		MaxBatch:          *maxBatch,
+		Linger:            *linger,
+		MaxQueue:          *maxQueue,
+		Precision:         prec,
+		MemoryBudgetBytes: budget,
+		HotFraction:       *hotFrac,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -166,8 +186,12 @@ func main() {
 		}()
 	}
 
-	log.Printf("serving on %s (%d workers, cache %d, max-batch %d, linger %v, max-queue %d, precision %s)",
-		*addr, s.Stats().Workers, *cacheSize, *maxBatch, *linger, *maxQueue, prec)
+	tierMode := "single-level LRU"
+	if budget > 0 {
+		tierMode = fmt.Sprintf("tiered, budget %d bytes (hot %.0f%%)", budget, *hotFrac*100)
+	}
+	log.Printf("serving on %s (%d workers, cache %d, %s, max-batch %d, linger %v, max-queue %d, precision %s)",
+		*addr, s.Stats().Workers, *cacheSize, tierMode, *maxBatch, *linger, *maxQueue, prec)
 	log.Fatal(http.ListenAndServe(*addr, newMux(s, ds)))
 }
 
@@ -315,10 +339,26 @@ func writeMetrics(w io.Writer, st serve.Stats) {
 	counter("restore_errors_total", "Snapshot records that failed to load.", st.RestoreErrors)
 	counter("agreement_samples_total", "Held-out samples measured for int8-vs-float top-1 agreement.", st.AgreementSamples)
 	counter("agreement_matches_total", "Measured samples whose int8 and float top-1 agreed.", st.AgreementMatches)
-	gauge("cached_engines", "Engines currently in the LRU cache.", st.CachedEngines)
+	counter("warm_hits_total", "Cache misses resolved by a warm delta record.", st.WarmHits)
+	counter("promotions_total", "Warm records promoted back to hot engines.", st.Promotions)
+	counter("demotions_total", "Hot engines demoted to warm delta records.", st.Demotions)
+	counter("warm_evictions_total", "Warm records dropped to the cold tier for budget.", st.WarmEvictions)
+	counter("promote_errors_total", "Warm records that failed promote-time verification.", st.PromoteErrors)
+	gauge("cached_engines", "Engines currently in the hot tier.", st.CachedEngines)
 	gauge("in_flight", "Personalization jobs currently running.", st.InFlight)
 	gauge("queue_depth", "Samples waiting in predict queues.", st.QueueDepth)
 	gauge("workers", "Worker pool bound.", st.Workers)
+	gauge64 := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP crisp_serve_%s %s\n# TYPE crisp_serve_%s gauge\ncrisp_serve_%s %d\n", name, help, name, name, v)
+	}
+	gauge64("memory_budget_bytes", "Configured resident tenant-state budget (0: single-level LRU).", st.MemoryBudgetBytes)
+	gauge64("hot_bytes", "Resident bytes of hot compiled engines.", st.HotBytes)
+	gauge64("warm_bytes", "Resident bytes of warm delta records.", st.WarmBytes)
+	gauge("warm_entries", "Tenants currently held as warm delta records.", st.WarmEntries)
+	gauge("cold_records", "Personalization records indexed in the snapshot store.", st.ColdRecords)
+	gauge("shared_plans", "Canonical compiled plans in the cross-tenant dedup registry.", st.SharedPlans)
+	gauge("shared_plan_refs", "Engine references onto canonical shared plans.", st.SharedPlanRefs)
+	gauge64("shared_plan_bytes", "Bytes held once for all engines sharing each canonical plan.", st.SharedPlanBytes)
 
 	// Precision as an info-style gauge (the mode is a label) and the
 	// measured agreement ratio as a float gauge.
@@ -335,6 +375,34 @@ func writeMetrics(w io.Writer, st serve.Stats) {
 	}
 	fmt.Fprintf(w, "crisp_serve_batch_size_sum %d\n", st.SamplesPredicted)
 	fmt.Fprintf(w, "crisp_serve_batch_size_count %d\n", st.PredictBatches)
+}
+
+// parseBytes parses a human byte size: a plain integer, or one with a K/M/G
+// binary suffix (case-insensitive, optional trailing B/iB). Empty means 0
+// (tiering disabled).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	up := strings.ToUpper(s)
+	up = strings.TrimSuffix(strings.TrimSuffix(up, "IB"), "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(up, "K"):
+		mult, up = 1<<10, strings.TrimSuffix(up, "K")
+	case strings.HasSuffix(up, "M"):
+		mult, up = 1<<20, strings.TrimSuffix(up, "M")
+	case strings.HasSuffix(up, "G"):
+		mult, up = 1<<30, strings.TrimSuffix(up, "G")
+	case strings.HasSuffix(up, "T"):
+		mult, up = 1<<40, strings.TrimSuffix(up, "T")
+	}
+	n, err := strconv.ParseInt(up, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q (want e.g. 1073741824, 512M, 2G)", s)
+	}
+	return n * mult, nil
 }
 
 // inputsToBatch validates caller-provided images against the dataset shape

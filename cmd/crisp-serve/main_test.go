@@ -479,3 +479,97 @@ func TestInt8ServingHTTP(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"", 0, true},
+		{"0", 0, true},
+		{"1048576", 1 << 20, true},
+		{"512K", 512 << 10, true},
+		{"512k", 512 << 10, true},
+		{"64M", 64 << 20, true},
+		{"64MB", 64 << 20, true},
+		{"64MiB", 64 << 20, true},
+		{"2G", 2 << 30, true},
+		{"1T", 1 << 40, true},
+		{" 2G ", 2 << 30, true},
+		{"-1", 0, false},
+		{"lots", 0, false},
+		{"1.5G", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseBytes(tc.in)
+		if (err == nil) != tc.ok {
+			t.Fatalf("parseBytes(%q) err=%v, want ok=%v", tc.in, err, tc.ok)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("parseBytes(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTieredMetricsExposed(t *testing.T) {
+	// A one-engine hot tier under a huge budget: the second personalization
+	// demotes the first to a warm record, and /metrics must show the tier
+	// families moving.
+	mux, _, _ := newTestMuxOpts(t, func(o *serve.Options) {
+		o.CacheSize = 1
+		o.MemoryBudgetBytes = 1 << 40
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, classes := range [][]int{{1, 3}, {0, 2}, {1, 3}} {
+		if code := postJSON(t, srv, "/personalize", map[string]any{"classes": classes}, nil); code != http.StatusOK {
+			t.Fatalf("/personalize %v status %d", classes, code)
+		}
+	}
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		fmt.Sprintf("crisp_serve_memory_budget_bytes %d\n", int64(1<<40)),
+		"crisp_serve_demotions_total 2\n",
+		"crisp_serve_warm_hits_total 1\n",
+		"crisp_serve_promotions_total 1\n",
+		"crisp_serve_promote_errors_total 0\n",
+		"crisp_serve_warm_entries 1\n",
+		"crisp_serve_cached_engines 1\n",
+		"crisp_serve_shared_plans ",
+		"crisp_serve_hot_bytes ",
+		"crisp_serve_warm_bytes ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	// The gauges must be live values, not zero placeholders.
+	var st serve.Stats
+	if code := func() int {
+		r, err := srv.Client().Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return r.StatusCode
+	}(); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if st.HotBytes <= 0 || st.WarmBytes <= 0 || st.SharedPlanRefs <= 0 {
+		t.Fatalf("tier gauges not live: %+v", st)
+	}
+}

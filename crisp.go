@@ -37,6 +37,14 @@
 // previously personalized class sets reload with bit-identical engines
 // instead of re-running the prune+fine-tune pipeline.
 //
+// Set ServerConfig.MemoryBudgetBytes to cap resident tenant state: the
+// engine cache becomes a three-tier hierarchy (hot compiled engines →
+// warm delta-encoded records → cold disk snapshots) that stores every
+// tenant as a delta over the shared universal weights instead of a full
+// model copy. Demoted tenants promote back bit-identically on their next
+// request; see examples/tiered and internal/serve's "Memory tiers"
+// section. Budget 0 (the default) keeps the single-level count LRU.
+//
 // Set ServerConfig.Precision to PrecisionInt8 to serve from int8 quantized
 // plans (the deployment precision of CRISP-STC's sparse tensor cores):
 // weights compile to int8 codes with per-row scales, activations quantize
@@ -188,6 +196,11 @@ type Server = serve.Server
 // bounds how long a lone request waits for batch mates, and MaxQueue is
 // the admission-control bound — a full queue rejects with ErrOverloaded
 // instead of queueing without bound.
+//
+// MemoryBudgetBytes bounds resident tenant state in bytes and switches
+// the cache to the tiered hot/warm/cold hierarchy (HotFraction splits the
+// budget between compiled engines and delta records); 0 keeps the
+// single-level LRU of CacheSize engines.
 type ServerConfig = serve.Options
 
 // ErrOverloaded re-exports the admission-control rejection: the

@@ -157,6 +157,65 @@ func TestFacadeWarmRestart(t *testing.T) {
 	}
 }
 
+// TestFacadeMemoryBudget exercises the tiered cache through the public
+// facade alone: a byte budget demotes the LRU tenant to a warm delta
+// record, and its next request promotes it back with identical
+// predictions — no internal/serve import required.
+func TestFacadeMemoryBudget(t *testing.T) {
+	ds := NewDataset(data.Config{
+		Name: "budget-test", NumClasses: 8, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 61,
+	})
+	model := NewModel(ResNet, ds.NumClasses, 1, 62)
+	Pretrain(model, ds, 2, 8, 63)
+
+	cfg := DefaultConfig(0.7)
+	cfg.BlockSize = 4
+	cfg.Iterations = 1
+	cfg.FinetuneEpochs = 1
+	cfg.BatchSize = 8
+	cfg.LR = 0.01
+	srv, err := NewServer(model, ResNet, 1, 62, ds, ServerConfig{
+		Prune: cfg, TrainPerClass: 6, TestPerClass: 4,
+		CacheSize:         1,
+		MemoryBudgetBytes: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	user := []int{2, 5}
+	test := ds.MakeSplit("budget-predict", user, 4)
+	before, err := srv.Predict(user, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second tenant demotes the first out of the one-engine hot tier.
+	if _, _, err := srv.Personalize([]int{1, 4}); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Demotions != 1 || st.WarmEntries != 1 {
+		t.Fatalf("budget did not tier: %+v", st)
+	}
+	if st.MemoryBudgetBytes != 1<<30 {
+		t.Fatalf("budget not echoed in stats: %+v", st)
+	}
+	after, err := srv.Predict(user, test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("prediction %d diverged across demote/promote: %d vs %d", i, before[i], after[i])
+		}
+	}
+	if st := srv.Stats(); st.Promotions != 1 || st.PromoteErrors != 0 {
+		t.Fatalf("warm promotion not taken: %+v", st)
+	}
+}
+
 func TestDefaultConfig(t *testing.T) {
 	cfg := DefaultConfig(0.9)
 	if cfg.Target != 0.9 {

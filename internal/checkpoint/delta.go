@@ -1,0 +1,269 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Model deltas are the warm tier's in-memory record: one tenant's
+// personalized state expressed against the shared universal model instead
+// of as a full weight copy. Per parameter the delta stores the pruning mask
+// (bit-packed) plus only the weight values the rebuilt engine can actually
+// observe:
+//
+//	magic "CRSD" | u32 version | u32 #params
+//	per param: name | u8 hasMask (+ packed mask bits) | u8 mode
+//	  mode 0 (same):  nothing — every observable value equals the base
+//	  mode 1 (kept):  u32 count | f64 kept-position values, in index order
+//	  mode 2 (dense): f64 full weight tensor (unmasked param that diverged)
+//	u32 #bnStats | per stat: name | u8 mode(0|2) | [f64 means | f64 vars]
+//
+// The delta is exact where it matters and deliberately lossy where it
+// cannot matter: masked-out (pruned) weight values are not stored, and
+// ApplyModelDelta rebuilds them from the universal base. The effective
+// weights W ⊙ Mask — the only thing inference, plan compilation and
+// deterministic int8 quantization ever read — are reproduced bit-for-bit,
+// so a rebuilt engine is bit-identical on the float path and
+// QuantSignature-identical on the int8 path. Gradients are not stored
+// (serving never trains); at typical CRISP sparsity the record is a small
+// fraction of a full model copy.
+
+const (
+	deltaMagic   = "CRSD"
+	deltaVersion = 1
+
+	deltaSame  = 0
+	deltaKept  = 1
+	deltaDense = 2
+)
+
+// EncodeModelDelta serializes tenant's personalized state as a delta over
+// base. The two classifiers must share an architecture (same parameters in
+// the same order with the same shapes).
+func EncodeModelDelta(base, tenant *nn.Classifier) ([]byte, error) {
+	bp, tp := base.Params(), tenant.Params()
+	if len(bp) != len(tp) {
+		return nil, fmt.Errorf("checkpoint: delta across architectures: %d vs %d params", len(bp), len(tp))
+	}
+	var buf bytes.Buffer
+	bw := &errWriter{w: &buf}
+	bw.bytes([]byte(deltaMagic))
+	bw.u32(deltaVersion)
+	bw.u32(uint32(len(tp)))
+	for i, p := range tp {
+		b := bp[i]
+		if p.Name != b.Name || p.W.Len() != b.W.Len() {
+			return nil, fmt.Errorf("checkpoint: delta param %d: %q/%d vs base %q/%d", i, p.Name, p.W.Len(), b.Name, b.W.Len())
+		}
+		bw.str(p.Name)
+		if p.Mask == nil {
+			bw.bytes([]byte{0})
+			if equalSlices(p.W.Data, b.W.Data) {
+				bw.bytes([]byte{deltaSame})
+			} else {
+				bw.bytes([]byte{deltaDense})
+				for _, v := range p.W.Data {
+					bw.f64(v)
+				}
+			}
+			continue
+		}
+		bw.bytes([]byte{1})
+		bw.bytes(packBits(p.Mask.Data))
+		kept, same := 0, true
+		for j, m := range p.Mask.Data {
+			if m != 0 {
+				kept++
+				if p.W.Data[j] != b.W.Data[j] {
+					same = false
+				}
+			}
+		}
+		if same {
+			bw.bytes([]byte{deltaSame})
+			continue
+		}
+		bw.bytes([]byte{deltaKept})
+		bw.u32(uint32(kept))
+		for j, m := range p.Mask.Data {
+			if m != 0 {
+				bw.f64(p.W.Data[j])
+			}
+		}
+	}
+
+	bs, ts := bnStats(base), bnStats(tenant)
+	if len(bs) != len(ts) {
+		return nil, fmt.Errorf("checkpoint: delta norm stats: %d vs base %d", len(ts), len(bs))
+	}
+	bw.u32(uint32(len(ts)))
+	for i, s := range ts {
+		if s.name != bs[i].name || len(s.mean) != len(bs[i].mean) {
+			return nil, fmt.Errorf("checkpoint: delta norm stat %d: %q vs base %q", i, s.name, bs[i].name)
+		}
+		bw.str(s.name)
+		if equalSlices(s.mean, bs[i].mean) && equalSlices(s.variance, bs[i].variance) {
+			bw.bytes([]byte{deltaSame})
+			continue
+		}
+		bw.bytes([]byte{deltaDense})
+		for _, v := range s.mean {
+			bw.f64(v)
+		}
+		for _, v := range s.variance {
+			bw.f64(v)
+		}
+	}
+	if bw.err != nil {
+		return nil, bw.err
+	}
+	return buf.Bytes(), nil
+}
+
+// ApplyModelDelta rebuilds the tenant state encoded by EncodeModelDelta
+// into dst, reading unstored values from base: dst's weights become the
+// universal weights overlaid with the delta's kept/dense values, its masks
+// become the stored masks, and its norm statistics the stored (or
+// universal) ones. dst and base must share the encoder's architecture.
+func ApplyModelDelta(delta []byte, base, dst *nn.Classifier) error {
+	br := &errReader{r: bytes.NewReader(delta)}
+	head := br.bytes(4)
+	if br.err != nil {
+		return br.err
+	}
+	if string(head) != deltaMagic {
+		return fmt.Errorf("checkpoint: delta: bad magic %q", head)
+	}
+	if v := br.u32(); v != deltaVersion {
+		return fmt.Errorf("checkpoint: delta: unsupported version %d (want %d)", v, deltaVersion)
+	}
+	bp, dp := base.Params(), dst.Params()
+	if len(bp) != len(dp) {
+		return fmt.Errorf("checkpoint: delta across architectures: %d vs %d params", len(bp), len(dp))
+	}
+	n := int(br.u32())
+	if br.err != nil {
+		return br.err
+	}
+	if n != len(dp) {
+		return fmt.Errorf("checkpoint: delta stores %d params, model has %d", n, len(dp))
+	}
+	for i, p := range dp {
+		b := bp[i]
+		if p.W.Len() != b.W.Len() {
+			return fmt.Errorf("checkpoint: delta param %q: dst/base shapes differ", p.Name)
+		}
+		name := br.str()
+		if br.err != nil {
+			return br.err
+		}
+		if name != p.Name {
+			return fmt.Errorf("checkpoint: delta param %q does not match model param %q", name, p.Name)
+		}
+		hasMask := br.bytes(1)
+		if br.err != nil {
+			return br.err
+		}
+		if hasMask[0] == 1 {
+			bits := br.bytes((p.W.Len() + 7) / 8)
+			if br.err != nil {
+				return br.err
+			}
+			unpackBits(bits, p.EnsureMask().Data)
+		} else {
+			p.ClearMask()
+		}
+		copy(p.W.Data, b.W.Data)
+		mode := br.bytes(1)
+		if br.err != nil {
+			return br.err
+		}
+		switch mode[0] {
+		case deltaSame:
+		case deltaKept:
+			if p.Mask == nil {
+				return fmt.Errorf("checkpoint: delta param %q: kept values without a mask", name)
+			}
+			count := int(br.u32())
+			kept := 0
+			for _, m := range p.Mask.Data {
+				if m != 0 {
+					kept++
+				}
+			}
+			if count != kept {
+				return fmt.Errorf("checkpoint: delta param %q: %d stored values for %d kept positions", name, count, kept)
+			}
+			for j, m := range p.Mask.Data {
+				if m != 0 {
+					p.W.Data[j] = br.f64()
+				}
+			}
+		case deltaDense:
+			for j := range p.W.Data {
+				p.W.Data[j] = br.f64()
+			}
+		default:
+			return fmt.Errorf("checkpoint: delta param %q: unknown mode %d", name, mode[0])
+		}
+		if br.err != nil {
+			return br.err
+		}
+	}
+
+	bs, ds := bnStats(base), bnStats(dst)
+	if len(bs) != len(ds) {
+		return fmt.Errorf("checkpoint: delta norm stats: base %d vs dst %d", len(bs), len(ds))
+	}
+	ns := int(br.u32())
+	if br.err != nil {
+		return br.err
+	}
+	if ns != len(ds) {
+		return fmt.Errorf("checkpoint: delta stores %d norm stats, model has %d", ns, len(ds))
+	}
+	for i, s := range ds {
+		name := br.str()
+		if name != s.name {
+			return fmt.Errorf("checkpoint: delta norm stat %q does not match %q", name, s.name)
+		}
+		if len(s.mean) != len(bs[i].mean) {
+			return fmt.Errorf("checkpoint: delta norm stat %q: dst/base lengths differ", name)
+		}
+		mode := br.bytes(1)
+		if br.err != nil {
+			return br.err
+		}
+		switch mode[0] {
+		case deltaSame:
+			copy(s.mean, bs[i].mean)
+			copy(s.variance, bs[i].variance)
+		case deltaDense:
+			for j := range s.mean {
+				s.mean[j] = br.f64()
+			}
+			for j := range s.variance {
+				s.variance[j] = br.f64()
+			}
+		default:
+			return fmt.Errorf("checkpoint: delta norm stat %q: unknown mode %d", name, mode[0])
+		}
+	}
+	return br.err
+}
+
+// equalSlices reports elementwise equality (bit-level intent: weights are
+// finite, so == matches bit equality here).
+func equalSlices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
+}

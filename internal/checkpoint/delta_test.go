@@ -1,0 +1,147 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// deltaPair returns a universal base and a diverged tenant: cloned weights,
+// a pruning mask on the first prunable layer, fine-tuned kept weights and
+// perturbed BN statistics — every delta mode exercised at once.
+func deltaPair(t *testing.T, f models.Family) (base, tenant *nn.Classifier) {
+	t.Helper()
+	base = trainedModel(t, f, 20)
+	tenant = models.Build(f, rand.New(rand.NewSource(77)), 6, 1)
+	base.CloneWeightsTo(tenant)
+	// Mask a second layer and perturb its kept weights (deltaKept); leave
+	// other params untouched (deltaSame).
+	pp := tenant.PrunableParams()
+	p := pp[len(pp)-1]
+	m := p.EnsureMask()
+	for i := 0; i < m.Len(); i += 2 {
+		m.Data[i] = 0
+	}
+	for i, mv := range m.Data {
+		if mv != 0 {
+			p.W.Data[i] += 0.125
+		}
+	}
+	// Perturb one unmasked param densely (deltaDense) and one BN stat.
+	for _, q := range tenant.Params() {
+		if q.Mask == nil {
+			for i := range q.W.Data {
+				q.W.Data[i] += 0.0625
+			}
+			break
+		}
+	}
+	nn.Walk(tenant.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			bn.RunMean.Data[0] += 0.25
+		}
+	})
+	return base, tenant
+}
+
+// TestModelDeltaRoundTrip: applying a delta to a fresh clone must reproduce
+// the tenant's observable behaviour exactly — identical logits, identical
+// masks — across families.
+func TestModelDeltaRoundTrip(t *testing.T) {
+	for _, f := range []models.Family{models.ResNet, models.VGG, models.MobileNet, models.Transformer} {
+		base, tenant := deltaPair(t, f)
+		delta, err := EncodeModelDelta(base, tenant)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", f, err)
+		}
+		dst := models.Build(f, rand.New(rand.NewSource(88)), 6, 1)
+		if err := ApplyModelDelta(delta, base, dst); err != nil {
+			t.Fatalf("%s: apply: %v", f, err)
+		}
+		x := tensor.Randn(rand.New(rand.NewSource(21)), 1, 2, 3, 8, 8)
+		if !tensor.Equal(tenant.Logits(x, false), dst.Logits(x, false), 0) {
+			t.Fatalf("%s: rebuilt tenant disagrees with original", f)
+		}
+		// Masks and effective weights must match exactly (the engine
+		// compiles from these); raw pruned-position weights may legally
+		// revert to base.
+		tp, dp := tenant.Params(), dst.Params()
+		for i, p := range tp {
+			d := dp[i]
+			if (p.Mask == nil) != (d.Mask == nil) {
+				t.Fatalf("%s: %s mask presence diverged", f, p.Name)
+			}
+			if !tensor.Equal(p.Effective(), d.Effective(), 0) {
+				t.Fatalf("%s: %s effective weights diverged", f, p.Name)
+			}
+		}
+	}
+}
+
+// TestModelDeltaSizeScalesWithMask: a sparsely-masked fine-tuned tenant's
+// delta must store only kept values — far smaller than a full weight copy.
+func TestModelDeltaSizeScalesWithMask(t *testing.T) {
+	base := trainedModel(t, models.ResNet, 30)
+	tenant := models.Build(models.ResNet, rand.New(rand.NewSource(31)), 6, 1)
+	base.CloneWeightsTo(tenant)
+	var full int64
+	// Mask every prunable param to 25% kept and perturb every kept weight,
+	// the worst case for the kept-value mode.
+	for _, p := range tenant.PrunableParams() {
+		m := p.EnsureMask()
+		for i := range m.Data {
+			if i%4 != 0 {
+				m.Data[i] = 0
+			}
+		}
+		for i, mv := range m.Data {
+			if mv != 0 {
+				p.W.Data[i] += 0.5
+			}
+		}
+	}
+	for _, p := range tenant.Params() {
+		full += int64(p.W.Len()) * 8
+	}
+	delta, err := EncodeModelDelta(base, tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(delta)) >= full/2 {
+		t.Fatalf("delta %d bytes vs %d full weights: kept-value mode not engaged", len(delta), full)
+	}
+	// An undiverged clone encodes to almost nothing (headers + masks only).
+	clean := models.Build(models.ResNet, rand.New(rand.NewSource(32)), 6, 1)
+	base.CloneWeightsTo(clean)
+	small, err := EncodeModelDelta(base, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(small)) >= int64(len(delta))/2 {
+		t.Fatalf("clean delta %d bytes vs diverged %d: same-mode not engaged", len(small), len(delta))
+	}
+}
+
+// TestModelDeltaRejectsGarbage: corrupt headers, truncation, and
+// mask-inconsistent records must fail loudly, never partially apply.
+func TestModelDeltaRejectsGarbage(t *testing.T) {
+	base, tenant := deltaPair(t, models.ResNet)
+	delta, err := EncodeModelDelta(base, tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := models.Build(models.ResNet, rand.New(rand.NewSource(89)), 6, 1)
+	if err := ApplyModelDelta([]byte("XXXX garbage"), base, dst); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := ApplyModelDelta(delta[:len(delta)/2], base, dst); err == nil {
+		t.Fatal("truncated delta accepted")
+	}
+	other := models.Build(models.VGG, rand.New(rand.NewSource(90)), 6, 1)
+	if err := ApplyModelDelta(delta, base, other); err == nil {
+		t.Fatal("cross-architecture apply accepted")
+	}
+}

@@ -29,10 +29,17 @@ type Plan struct {
 	// Col holds absolute column indices, Val the matching non-zero values.
 	Col []int32
 	Val []float64
+
+	// slab, when non-nil, replaces Val as the value source: the plan's kept
+	// values live in a shared universal-weight slab and kernels gather them
+	// by (row, Col) instead of by entry index. Set only by BindSlab, which
+	// verifies bit-equality first (see slab.go).
+	slab *ValueSlab
 }
 
-// NNZ returns the number of stored (all non-zero) entries.
-func (p *Plan) NNZ() int { return len(p.Val) }
+// NNZ returns the number of stored (all non-zero) entries. Col is populated
+// in both owned and slab-bound plans, so it is the authoritative count.
+func (p *Plan) NNZ() int { return len(p.Col) }
 
 // Planner is implemented by encodings that compile directly into a Plan.
 type Planner interface {
@@ -141,11 +148,23 @@ func (p *Plan) MatMulInto(b, out *tensor.Tensor) *tensor.Tensor {
 // on every SpMM call, because the worker pool's task channel makes it
 // escape — and only batch-scale problems pay for the fan-out wrapper.
 func (p *Plan) matmul(b, out *tensor.Tensor, n int) {
-	if len(p.Val)*n < spmmParallelThreshold || p.Rows < 2 {
-		p.rowRange(b, out, n, 0, p.Rows)
+	// Branches (not a method value) keep the serial path allocation-free:
+	// a bound method value would escape through the pool's task channel.
+	if p.NNZ()*n < spmmParallelThreshold || p.Rows < 2 {
+		if p.slab != nil {
+			p.rowRangeSlab(b, out, n, 0, p.Rows)
+		} else {
+			p.rowRange(b, out, n, 0, p.Rows)
+		}
 		return
 	}
-	parallelRows(p.Rows, len(p.Val)*n, func(row0, row1 int) {
+	if p.slab != nil {
+		parallelRows(p.Rows, p.NNZ()*n, func(row0, row1 int) {
+			p.rowRangeSlab(b, out, n, row0, row1)
+		})
+		return
+	}
+	parallelRows(p.Rows, p.NNZ()*n, func(row0, row1 int) {
 		p.rowRange(b, out, n, row0, row1)
 	})
 }

@@ -88,15 +88,19 @@ func (p *Plan) Quantize() (*QuantPlan, error) {
 		NegPtr:   make([]int32, p.Rows),
 		RowScale: make([]float64, p.Rows),
 		rowSum:   make([]int32, p.Rows),
-		Col:      make([]int32, 0, len(p.Col)),
-		Code:     make([]int8, 0, len(p.Val)),
+		Col:      make([]int32, 0, p.NNZ()),
+		Code:     make([]int8, 0, p.NNZ()),
 	}
 	for r := 0; r < p.Rows; r++ {
 		if nnz := int(p.RowPtr[r+1] - p.RowPtr[r]); nnz > maxQuantRowNNZ {
 			return nil, fmt.Errorf("format: quantize: row %d stores %d entries, max %d (packed accumulator bound)", r, nnz, maxQuantRowNNZ)
 		}
 		maxAbs := 0.0
-		for _, v := range p.Val[p.RowPtr[r]:p.RowPtr[r+1]] {
+		// Values go through the slab-aware accessor: a slab-bound plan
+		// quantizes to exactly the codes its owned twin would (BindSlab
+		// proved bit-equality), so sharing never perturbs the int8 image.
+		for i := p.RowPtr[r]; i < p.RowPtr[r+1]; i++ {
+			v := p.value(r, i)
 			a := math.Abs(v)
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("format: quantize: non-finite weight %v in row %d", v, r)
@@ -112,7 +116,7 @@ func (p *Plan) Quantize() (*QuantPlan, error) {
 		q.RowScale[r] = s
 		inv := 1 / s
 		code := func(i int32) int8 {
-			c := math.Round(p.Val[i] * inv)
+			c := math.Round(p.value(r, i) * inv)
 			if c > 127 {
 				c = 127
 			} else if c < -127 {

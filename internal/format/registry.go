@@ -1,0 +1,171 @@
+package format
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// Fingerprint returns an FNV-64a hash of the plan's complete identity:
+// dimensions, row spans, column indices, and the exact bit pattern of every
+// stored value. Two plans with equal fingerprints are (hash collisions
+// aside) interchangeable — same shape, same non-zero layout, same values —
+// so they compile to identical kernels and identical int8 codes. The
+// fingerprint is invariant under BindSlab: binding never changes a value,
+// only where it is stored.
+func (p *Plan) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put32 := func(v int32) {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(v))
+		h.Write(buf[:4])
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put32(int32(p.Rows))
+	put32(int32(p.Cols))
+	for _, v := range p.RowPtr {
+		put32(v)
+	}
+	for r := 0; r < p.Rows; r++ {
+		for i := p.RowPtr[r]; i < p.RowPtr[r+1]; i++ {
+			put32(p.Col[i])
+			put64(math.Float64bits(p.value(r, i)))
+		}
+	}
+	return h.Sum64()
+}
+
+// plansEqual reports full structural and value equality, reading values
+// through the slab-aware accessor so an owned plan compares equal to its
+// slab-bound twin.
+func plansEqual(a, b *Plan) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || len(a.Col) != len(b.Col) || len(a.RowPtr) != len(b.RowPtr) {
+		return false
+	}
+	for i, v := range a.RowPtr {
+		if b.RowPtr[i] != v {
+			return false
+		}
+	}
+	for r := 0; r < a.Rows; r++ {
+		for i := a.RowPtr[r]; i < a.RowPtr[r+1]; i++ {
+			if a.Col[i] != b.Col[i] || a.value(r, i) != b.value(r, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Registry deduplicates compiled plans across engines: tenants whose class
+// sets prune a layer identically compile byte-identical plans, and the
+// registry makes them share one instance (and one cached int8 image)
+// instead of each holding a private copy. Entries are reference-counted;
+// an engine returns its references with Release when it is evicted, and an
+// entry whose count reaches zero is dropped so the memory can be reclaimed.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[uint64]*regEntry
+}
+
+type regEntry struct {
+	plan     *Plan
+	quant    *QuantPlan
+	quantErr error
+	refs     int
+}
+
+// NewRegistry returns an empty plan registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[uint64]*regEntry)}
+}
+
+// Intern registers p and returns the canonical instance for its content:
+// p itself when it is the first of its kind, or the already-registered
+// equal plan otherwise (p is then discarded by the caller and the shared
+// instance's reference count grows). A fingerprint collision with a
+// non-equal plan returns p untracked — the caller keeps a private copy and
+// Release on it is a no-op, so collisions cost memory, never correctness.
+func (reg *Registry) Intern(p *Plan) *Plan {
+	fp := p.Fingerprint()
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	e := reg.entries[fp]
+	if e == nil {
+		reg.entries[fp] = &regEntry{plan: p, refs: 1}
+		return p
+	}
+	if !plansEqual(e.plan, p) {
+		return p
+	}
+	e.refs++
+	return e.plan
+}
+
+// QuantFor returns the int8 image of a canonical plan, computing it once
+// and caching it on the registry entry so every engine sharing the plan
+// also shares its codes. Quantization is deterministic, so the cached image
+// is exactly what each engine would have computed privately. An untracked
+// plan (never interned, or a collision loser) quantizes privately.
+func (reg *Registry) QuantFor(p *Plan) (*QuantPlan, error) {
+	fp := p.Fingerprint()
+	reg.mu.Lock()
+	e := reg.entries[fp]
+	if e == nil || e.plan != p {
+		reg.mu.Unlock()
+		return p.Quantize()
+	}
+	if e.quant == nil && e.quantErr == nil {
+		e.quant, e.quantErr = p.Quantize()
+	}
+	q, err := e.quant, e.quantErr
+	reg.mu.Unlock()
+	return q, err
+}
+
+// Release returns one reference to the canonical plan p, dropping the
+// entry (plan and cached int8 image) when the last reference goes. Passing
+// a plan that is not the registered canonical instance — a collision loser,
+// or a plan from another registry — is a safe no-op.
+func (reg *Registry) Release(p *Plan) {
+	fp := p.Fingerprint()
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	e := reg.entries[fp]
+	if e == nil || e.plan != p {
+		return
+	}
+	if e.refs--; e.refs <= 0 {
+		delete(reg.entries, fp)
+	}
+}
+
+// Stats reports the registry's resident state: distinct canonical plans,
+// total outstanding references across them, and the owned bytes of the
+// registered plans plus their cached int8 images (slab-backed value memory
+// excluded, as everywhere).
+func (reg *Registry) Stats() (plans, refs int, bytes int64) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, e := range reg.entries {
+		plans++
+		refs += e.refs
+		bytes += e.plan.SizeBytes()
+		if e.quant != nil {
+			bytes += e.quant.SizeBytes()
+		}
+	}
+	return plans, refs, bytes
+}
+
+// Len returns the number of distinct canonical plans currently registered.
+func (reg *Registry) Len() int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return len(reg.entries)
+}

@@ -1,0 +1,124 @@
+package format
+
+import "repro/internal/tensor"
+
+// ValueSlab is an immutable dense row-major weight matrix shared across
+// plans: the universal model's weights for one layer, referenced (never
+// cloned) by every tenant plan whose kept values match it. A slab-bound
+// plan drops its owned Val payload and gathers values from the slab in the
+// kernels instead, so per-tenant storage shrinks to the index data (RowPtr
+// and Col) while results stay bit-identical — binding verifies every kept
+// value equals the slab entry bit-for-bit before any Val memory is
+// released.
+//
+// The Data slice typically aliases live model storage (e.g. an nn.Param's
+// weight tensor); the owner must not mutate it while plans reference it.
+type ValueSlab struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewValueSlab wraps a rank-2 tensor as a slab, aliasing its storage.
+func NewValueSlab(t *tensor.Tensor) *ValueSlab {
+	if len(t.Shape) != 2 {
+		return nil
+	}
+	return &ValueSlab{Rows: t.Shape[0], Cols: t.Shape[1], Data: t.Data}
+}
+
+// BindSlab attempts to re-home the plan's values onto s: when the plan has
+// matching dimensions and every stored value equals the slab entry at its
+// (row, column) bit-for-bit, the owned Val payload is dropped and kernels
+// gather from the slab instead. Returns whether the plan is slab-backed
+// afterwards. Binding fails (and leaves the plan untouched) when any kept
+// value diverged from the universal weights — e.g. after fine-tuning — so
+// callers can bind opportunistically and fall back to owned values for
+// free. Not safe concurrently with kernel use of the same plan; bind at
+// compile time.
+func (p *Plan) BindSlab(s *ValueSlab) bool {
+	if p.slab != nil {
+		return true
+	}
+	if s == nil || s.Rows != p.Rows || s.Cols != p.Cols || len(s.Data) < s.Rows*s.Cols {
+		return false
+	}
+	for r := 0; r < p.Rows; r++ {
+		row := s.Data[r*s.Cols : (r+1)*s.Cols]
+		for i := p.RowPtr[r]; i < p.RowPtr[r+1]; i++ {
+			if p.Val[i] != row[p.Col[i]] {
+				return false
+			}
+		}
+	}
+	p.slab = s
+	p.Val = nil
+	return true
+}
+
+// Shared reports whether the plan's values live in a shared slab (BindSlab
+// succeeded) rather than an owned Val payload.
+func (p *Plan) Shared() bool { return p.slab != nil }
+
+// value returns stored entry i of row r, whichever side owns the payload.
+// Entry i must lie inside row r's RowPtr span.
+func (p *Plan) value(r int, i int32) float64 {
+	if p.slab == nil {
+		return p.Val[i]
+	}
+	return p.slab.Data[r*p.slab.Cols+int(p.Col[i])]
+}
+
+// rowRangeSlab is rowRange for slab-bound plans: identical walk and
+// accumulation order, with values gathered from the shared slab row instead
+// of the owned Val span. BindSlab proved every gathered value equals the
+// value the owned kernel would have loaded, so results are bit-identical.
+func (p *Plan) rowRangeSlab(b, out *tensor.Tensor, n, row0, row1 int) {
+	bd := b.Data
+	w := p.slab.Data
+	cols := p.slab.Cols
+	for r := row0; r < row1; r++ {
+		wrow := w[r*cols : (r+1)*cols]
+		dst := out.Data[r*n : (r+1)*n]
+		clear(dst)
+		i := int(p.RowPtr[r])
+		end := int(p.RowPtr[r+1])
+		for ; i+3 < end; i += 4 {
+			c0, c1, c2, c3 := int(p.Col[i]), int(p.Col[i+1]), int(p.Col[i+2]), int(p.Col[i+3])
+			v0, v1, v2, v3 := wrow[c0], wrow[c1], wrow[c2], wrow[c3]
+			s0 := bd[c0*n : c0*n+n]
+			s1 := bd[c1*n : c1*n+n]
+			s2 := bd[c2*n : c2*n+n]
+			s3 := bd[c3*n : c3*n+n]
+			for j, b0 := range s0 {
+				a := dst[j] + v0*b0
+				a += v1 * s1[j]
+				a += v2 * s2[j]
+				a += v3 * s3[j]
+				dst[j] = a
+			}
+		}
+		for ; i < end; i++ {
+			c := int(p.Col[i])
+			v := wrow[c]
+			src := bd[c*n : (c+1)*n]
+			for j, bv := range src {
+				dst[j] += v * bv
+			}
+		}
+	}
+}
+
+// SizeBytes reports the heap bytes the plan itself owns: its slice payloads
+// (RowPtr, Col, and — unless slab-bound — Val). Shared slab memory is
+// excluded; it belongs to the universal model and is counted once by its
+// owner, not per tenant. The fixed struct header is excluded as negligible.
+func (p *Plan) SizeBytes() int64 {
+	return int64(len(p.RowPtr))*4 + int64(len(p.Col))*4 + int64(len(p.Val))*8
+}
+
+// SizeBytes reports the heap bytes of the quantized plan's slice payloads
+// (RowPtr, NegPtr, Col, Code, RowScale and the row-sum correction terms).
+func (q *QuantPlan) SizeBytes() int64 {
+	return int64(len(q.RowPtr))*4 + int64(len(q.NegPtr))*4 + int64(len(q.Col))*4 +
+		int64(len(q.Code)) + int64(len(q.RowScale))*8 + int64(len(q.rowSum))*4
+}

@@ -1,0 +1,76 @@
+package inference
+
+import (
+	"hash/fnv"
+
+	"repro/internal/nn"
+)
+
+// MemoryFootprint reports the engine-owned resident bytes of the compiled
+// state: owned plan payloads, owned (or first-owner) int8 images, and
+// privately materialized effective weights. Memory the engine merely
+// references is excluded — shared universal slabs belong to the base model,
+// and plans deduplicated through a format.Registry are counted by the
+// engine that first interned them, so summing footprints across engines
+// never double-counts. Transient arena scratch is excluded: it is pooled
+// per pass, not held per engine. Fixed at compile time.
+func (e *Engine) MemoryFootprint() int64 { return e.footprint }
+
+// Fingerprint is the engine's structural fingerprint: an FNV-64a hash over
+// every compiled plan's fingerprint in compile order. Two engines compiled
+// from the same weights and masks always agree (compilation is
+// deterministic), so the serving layer uses it to verify that a rebuilt
+// engine reproduced the original compiled shape and values exactly.
+func (e *Engine) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range e.plans {
+		fp := p.Fingerprint()
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(fp >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Release returns the engine's interned plans to its registry so their
+// reference counts drop (and fully unreferenced entries free). Idempotent;
+// a no-op for engines compiled without a registry. In-flight forward
+// passes may still complete — releasing only drops dedup bookkeeping, the
+// compiled plans themselves stay valid until the engine is garbage
+// collected. Not safe to call concurrently with itself; the serving layer
+// serializes it per engine.
+func (e *Engine) Release() {
+	if e.released || e.registry == nil {
+		return
+	}
+	e.released = true
+	for _, p := range e.interned {
+		e.registry.Release(p)
+	}
+	e.interned = nil
+}
+
+// ModelBytes reports the resident bytes of a classifier's learnable state:
+// dense weights, gradients, masks, and normalization running statistics —
+// the cost of holding a full per-tenant model clone, and the denominator
+// the tiered cache's density win is measured against.
+func ModelBytes(clf *nn.Classifier) int64 {
+	var n int64
+	for _, p := range clf.Params() {
+		n += int64(p.W.Len()) * 8
+		if p.Grad != nil {
+			n += int64(p.Grad.Len()) * 8
+		}
+		if p.Mask != nil {
+			n += int64(p.Mask.Len()) * 8
+		}
+	}
+	nn.Walk(clf.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			n += int64(len(bn.RunMean.Data)+len(bn.RunVar.Data)) * 8
+		}
+	})
+	return n
+}

@@ -83,6 +83,19 @@ func (p Precision) String() string {
 type CompileOptions struct {
 	// Precision selects float or int8 execution for the plan-backed layers.
 	Precision Precision
+	// Shared, when set, lets the engine reference the universal model's
+	// weights instead of owning copies: compiled plans bind to the shared
+	// value slabs when the tenant's kept values still equal the universal
+	// weights, and masked-dense layers (attention, depthwise) borrow the
+	// shared effective tensors when their weights and mask match the
+	// universal parameter. Results are bit-identical either way; only
+	// ownership (and MemoryFootprint) changes.
+	Shared *SharedWeights
+	// Registry, when set, deduplicates compiled plans across engines:
+	// structurally identical plans (same class set → same pruned shape and
+	// values) share one canonical instance and one cached int8 image. The
+	// engine holds references it returns via Release when evicted.
+	Registry *format.Registry
 }
 
 // Engine is a compiled sparse-execution plan for one classifier. An engine
@@ -91,9 +104,21 @@ type Engine struct {
 	clf       *nn.Classifier
 	root      execLayer
 	precision Precision
+	shared    *SharedWeights
+	registry  *format.Registry
+	// plans lists every compiled float plan in compile order — the
+	// structural Fingerprint surface.
+	plans []*format.Plan
 	// quantPlans lists every compiled quantized plan (Int8 engines only),
 	// in compile order — the QuantSignature surface.
 	quantPlans []*format.QuantPlan
+	// interned lists the canonical plans this engine holds registry
+	// references to; Release returns them.
+	interned []*format.Plan
+	// footprint accumulates the engine-owned bytes at compile time (see
+	// MemoryFootprint).
+	footprint int64
+	released  bool
 	// CompressedLayers counts the layers running from sparse encodings; it
 	// is fixed at compile time.
 	CompressedLayers int
@@ -117,7 +142,7 @@ func New(clf *nn.Classifier, blockSize int, nm sparsity.NM) (*Engine, error) {
 // quantization scratch drawn from the same engine-owned arena as the float
 // buffers.
 func NewWithOptions(clf *nn.Classifier, blockSize int, nm sparsity.NM, opts CompileOptions) (*Engine, error) {
-	e := &Engine{clf: clf, precision: opts.Precision}
+	e := &Engine{clf: clf, precision: opts.Precision, shared: opts.Shared, registry: opts.Registry}
 	root, err := e.compile(clf.Net, blockSize, nm)
 	if err != nil {
 		return nil, err
@@ -308,11 +333,11 @@ func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (execLayer, error) {
 	case *nn.MultiHeadAttention:
 		return &execAttention{
 			d: v.D, heads: v.Heads,
-			wq: v.Wq.Effective(), wk: v.Wk.Effective(),
-			wv: v.Wv.Effective(), wo: v.Wo.Effective(),
+			wq: e.effective(v.Wq), wk: e.effective(v.Wk),
+			wv: e.effective(v.Wv), wo: e.effective(v.Wo),
 		}, nil
 	case *nn.DepthwiseConv2D:
-		return &execDepthwise{conv: v, weff: v.Weight.Effective()}, nil
+		return &execDepthwise{conv: v, weff: e.effective(v.Weight)}, nil
 	case *nn.BatchNorm2D:
 		return &execBatchNorm{bn: v}, nil
 	case *nn.ReLU:
@@ -362,23 +387,64 @@ func (s *spmm) into(b, out *tensor.Tensor, a *arena) *tensor.Tensor {
 }
 
 // newSpMM compiles one weight-bearing layer's SpMM dispatch at the engine's
-// precision and counts it as a compressed layer.
+// precision and counts it as a compressed layer. With shared universal
+// weights, the plan first tries to re-home its values onto the layer's
+// slab (free when fine-tuning diverged them — BindSlab refuses and the
+// plan keeps its owned copy); with a registry, the whole plan then dedups
+// onto the canonical instance for its content. Neither step changes a bit
+// of any result — only who owns the memory, which MemoryFootprint tracks.
 func (e *Engine) newSpMM(p *nn.Param, b int, nm sparsity.NM) (spmm, error) {
 	plan, err := encodeParam(p, b, nm)
 	if err != nil {
 		return spmm{}, err
 	}
+	if e.shared != nil {
+		plan.BindSlab(e.shared.Slab(p.Name))
+	}
+	owned := true
+	if e.registry != nil {
+		canon := e.registry.Intern(plan)
+		e.interned = append(e.interned, canon)
+		if canon != plan {
+			owned = false
+			plan = canon
+		}
+	}
+	if owned {
+		e.footprint += plan.SizeBytes()
+	}
 	s := spmm{plan: plan}
+	e.plans = append(e.plans, plan)
 	if e.precision == Int8 {
-		q, err := plan.Quantize()
+		var q *format.QuantPlan
+		if e.registry != nil {
+			q, err = e.registry.QuantFor(plan)
+		} else {
+			q, err = plan.Quantize()
+		}
 		if err != nil {
 			return spmm{}, err
+		}
+		if owned {
+			e.footprint += q.SizeBytes()
 		}
 		s.qplan = q
 		e.quantPlans = append(e.quantPlans, q)
 	}
 	e.CompressedLayers++
 	return s, nil
+}
+
+// effective materializes a masked-dense layer's weights, borrowing the
+// shared universal tensor when the parameter still matches the universal
+// model; a private materialization counts toward the engine footprint.
+func (e *Engine) effective(p *nn.Param) *tensor.Tensor {
+	if t := e.shared.universalEffective(p); t != nil {
+		return t
+	}
+	t := p.Effective()
+	e.footprint += int64(len(t.Data)) * 8
+	return t
 }
 
 // encodeParam compresses one parameter's masked weights and compiles the

@@ -1,0 +1,117 @@
+package inference
+
+import (
+	"sync"
+
+	"repro/internal/format"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// SharedWeights is the compile-time view of the universal model every
+// tenant prunes: one immutable value slab per parameter (aliasing the base
+// classifier's weight storage — referenced, never cloned) plus a lazy cache
+// of universal effective tensors for the layers that execute masked-dense
+// (attention projections, depthwise kernels). Engines compiled with
+// CompileOptions.Shared bind their plans to these slabs whenever the
+// tenant's kept values still equal the universal weights, and borrow the
+// cached effective tensors whenever the tenant's weights and mask match the
+// universal parameter — so per-tenant memory shrinks to index data plus
+// only the layers that actually diverged.
+//
+// The base classifier must not be trained or re-pruned while engines built
+// against its SharedWeights are alive. One SharedWeights is safe for
+// concurrent use by many compilations.
+type SharedWeights struct {
+	params map[string]*nn.Param
+	slabs  map[string]*format.ValueSlab
+
+	mu  sync.Mutex
+	eff map[string]*tensor.Tensor
+}
+
+// NewSharedWeights snapshots the universal classifier's parameter set. The
+// slabs alias base's weight tensors directly; no weight memory is copied.
+func NewSharedWeights(base *nn.Classifier) *SharedWeights {
+	s := &SharedWeights{
+		params: make(map[string]*nn.Param),
+		slabs:  make(map[string]*format.ValueSlab),
+		eff:    make(map[string]*tensor.Tensor),
+	}
+	for _, p := range base.Params() {
+		s.params[p.Name] = p
+		s.slabs[p.Name] = format.NewValueSlab(p.MatrixView())
+	}
+	return s
+}
+
+// Slab returns the universal value slab for the named parameter, or nil.
+func (s *SharedWeights) Slab(name string) *format.ValueSlab {
+	if s == nil {
+		return nil
+	}
+	return s.slabs[name]
+}
+
+// universalEffective returns the shared effective (W ⊙ Mask) tensor for p
+// when the tenant parameter still matches the universal one bit-for-bit —
+// same weights, same mask — and nil when it diverged (the caller then
+// materializes privately). The shared tensor is computed once per parameter
+// and must be treated as immutable by every borrower.
+func (s *SharedWeights) universalEffective(p *nn.Param) *tensor.Tensor {
+	if s == nil {
+		return nil
+	}
+	b := s.params[p.Name]
+	if b == nil || !tensorEqualBits(p.W, b.W) || !maskEqual(p.Mask, b.Mask) {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.eff[p.Name]
+	if t == nil {
+		t = b.Effective()
+		s.eff[p.Name] = t
+	}
+	return t
+}
+
+// tensorEqualBits reports elementwise equality of two tensors' storage.
+func tensorEqualBits(a, b *tensor.Tensor) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i, v := range a.Data {
+		if b.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// maskEqual reports whether two masks keep the same positions, treating a
+// nil mask as all-ones.
+func maskEqual(a, b *tensor.Tensor) bool {
+	switch {
+	case a == nil && b == nil:
+		return true
+	case a == nil:
+		return allOnes(b)
+	case b == nil:
+		return allOnes(a)
+	default:
+		return tensorEqualBits(a, b)
+	}
+}
+
+func allOnes(m *tensor.Tensor) bool {
+	for _, v := range m.Data {
+		if v != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,223 @@
+package inference
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/format"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// sharedEnv builds a universal classifier, a tenant-cloning helper, and a
+// test batch — the serving layer's compile setting in miniature.
+func sharedEnv(t *testing.T, f models.Family) (base *nn.Classifier, clone func() *nn.Classifier, x *tensor.Tensor, prune func(*nn.Classifier, []int)) {
+	t.Helper()
+	cfg := data.Config{Name: "shared", NumClasses: 8, Channels: 3, H: 8, W: 8, Noise: 0.25, Jitter: 1, Seed: 9}
+	ds := data.New(cfg)
+	base = models.Build(f, rand.New(rand.NewSource(31)), cfg.NumClasses, 1)
+	pruner.Finetune(base, ds.MakeSplit("pre", []int{0, 1, 2, 3, 4, 5, 6, 7}, 6), 1, 16, nn.NewSGD(0.05, 0.9, 4e-5), rand.New(rand.NewSource(32)))
+	clone = func() *nn.Classifier {
+		c := models.Build(f, rand.New(rand.NewSource(31)), cfg.NumClasses, 1)
+		base.CloneWeightsTo(c)
+		return c
+	}
+	prune = func(c *nn.Classifier, classes []int) {
+		p := pruner.NewCRISP(pruner.Options{
+			Target: 0.7, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+			Iterations: 1, FinetuneEpochs: 1, BatchSize: 8, LR: 0.01,
+		})
+		p.Prune(c, ds.MakeSplit("user", classes, 6))
+	}
+	x = ds.MakeSplit("test", []int{1, 5}, 4).X
+	return base, clone, x, prune
+}
+
+func compileOpts(base *nn.Classifier, reg *format.Registry, prec Precision) CompileOptions {
+	return CompileOptions{Precision: prec, Shared: NewSharedWeights(base), Registry: reg}
+}
+
+// TestSharedCompileBitIdentical: compiling against shared universal slabs
+// and a dedup registry must not change a single output bit, at either
+// precision, for a fine-tuned (diverged) tenant.
+func TestSharedCompileBitIdentical(t *testing.T) {
+	for _, f := range []models.Family{models.ResNet, models.MobileNet, models.Transformer} {
+		base, clone, x, prune := sharedEnv(t, f)
+		tenant := clone()
+		prune(tenant, []int{1, 5})
+		for _, prec := range []Precision{Float32, Int8} {
+			ref, err := NewWithOptions(tenant, 4, sparsity.NM{N: 2, M: 4}, CompileOptions{Precision: prec})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f, prec, err)
+			}
+			shared, err := NewWithOptions(tenant, 4, sparsity.NM{N: 2, M: 4}, compileOpts(base, format.NewRegistry(), prec))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", f, prec, err)
+			}
+			if !tensor.Equal(ref.Logits(x), shared.Logits(x), 0) {
+				t.Fatalf("%s/%s: shared compile changed outputs", f, prec)
+			}
+			if prec == Int8 && ref.QuantSignature() != shared.QuantSignature() {
+				t.Fatalf("%s: shared compile changed the quant signature", f)
+			}
+			if ref.Fingerprint() != shared.Fingerprint() {
+				t.Fatalf("%s/%s: shared compile changed the structural fingerprint", f, prec)
+			}
+		}
+	}
+}
+
+// TestSlabBindingShrinksFootprint: a tenant whose weights still equal the
+// universal model (mask-only divergence or a pure clone) must bind its
+// plans to the shared slabs and report a much smaller footprint than an
+// owning engine — while staying bit-identical.
+func TestSlabBindingShrinksFootprint(t *testing.T) {
+	base, clone, x, _ := sharedEnv(t, models.ResNet)
+	tenant := clone()
+	owned, err := New(tenant, 4, sparsity.NM{N: 2, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := NewWithOptions(tenant, 4, sparsity.NM{N: 2, M: 4}, compileOpts(base, nil, Float32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(owned.Logits(x), shared.Logits(x), 0) {
+		t.Fatal("slab-bound engine changed outputs")
+	}
+	if shared.MemoryFootprint() >= owned.MemoryFootprint()/2 {
+		t.Fatalf("slab binding saved too little: shared %d vs owned %d bytes", shared.MemoryFootprint(), owned.MemoryFootprint())
+	}
+	for _, p := range shared.plans {
+		if !p.Shared() {
+			t.Fatal("undiverged tenant compiled an owned plan")
+		}
+	}
+}
+
+// TestRegistryDedupAcrossEngines: two tenants pruned identically compile
+// identical plans and must share one instance through the registry;
+// releasing both drops every reference.
+func TestRegistryDedupAcrossEngines(t *testing.T) {
+	base, clone, x, prune := sharedEnv(t, models.ResNet)
+	reg := format.NewRegistry()
+	a, b := clone(), clone()
+	prune(a, []int{1, 5})
+	prune(b, []int{1, 5}) // deterministic: same classes → same plans
+	ea, err := NewWithOptions(a, 4, sparsity.NM{N: 2, M: 4}, CompileOptions{Shared: NewSharedWeights(base), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewWithOptions(b, 4, sparsity.NM{N: 2, M: 4}, CompileOptions{Shared: NewSharedWeights(base), Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(ea.Logits(x), eb.Logits(x), 0) {
+		t.Fatal("identically pruned tenants disagree")
+	}
+	plans, refs, _ := reg.Stats()
+	if plans != len(ea.plans) {
+		t.Fatalf("registry holds %d canonical plans, engines compiled %d layers", plans, len(ea.plans))
+	}
+	if refs != 2*plans {
+		t.Fatalf("refs %d, want %d (every plan shared by both engines)", refs, 2*plans)
+	}
+	// The second engine owns nothing: every plan deduped onto the first.
+	if eb.MemoryFootprint() != 0 {
+		t.Fatalf("deduped engine still owns %d bytes", eb.MemoryFootprint())
+	}
+	ea.Release()
+	ea.Release() // idempotent
+	if _, refs, _ := reg.Stats(); refs != plans {
+		t.Fatalf("after one release refs = %d, want %d", refs, plans)
+	}
+	eb.Release()
+	if reg.Len() != 0 {
+		t.Fatalf("registry holds %d entries after all releases", reg.Len())
+	}
+	// Released engines still serve: plans remain valid objects.
+	if !tensor.Equal(ea.Logits(x), eb.Logits(x), 0) {
+		t.Fatal("released engines disagree")
+	}
+}
+
+// TestMemoryFootprintManualSum checks the accounting helpers against
+// by-hand sums of the compiled state (the satellite's unsafe.Sizeof-style
+// cross-check).
+func TestMemoryFootprintManualSum(t *testing.T) {
+	_, clone, _, prune := sharedEnv(t, models.ResNet)
+	tenant := clone()
+	prune(tenant, []int{2, 6})
+	for _, prec := range []Precision{Float32, Int8} {
+		eng, err := NewWithOptions(tenant, 4, sparsity.NM{N: 2, M: 4}, CompileOptions{Precision: prec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		for _, p := range eng.plans {
+			want += p.SizeBytes()
+		}
+		for _, q := range eng.quantPlans {
+			want += q.SizeBytes()
+		}
+		// ResNet has no attention/depthwise layers, so no materialized
+		// effectives contribute.
+		if got := eng.MemoryFootprint(); got != want {
+			t.Fatalf("%s: MemoryFootprint %d, want manual sum %d", prec, got, want)
+		}
+	}
+
+	// MobileNet materializes depthwise effective weights on top of plans.
+	_, cloneM, _, pruneM := sharedEnv(t, models.MobileNet)
+	tm := cloneM()
+	pruneM(tm, []int{2, 6})
+	eng, err := New(tm, 4, sparsity.NM{N: 2, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plansOnly int64
+	for _, p := range eng.plans {
+		plansOnly += p.SizeBytes()
+	}
+	var eff int64
+	nn.Walk(tm.Net, func(l nn.Layer) {
+		if dw, ok := l.(*nn.DepthwiseConv2D); ok {
+			eff += int64(dw.Weight.W.Len()) * 8
+		}
+	})
+	if eff == 0 {
+		t.Fatal("MobileNet fixture has no depthwise layers")
+	}
+	if got := eng.MemoryFootprint(); got != plansOnly+eff {
+		t.Fatalf("MemoryFootprint %d, want plans %d + effectives %d", got, plansOnly, eff)
+	}
+}
+
+// TestModelBytesManualSum checks ModelBytes against a direct walk.
+func TestModelBytesManualSum(t *testing.T) {
+	_, clone, _, prune := sharedEnv(t, models.ResNet)
+	tenant := clone()
+	prune(tenant, []int{1, 5})
+	var want int64
+	for _, p := range tenant.Params() {
+		want += int64(p.W.Len()) * 8
+		if p.Grad != nil {
+			want += int64(p.Grad.Len()) * 8
+		}
+		if p.Mask != nil {
+			want += int64(p.Mask.Len()) * 8
+		}
+	}
+	nn.Walk(tenant.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm2D); ok {
+			want += int64(len(bn.RunMean.Data)+len(bn.RunVar.Data)) * 8
+		}
+	})
+	if got := ModelBytes(tenant); got != want || got == 0 {
+		t.Fatalf("ModelBytes %d, want %d (non-zero)", got, want)
+	}
+}

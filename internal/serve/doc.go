@@ -99,6 +99,41 @@
 //     snapshots and writes any cached engine not yet on disk — the admin
 //     hook before a planned restart (POST /snapshot in cmd/crisp-serve).
 //
+// # Memory tiers (Options.MemoryBudgetBytes)
+//
+// A full-copy engine cache cannot reach millions of tenants: every cached
+// Personalization holds a complete model clone plus compiled plans. With a
+// byte budget configured the cache becomes a three-tier hierarchy, built on
+// two structural facts: every tenant is a delta over ONE universal model,
+// and serving only ever reads the effective weights W ⊙ Mask.
+//
+//	hot   — compiled engines, ready to Predict. Bounded by CacheSize and
+//	        by HotFraction (default 0.75) of the budget. Engines compile
+//	        against shared universal weight slabs (inference.SharedWeights)
+//	        and deduplicate bit-identical plans through a format.Registry,
+//	        so even the hot tier never clones what it can reference.
+//	warm  — demoted tenants as delta records (checkpoint.EncodeModelDelta):
+//	        bit-packed masks plus kept-position weight values only, a small
+//	        fraction of a full copy. Bounded by the rest of the budget.
+//	ssd   — (cold) the snapshot store, unbounded; demotion synchronously
+//	        ensures the disk copy before the engine is released, so no
+//	        transition can lose the only durable state.
+//
+// Lifecycle: an insert past the hot bound demotes the LRU engine — its
+// state is delta-encoded, its plans return their registry references, its
+// batcher flushes — and the record parks in a warm LRU (Stats.Demotions).
+// A request for a warm tenant promotes instead of re-pruning: apply the
+// delta to a fresh clone, recompile, and verify the rebuild against the
+// structural fingerprint (and, on Int8, the quant signature) captured at
+// demotion (Stats.WarmHits/Promotions; a failed verification counts
+// PromoteErrors and falls through to the cold tier). Warm records squeezed
+// out by the budget drop to disk (Stats.WarmEvictions); cold tenants
+// restore as before. Every transition is exact: promotion is bit-identical
+// on the float path and QuantSignature-identical on int8, because the delta
+// preserves precisely what compilation and deterministic quantization read.
+// Budget 0 (the default) keeps the single-level count LRU; evicted engines
+// release immediately and rely on the cold tier alone.
+//
 // # HTTP endpoints (cmd/crisp-serve)
 //
 //	POST /personalize {"classes":[3,17,42]}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/format"
 	"repro/internal/inference"
 	"repro/internal/nn"
 	"repro/internal/pruner"
@@ -59,6 +60,22 @@ type Options struct {
 	// top-1 agreement on the held-out split, surfaced per tenant as
 	// Personalization.Agreement and aggregated in Stats.
 	Precision inference.Precision
+	// MemoryBudgetBytes, when > 0, turns the engine cache into a three-tier
+	// hot/warm/cold hierarchy governed by a byte budget instead of a pure
+	// count LRU: hot compiled engines may use up to HotFraction of the
+	// budget, engines evicted from hot are demoted to compact warm records
+	// (a delta over the shared universal weights — typically a small
+	// fraction of a full copy), and warm records squeezed out by the budget
+	// fall back to the cold tier (disk snapshots, when SnapshotDir is set).
+	// Promotion back to hot is bit-identical on the float path and
+	// QuantSignature-identical on int8. 0 (the default) keeps the
+	// single-level count-bounded LRU: evicted engines release their state
+	// immediately and rely on the cold tier alone.
+	MemoryBudgetBytes int64
+	// HotFraction is the share of MemoryBudgetBytes reserved for hot
+	// compiled engines; the remainder holds warm records. Outside (0, 1]
+	// it defaults to 0.75. Ignored when MemoryBudgetBytes is 0.
+	HotFraction float64
 }
 
 // withDefaults fills unset serving options.
@@ -80,6 +97,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxQueue <= 0 {
 		o.MaxQueue = 256
+	}
+	if o.MemoryBudgetBytes < 0 {
+		o.MemoryBudgetBytes = 0
+	}
+	if o.HotFraction <= 0 || o.HotFraction > 1 {
+		o.HotFraction = 0.75
 	}
 	o.Prune = o.Prune.WithDefaults()
 	return o
@@ -108,6 +131,30 @@ type Personalization struct {
 	// bat coalesces concurrent Predict calls against this engine; nil when
 	// batching is disabled (Options.MaxBatch <= 1).
 	bat *batcher
+	// size is the resident cost this personalization charges against the
+	// hot tier: engine-owned compiled state plus the model clone, fixed at
+	// creation (see Server.sizeOf).
+	size int64
+	// releaseOnce guards release: eviction paths may race a duplicate
+	// insert's loser cleanup.
+	releaseOnce sync.Once
+}
+
+// release frees the per-tenant serving state an eviction leaves behind:
+// the batcher's queued generation is flushed (its waiting callers are
+// served, its pooled slices recycled) and the engine returns its shared
+// plan references to the dedup registry. In-flight Predicts racing the
+// release still complete — nothing the engine computes with is freed, only
+// shared-ownership bookkeeping. Idempotent.
+func (p *Personalization) release() {
+	p.releaseOnce.Do(func() {
+		if p.bat != nil {
+			p.bat.forceFlush()
+		}
+		if p.engine != nil {
+			p.engine.Release()
+		}
+	})
 }
 
 // Engine exposes the compiled sparse inference engine.
@@ -161,9 +208,37 @@ type Stats struct {
 	// records that failed to load and were skipped.
 	RestoreHits   uint64 `json:"restore_hits"`
 	RestoreErrors uint64 `json:"restore_errors"`
+	// Tier flows (MemoryBudgetBytes > 0): WarmHits counts cache misses
+	// resolved by a warm delta record, Promotions the engines those rebuilt
+	// into the hot tier, Demotions the hot engines compacted to warm
+	// records on eviction, WarmEvictions the warm records dropped for
+	// budget (their cold snapshot, if any, remains), and PromoteErrors the
+	// warm records that failed verification at promote time (the request
+	// fell through to cold restore or a fresh prune).
+	WarmHits      uint64 `json:"warm_hits"`
+	Promotions    uint64 `json:"promotions"`
+	Demotions     uint64 `json:"demotions"`
+	WarmEvictions uint64 `json:"warm_evictions"`
+	PromoteErrors uint64 `json:"promote_errors"`
 	// CachedEngines and InFlight are current gauges.
 	CachedEngines int `json:"cached_engines"`
 	InFlight      int `json:"in_flight"`
+	// MemoryBudgetBytes echoes Options.MemoryBudgetBytes (0: single-level
+	// LRU); HotBytes and WarmBytes are the tier residencies it governs;
+	// WarmEntries and ColdRecords count warm delta records and indexed disk
+	// snapshots.
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes"`
+	HotBytes          int64 `json:"hot_bytes"`
+	WarmBytes         int64 `json:"warm_bytes"`
+	WarmEntries       int   `json:"warm_entries"`
+	ColdRecords       int   `json:"cold_records"`
+	// SharedPlans/SharedPlanRefs/SharedPlanBytes snapshot the cross-tenant
+	// plan dedup registry: canonical compiled plans alive, engine
+	// references onto them, and the bytes one copy of each occupies.
+	// Stable refs across personalize/evict cycles double as a leak probe.
+	SharedPlans     int   `json:"shared_plans"`
+	SharedPlanRefs  int   `json:"shared_plan_refs"`
+	SharedPlanBytes int64 `json:"shared_plan_bytes"`
 	// Workers echoes the pool bound.
 	Workers int `json:"workers"`
 	// Precision echoes the engine precision mode every personalization is
@@ -228,6 +303,16 @@ type Server struct {
 	base  *nn.Classifier
 	pool  *Pool
 	store *snapshotStore // nil when Options.SnapshotDir is empty
+	// shared exposes the universal weights as immutable slabs every
+	// compiled engine references instead of cloning, and registry dedups
+	// bit-identical compiled plans across tenants. Both are active on every
+	// server — sharing costs nothing — independent of MemoryBudgetBytes.
+	shared   *inference.SharedWeights
+	registry *format.Registry
+	// budget and hotBudget freeze the tier policy derived from Options:
+	// total resident bytes (hot + warm) and the hot tier's share. Zero
+	// budget means the legacy single-level count LRU.
+	budget, hotBudget int64
 	// snapMu/snapCond guard the pending counters: pendingSnaps counts
 	// write-behind snapshots not yet on disk, pendingJobs counts
 	// personalization jobs between submission and their snapshot being
@@ -245,7 +330,12 @@ type Server struct {
 	entries  map[string]*list.Element // key -> lru element holding *Personalization
 	lru      *list.List               // front = most recently used
 	inflight map[string]*inflightCall
-	stats    Stats // control-plane counters only; see predictCounters
+	// warm/warmLRU hold demoted tenants as delta records (see tier.go);
+	// hotBytes/warmBytes are the tiers' current residencies.
+	warm                map[string]*list.Element // key -> warmLRU element holding *warmEntry
+	warmLRU             *list.List               // front = most recently demoted/touched
+	hotBytes, warmBytes int64
+	stats               Stats // control-plane counters only; see predictCounters
 
 	counters predictCounters
 }
@@ -266,10 +356,19 @@ func NewServer(build func() *nn.Classifier, base *nn.Classifier, ds *data.Datase
 		build:    build,
 		base:     base,
 		pool:     NewPool(opts.Workers),
+		shared:   inference.NewSharedWeights(base),
+		registry: format.NewRegistry(),
 		entries:  map[string]*list.Element{},
 		lru:      list.New(),
 		inflight: map[string]*inflightCall{},
+		warm:     map[string]*list.Element{},
+		warmLRU:  list.New(),
 	}
+	s.budget = opts.MemoryBudgetBytes
+	if s.budget > 0 {
+		s.hotBudget = int64(float64(s.budget) * opts.HotFraction)
+	}
+	s.stats.MemoryBudgetBytes = s.budget
 	s.snapCond = sync.NewCond(&s.snapMu)
 	if opts.SnapshotDir != "" {
 		store, err := openStore(opts.SnapshotDir)
@@ -386,17 +485,21 @@ func (s *Server) Personalize(classes []int) (*Personalization, bool, error) {
 	// already closed) and its snapshot registration.
 	s.pendingAdd(&s.pendingJobs)
 	defer s.pendingDone(&s.pendingJobs)
-	var restored bool
+	var src personalizeSource
 	s.pool.Do(func() {
-		call.p, restored, call.err = s.personalize(canon, key)
+		call.p, src, call.err = s.personalize(canon, key)
 	})
 
 	s.mu.Lock()
+	inserted := false
 	if call.err == nil {
-		s.insertLocked(key, call.p)
-		if restored {
+		inserted = s.insertLocked(key, call.p)
+		switch src {
+		case srcCold:
 			s.stats.RestoreHits++
-		} else {
+		case srcWarm:
+			s.stats.Promotions++
+		default:
 			s.stats.Personalizations++
 		}
 	}
@@ -404,17 +507,27 @@ func (s *Server) Personalize(classes []int) (*Personalization, bool, error) {
 	s.stats.InFlight = len(s.inflight)
 	s.mu.Unlock()
 	close(call.done)
-	if call.err == nil && !restored && s.store != nil {
-		s.scheduleSnapshot(call.p)
+	if call.err == nil {
+		if !inserted {
+			// Lost an insert race (e.g. a concurrent Restore): the cached
+			// entry wins; this copy gives its shared references back. It
+			// stays fully serveable for the joined callers holding it.
+			call.p.release()
+		}
+		s.rebalance()
+		if src == srcPruned && s.store != nil {
+			s.scheduleSnapshot(call.p)
+		}
 	}
 	return call.p, false, call.err
 }
 
-// insertLocked adds p to the cache, evicting from the LRU tail past
-// capacity, and reports whether p was actually inserted. Evicted engines
-// keep their disk snapshot, so a later request restores instead of
-// re-pruning. A key that is already cached (a Restore racing a concurrent
-// personalization) keeps the existing entry and reports false.
+// insertLocked adds p to the hot tier and reports whether p was actually
+// inserted. It never evicts — callers run rebalance (outside mu) after the
+// insert to enforce the count/byte bounds, so demotion work stays off the
+// lock. A key that is already cached (a Restore racing a concurrent
+// personalization) keeps the existing entry and reports false; the caller
+// owns the loser's cleanup.
 func (s *Server) insertLocked(key string, p *Personalization) bool {
 	if el, ok := s.entries[key]; ok {
 		s.lru.MoveToFront(el)
@@ -422,27 +535,42 @@ func (s *Server) insertLocked(key string, p *Personalization) bool {
 		return false
 	}
 	s.entries[key] = s.lru.PushFront(p)
-	for s.lru.Len() > s.opts.CacheSize {
-		el := s.lru.Back()
-		s.lru.Remove(el)
-		delete(s.entries, el.Value.(*Personalization).Key)
-		s.stats.Evictions++
-	}
+	s.hotBytes += p.size
 	s.stats.CachedEngines = s.lru.Len()
+	s.stats.HotBytes = s.hotBytes
 	return true
 }
 
-// personalize is the cache-miss path, run on a pool worker. With a
-// snapshot store it first tries to restore the class set from disk (an
-// evicted or pre-restart engine reloads instead of re-pruning; the restored
-// flag reports this); otherwise it clones the universal model, prunes it
-// for the class set, compiles the sparse engine and measures held-out
-// accuracy.
-func (s *Server) personalize(classes []int, key string) (*Personalization, bool, error) {
+// personalizeSource reports how a cache miss was resolved: a fresh pruning
+// run, a cold-tier disk restore, or a warm-tier promotion.
+type personalizeSource int
+
+const (
+	srcPruned personalizeSource = iota
+	srcCold
+	srcWarm
+)
+
+// personalize is the cache-miss path, run on a pool worker. It resolves the
+// tenant from the cheapest tier that has it: a warm delta record promotes
+// without touching disk or the pruner; a cold snapshot restores from disk;
+// only a tenant known to no tier pays for a fresh pruning run. Failures
+// cascade downward — a bad warm record or disk record must not take the
+// request down, it falls through to the next tier.
+func (s *Server) personalize(classes []int, key string) (*Personalization, personalizeSource, error) {
+	if we := s.takeWarm(key); we != nil {
+		p, err := s.promoteWarm(we)
+		if err == nil {
+			return p, srcWarm, nil
+		}
+		s.mu.Lock()
+		s.stats.PromoteErrors++
+		s.mu.Unlock()
+	}
 	if s.store != nil && s.store.has(key) {
 		p, err := s.restoreOne(key)
 		if err == nil {
-			return p, true, nil
+			return p, srcCold, nil
 		}
 		// A bad record must not take the request down: count it and fall
 		// through to a fresh pruning run (which re-snapshots over it).
@@ -457,7 +585,7 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, bool,
 	rep := pruner.NewCRISP(s.opts.Prune).Prune(clone, train)
 	eng, agreement, err := s.compileEngine(clone, key, func() data.Split { return test })
 	if err != nil {
-		return nil, false, err
+		return nil, srcPruned, err
 	}
 	if s.store != nil {
 		// Register the write-behind snapshot here, inside the job, so it
@@ -465,16 +593,8 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, bool,
 		// this via scheduleSnapshot's pendingDone.
 		s.pendingAdd(&s.pendingSnaps)
 	}
-	return &Personalization{
-		Key:       key,
-		Classes:   classes,
-		Report:    rep,
-		Accuracy:  clone.Accuracy(test.X, test.Labels),
-		Agreement: agreement,
-		engine:    eng,
-		clf:       clone,
-		bat:       s.newBatcher(eng.PredictBatch),
-	}, false, nil
+	acc := clone.Accuracy(test.X, test.Labels)
+	return s.newPersonalization(key, classes, rep, acc, agreement, eng, clone), srcPruned, nil
 }
 
 // compileEngine builds the serving engine for a personalized clone at the
@@ -486,16 +606,20 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, bool,
 // through a thunk so callers that don't already have one (the restore
 // path) only synthesize it when the precision actually needs it.
 func (s *Server) compileEngine(clone *nn.Classifier, key string, testSplit func() data.Split) (*inference.Engine, float64, error) {
-	bs, nm := s.opts.Prune.BlockSize, s.opts.Prune.NM
-	eng, err := inference.NewWithOptions(clone, bs, nm, inference.CompileOptions{Precision: s.opts.Precision})
+	eng, err := s.newEngine(clone, key)
 	if err != nil {
-		return nil, 0, fmt.Errorf("serve: compiling engine for {%s}: %w", key, err)
+		return nil, 0, err
 	}
 	if s.opts.Precision != inference.Int8 {
 		return eng, 1, nil
 	}
-	ref, err := inference.New(clone, bs, nm)
+	// The throwaway reference engine binds the shared slabs (free memory
+	// win) but never joins the registry: it is dropped right after the
+	// measurement and would otherwise leak its plan references.
+	bs, nm := s.opts.Prune.BlockSize, s.opts.Prune.NM
+	ref, err := inference.NewWithOptions(clone, bs, nm, inference.CompileOptions{Shared: s.shared})
 	if err != nil {
+		eng.Release()
 		return nil, 0, fmt.Errorf("serve: compiling reference engine for {%s}: %w", key, err)
 	}
 	test := testSplit()
@@ -674,5 +798,9 @@ func (s *Server) Stats() Stats {
 	if st.AgreementSamples > 0 {
 		st.Top1Agreement = float64(st.AgreementMatches) / float64(st.AgreementSamples)
 	}
+	if s.store != nil {
+		st.ColdRecords = s.store.count()
+	}
+	st.SharedPlans, st.SharedPlanRefs, st.SharedPlanBytes = s.registry.Stats()
 	return st
 }

@@ -75,6 +75,13 @@ func (st *snapshotStore) has(key string) bool {
 	return ok
 }
 
+// count returns the number of indexed records (the cold-tier gauge).
+func (st *snapshotStore) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.index)
+}
+
 // keys returns the indexed keys in sorted order.
 func (st *snapshotStore) keys() []string {
 	st.mu.Lock()
@@ -172,16 +179,7 @@ func (s *Server) restoreOne(key string) (*Personalization, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: restoring {%s}: %w", key, err)
 	}
-	return &Personalization{
-		Key:       key,
-		Classes:   rec.Classes,
-		Report:    rec.Report,
-		Accuracy:  rec.Accuracy,
-		Agreement: agreement,
-		engine:    eng,
-		clf:       clone,
-		bat:       s.newBatcher(eng.PredictBatch),
-	}, nil
+	return s.newPersonalization(key, rec.Classes, rec.Report, rec.Accuracy, agreement, eng, clone), nil
 }
 
 // Restore rebuilds engines from indexed snapshot records and inserts them
@@ -200,7 +198,7 @@ func (s *Server) Restore() (int, error) {
 	for _, key := range s.store.keys() {
 		s.mu.Lock()
 		_, cached := s.entries[key]
-		full := s.lru.Len() >= s.opts.CacheSize
+		full := s.hotFullLocked()
 		s.mu.Unlock()
 		if full {
 			break
@@ -221,9 +219,15 @@ func (s *Server) Restore() (int, error) {
 		if s.insertLocked(key, p) {
 			s.stats.RestoreHits++
 			restored++
+			s.mu.Unlock()
+		} else {
+			s.mu.Unlock()
+			p.release()
 		}
-		s.mu.Unlock()
 	}
+	// Engine sizes are only known after compilation, so a byte-budgeted
+	// restore can overshoot by one engine; settle the tiers before serving.
+	s.rebalance()
 	return restored, nil
 }
 

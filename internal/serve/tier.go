@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/inference"
+	"repro/internal/nn"
+	"repro/internal/pruner"
+)
+
+// The three-tier cache (Options.MemoryBudgetBytes > 0):
+//
+//	hot   — compiled engines, ready to Predict (up to HotFraction of budget)
+//	warm  — delta records over the shared universal weights (rest of budget)
+//	cold  — disk snapshots (Options.SnapshotDir), unbounded
+//
+// An engine squeezed out of the hot tier is demoted: its personalized state
+// is re-encoded as a checkpoint model delta (mask + kept-position values
+// only — a small fraction of a full copy), its compiled plans return their
+// registry references, and the delta parks in a warm LRU. A later request
+// promotes the record instead of re-pruning: apply the delta to a fresh
+// clone of the universal model and recompile against the shared slabs.
+// Because compilation and quantization only ever read the effective weights
+// W ⊙ Mask — exactly what the delta preserves — promotion is bit-identical
+// on the float path and QuantSignature-identical on int8; both are verified
+// structurally at promote time against fingerprints captured at demotion.
+// Warm records squeezed out by the byte budget drop to the cold tier
+// (demotion synchronously ensures the disk copy first, when a store is
+// configured), and cold records re-prune only if the store is absent.
+
+// estimated fixed overhead charged per resident object on top of the
+// measured buffers (struct headers, batcher, LRU bookkeeping).
+const (
+	personalizationOverheadBytes = 2048
+	warmEntryOverheadBytes       = 256
+)
+
+// warmEntry is one demoted tenant: everything needed to rebuild the hot
+// Personalization without touching disk or the pruner, plus the identity
+// fingerprints the rebuild is checked against.
+type warmEntry struct {
+	key       string
+	classes   []int
+	report    pruner.Report
+	accuracy  float64
+	agreement float64
+	// delta is the checkpoint model delta over the universal base.
+	delta []byte
+	// fp pins the float structural identity (plan fingerprints in compile
+	// order); qsig pins the int8 code identity on Int8 servers.
+	fp   uint64
+	qsig uint64
+	size int64
+}
+
+func warmEntryBytes(we *warmEntry) int64 {
+	return int64(len(we.delta)) + int64(len(we.key)) + int64(len(we.classes))*8 + warmEntryOverheadBytes
+}
+
+// newEngine compiles the serving engine for a personalized clone at the
+// server's precision, referencing the shared universal slabs and the
+// cross-tenant plan registry.
+func (s *Server) newEngine(clone *nn.Classifier, key string) (*inference.Engine, error) {
+	bs, nm := s.opts.Prune.BlockSize, s.opts.Prune.NM
+	eng, err := inference.NewWithOptions(clone, bs, nm, inference.CompileOptions{
+		Precision: s.opts.Precision, Shared: s.shared, Registry: s.registry,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: compiling engine for {%s}: %w", key, err)
+	}
+	return eng, nil
+}
+
+// newPersonalization assembles a cache entry and fixes its resident cost:
+// the engine's owned compiled state plus the model clone it serves from.
+func (s *Server) newPersonalization(key string, classes []int, rep pruner.Report, acc, agreement float64, eng *inference.Engine, clone *nn.Classifier) *Personalization {
+	p := &Personalization{
+		Key:       key,
+		Classes:   classes,
+		Report:    rep,
+		Accuracy:  acc,
+		Agreement: agreement,
+		engine:    eng,
+		clf:       clone,
+		bat:       s.newBatcher(eng.PredictBatch),
+	}
+	p.size = eng.MemoryFootprint() + inference.ModelBytes(clone) + personalizationOverheadBytes
+	return p
+}
+
+// hotFullLocked reports whether the hot tier has no room for another
+// engine — by count, or by bytes when a budget governs.
+func (s *Server) hotFullLocked() bool {
+	if s.lru.Len() >= s.opts.CacheSize {
+		return true
+	}
+	return s.budget > 0 && s.hotBytes >= s.hotBudget
+}
+
+// hotOverLocked reports whether the hot tier is over its bound and must
+// evict. The len > 1 guard keeps at least the newest engine resident even
+// when a single engine exceeds the hot budget — a budget too small for one
+// tenant degrades to a cache of one, never to livelock.
+func (s *Server) hotOverLocked() bool {
+	if s.lru.Len() > s.opts.CacheSize {
+		return true
+	}
+	return s.budget > 0 && s.hotBytes > s.hotBudget && s.lru.Len() > 1
+}
+
+// rebalance enforces the tier bounds after an insert: hot engines past the
+// count or byte bound demote (LRU order) to warm records, then warm records
+// past the remaining budget drop to cold. Demotion work (delta encoding,
+// snapshot writes) runs outside mu; only the list surgery holds it.
+func (s *Server) rebalance() {
+	for {
+		s.mu.Lock()
+		if !s.hotOverLocked() {
+			s.trimWarmLocked()
+			s.mu.Unlock()
+			return
+		}
+		el := s.lru.Back()
+		victim := el.Value.(*Personalization)
+		s.lru.Remove(el)
+		delete(s.entries, victim.Key)
+		s.hotBytes -= victim.size
+		s.stats.Evictions++
+		s.stats.CachedEngines = s.lru.Len()
+		s.stats.HotBytes = s.hotBytes
+		s.mu.Unlock()
+		s.demote(victim)
+	}
+}
+
+// trimWarmLocked drops warm-LRU tails until hot+warm fit the budget. A
+// dropped record's durable copy (written at demotion) stays on disk, so the
+// tenant falls to the cold tier, not back to the pruner.
+func (s *Server) trimWarmLocked() {
+	for s.budget > 0 && s.hotBytes+s.warmBytes > s.budget && s.warmLRU.Len() > 0 {
+		el := s.warmLRU.Back()
+		we := el.Value.(*warmEntry)
+		s.warmLRU.Remove(el)
+		delete(s.warm, we.key)
+		s.warmBytes -= we.size
+		s.stats.WarmEvictions++
+	}
+	s.stats.WarmEntries = s.warmLRU.Len()
+	s.stats.WarmBytes = s.warmBytes
+}
+
+// demote turns an evicted hot engine into a warm record (budgeted servers)
+// or simply releases it (legacy count-LRU servers). Either way the durable
+// copy is ensured first when a store is configured, so no tier transition
+// can lose the only recoverable state, and the engine's shared plan
+// references return to the registry.
+func (s *Server) demote(p *Personalization) {
+	if s.budget <= 0 {
+		p.release()
+		return
+	}
+	delta, derr := checkpoint.EncodeModelDelta(s.base, p.clf)
+	if s.store != nil && !s.store.has(p.Key) {
+		// The write-behind snapshot may not have landed yet; demotion must
+		// not strand the tenant without a durable copy. put is idempotent,
+		// so racing the scheduled write is harmless.
+		s.writeSnapshot(p)
+	}
+	if derr != nil {
+		// A clone of base cannot fail to delta-encode; fail safe to cold.
+		p.release()
+		return
+	}
+	we := &warmEntry{
+		key:       p.Key,
+		classes:   p.Classes,
+		report:    p.Report,
+		accuracy:  p.Accuracy,
+		agreement: p.Agreement,
+		delta:     delta,
+		fp:        p.engine.Fingerprint(),
+	}
+	if s.opts.Precision == inference.Int8 {
+		we.qsig = p.engine.QuantSignature()
+	}
+	we.size = warmEntryBytes(we)
+	p.release()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, hot := s.entries[we.key]; hot {
+		return // re-personalized while encoding; the hot copy wins
+	}
+	if _, ok := s.warm[we.key]; !ok {
+		s.warm[we.key] = s.warmLRU.PushFront(we)
+		s.warmBytes += we.size
+		s.stats.Demotions++
+	}
+	s.stats.WarmEntries = s.warmLRU.Len()
+	s.stats.WarmBytes = s.warmBytes
+}
+
+// takeWarm removes and returns the warm record for key, or nil. The caller
+// owns the record: a successful promote re-inserts the tenant hot, a failed
+// one falls through to the cold/prune path (and the record is gone — it was
+// not trustworthy).
+func (s *Server) takeWarm(key string) *warmEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.warm[key]
+	if !ok {
+		return nil
+	}
+	we := el.Value.(*warmEntry)
+	s.warmLRU.Remove(el)
+	delete(s.warm, key)
+	s.warmBytes -= we.size
+	s.stats.WarmHits++
+	s.stats.WarmEntries = s.warmLRU.Len()
+	s.stats.WarmBytes = s.warmBytes
+	return we
+}
+
+// promoteWarm rebuilds a hot Personalization from a warm record: apply the
+// delta to a fresh clone of the universal model, recompile against the
+// shared slabs, and verify the result is the engine that was demoted — the
+// structural fingerprint must match on every server, and on Int8 the quant
+// signature must too. The stored accuracy/agreement carry over: the rebuilt
+// engine is pinned identical, so re-measuring would be wasted work.
+func (s *Server) promoteWarm(we *warmEntry) (*Personalization, error) {
+	clone := s.build()
+	if err := checkpoint.ApplyModelDelta(we.delta, s.base, clone); err != nil {
+		return nil, fmt.Errorf("serve: promoting {%s}: %w", we.key, err)
+	}
+	eng, err := s.newEngine(clone, we.key)
+	if err != nil {
+		return nil, err
+	}
+	if fp := eng.Fingerprint(); fp != we.fp {
+		eng.Release()
+		return nil, fmt.Errorf("serve: promoting {%s}: fingerprint %016x, demoted engine had %016x", we.key, fp, we.fp)
+	}
+	if s.opts.Precision == inference.Int8 {
+		if sig := eng.QuantSignature(); sig != we.qsig {
+			eng.Release()
+			return nil, fmt.Errorf("serve: promoting {%s}: quant signature %016x, demoted engine had %016x", we.key, sig, we.qsig)
+		}
+	}
+	return s.newPersonalization(we.key, we.classes, we.report, we.accuracy, we.agreement, eng, clone), nil
+}

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/inference"
+	"repro/internal/tensor"
+)
+
+// tierX returns a deterministic predict batch for a class set.
+func tierX(s *Server, classes []int) *tensor.Tensor {
+	return s.ds.MakeSplit("tier-probe", classes, 2).X
+}
+
+// TestTierRoundTripBitIdentical drives one tenant through every tier
+// transition and asserts the promoted engine is the demoted one, bit for
+// bit: identical logits at both precisions, identical structural
+// fingerprint, identical quant signature on int8, and the stored
+// accuracy/agreement carried over.
+func TestTierRoundTripBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		prec inference.Precision
+		// budget: huge keeps the warm tier intact (hot→warm→hot); tiny
+		// trims every warm record immediately, forcing the cold tier into
+		// the chain (hot→warm→cold→hot). Cold cases need a snapshot dir.
+		budget int64
+		dir    bool
+	}{
+		{"float32/warm", inference.Float32, 1 << 40, false},
+		{"int8/warm", inference.Int8, 1 << 40, false},
+		{"float32/cold", inference.Float32, 1, true},
+		{"int8/cold", inference.Int8, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := quickOpts()
+			opts.CacheSize = 1
+			opts.Precision = tc.prec
+			opts.MemoryBudgetBytes = tc.budget
+			if tc.dir {
+				opts.SnapshotDir = t.TempDir()
+			}
+			s := newTestServer(t, opts)
+
+			a := []int{1, 3}
+			x := tierX(s, a)
+			p1, _, err := s.Personalize(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]float64(nil), p1.Engine().Logits(x).Data...)
+			fp, qsig := p1.Engine().Fingerprint(), p1.Engine().QuantSignature()
+
+			// A second tenant squeezes the first out of the one-engine hot
+			// tier; rebalance runs synchronously before Personalize returns.
+			if _, _, err := s.Personalize([]int{0, 2}); err != nil {
+				t.Fatal(err)
+			}
+			st := s.Stats()
+			if st.Evictions != 1 || st.CachedEngines != 1 {
+				t.Fatalf("eviction bookkeeping: %+v", st)
+			}
+			wantWarm := tc.budget > 1
+			if wantWarm && (st.Demotions != 1 || st.WarmEntries != 1 || st.WarmBytes <= 0) {
+				t.Fatalf("demotion bookkeeping: %+v", st)
+			}
+			if !wantWarm {
+				if st.WarmEntries != 0 {
+					t.Fatalf("tiny budget kept a warm record: %+v", st)
+				}
+				if !tc.dir {
+					t.Fatal("bad case: cold chain without a snapshot dir")
+				}
+			}
+
+			p2, cached, err := s.Personalize(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cached || p2 == p1 {
+				t.Fatal("evicted tenant cannot be a cache hit")
+			}
+			st = s.Stats()
+			if wantWarm {
+				if st.WarmHits != 1 || st.Promotions != 1 {
+					t.Fatalf("expected a warm promotion: %+v", st)
+				}
+			} else if st.RestoreHits != 1 {
+				t.Fatalf("expected a cold restore: %+v", st)
+			}
+			if st.PromoteErrors != 0 {
+				t.Fatalf("promote errors: %+v", st)
+			}
+
+			got := p2.Engine().Logits(x)
+			for i, v := range want {
+				if got.Data[i] != v {
+					t.Fatalf("logit %d changed across the tier round-trip: %v vs %v", i, got.Data[i], v)
+				}
+			}
+			if p2.Engine().Fingerprint() != fp {
+				t.Fatal("structural fingerprint changed across the round-trip")
+			}
+			if p2.Engine().QuantSignature() != qsig {
+				t.Fatal("quant signature changed across the round-trip")
+			}
+			if p2.Accuracy != p1.Accuracy || p2.Agreement != p1.Agreement {
+				t.Fatalf("stored metrics changed: %v/%v vs %v/%v", p2.Accuracy, p2.Agreement, p1.Accuracy, p1.Agreement)
+			}
+		})
+	}
+}
+
+// TestTierStorm mixes Predict traffic, demotions, promotions and cold
+// restores across more tenants than the hot tier holds — the -race guard
+// for the tier transitions (eviction releases racing in-flight predicts,
+// demote racing re-personalization).
+func TestTierStorm(t *testing.T) {
+	opts := quickOpts()
+	opts.CacheSize = 2
+	opts.MemoryBudgetBytes = 1 << 40
+	opts.SnapshotDir = t.TempDir()
+	opts.MaxBatch = 4
+	s := newTestServer(t, opts)
+
+	sets := [][]int{{0, 1}, {2, 3}, {4, 5}, {0, 5}, {1, 4}}
+	xs := make([]*tensor.Tensor, len(sets))
+	for i, set := range sets {
+		xs[i] = tierX(s, set)
+	}
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (g + i) % len(sets)
+				if _, err := s.Predict(sets[k], xs[k]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.CachedEngines > opts.CacheSize {
+		t.Fatalf("hot tier overflowed: %+v", st)
+	}
+	if st.Evictions == 0 || st.Demotions == 0 {
+		t.Fatalf("storm never exercised demotion: %+v", st)
+	}
+	if st.PromoteErrors != 0 {
+		t.Fatalf("promote errors under load: %+v", st)
+	}
+}
+
+// TestTierCycleDoesNotLeak cycles two tenants through a one-engine hot
+// tier — every round promotes one and demotes the other — and asserts
+// nothing accretes: registry entries and references stay constant, tier
+// byte gauges do not drift, no predict queue is stranded, and the heap
+// stays bounded.
+func TestTierCycleDoesNotLeak(t *testing.T) {
+	opts := quickOpts()
+	opts.CacheSize = 1
+	opts.MemoryBudgetBytes = 1 << 40
+	s := newTestServer(t, opts)
+
+	keys := [][]int{{1, 3}, {0, 2}}
+	for _, k := range keys { // initial prunes, outside the measured cycle
+		if _, _, err := s.Personalize(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := s.Stats()
+	if base.Demotions != 1 || base.WarmEntries != 1 {
+		t.Fatalf("fixture did not tier: %+v", base)
+	}
+
+	rounds := 10_000
+	if testing.Short() {
+		rounds = 300
+	}
+	var ms0 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < rounds; i++ {
+		if _, _, err := s.Personalize(keys[i%2]); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Promotions != base.Promotions+uint64(rounds) {
+		t.Fatalf("rounds fell off the warm path: %d promotions for %d rounds (%+v)", st.Promotions-base.Promotions, rounds, st)
+	}
+	if st.SharedPlans != base.SharedPlans || st.SharedPlanRefs != base.SharedPlanRefs {
+		t.Fatalf("registry drifted: %d plans/%d refs, started %d/%d",
+			st.SharedPlans, st.SharedPlanRefs, base.SharedPlans, base.SharedPlanRefs)
+	}
+	if st.HotBytes != base.HotBytes || st.WarmBytes != base.WarmBytes {
+		t.Fatalf("tier gauges drifted: hot %d→%d warm %d→%d",
+			base.HotBytes, st.HotBytes, base.WarmBytes, st.WarmBytes)
+	}
+	if st.CachedEngines != 1 || st.WarmEntries != 1 || st.QueueDepth != 0 {
+		t.Fatalf("residency drifted: %+v", st)
+	}
+	var ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms1)
+	// Soft heap bound: cycling must not accrete live memory. Allow slack
+	// for allocator noise; a real leak of 10k engine cycles would be far
+	// larger than 32 MiB.
+	if growth := int64(ms1.HeapAlloc) - int64(ms0.HeapAlloc); growth > 32<<20 {
+		t.Fatalf("heap grew %d bytes across %d tier cycles", growth, rounds)
+	}
+}
+
+// TestTieredDensityAtLeast3x is the acceptance gate in miniature: resident
+// tenants per byte under a budget must beat the full-copy cache by >= 3x,
+// with every tenant still resident (hot or warm, none dropped).
+func TestTieredDensityAtLeast3x(t *testing.T) {
+	sets := [][]int{{0, 1}, {2, 3}, {4, 5}, {0, 5}, {1, 4}, {2, 5}}
+
+	full := newTestServer(t, quickOpts()) // budget 0: every tenant hot
+	for _, set := range sets {
+		if _, _, err := full.Personalize(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fullBytes := full.Stats().HotBytes
+	if fullBytes <= 0 {
+		t.Fatalf("full-copy residency not measured: %+v", full.Stats())
+	}
+
+	opts := quickOpts()
+	opts.MemoryBudgetBytes = fullBytes / 3
+	tiered := newTestServer(t, opts)
+	for _, set := range sets {
+		if _, _, err := tiered.Personalize(set); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tiered.Stats()
+	if st.CachedEngines+st.WarmEntries != len(sets) || st.WarmEvictions != 0 {
+		t.Fatalf("tenants fell out of residency: %+v", st)
+	}
+	resident := st.HotBytes + st.WarmBytes
+	if resident <= 0 || resident > opts.MemoryBudgetBytes {
+		t.Fatalf("budget not honored: resident %d of %d", resident, opts.MemoryBudgetBytes)
+	}
+	ratio := float64(fullBytes) / float64(resident)
+	if ratio < 3 {
+		t.Fatalf("density %.2fx, want >= 3x (full %d bytes, tiered %d bytes for %d tenants)",
+			ratio, fullBytes, resident, len(sets))
+	}
+	t.Logf("density %.2fx: %d tenants in %d bytes vs %d full-copy", ratio, len(sets), resident, fullBytes)
+}
