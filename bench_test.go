@@ -1,14 +1,21 @@
 package crisp
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/accel"
+	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/data"
 	"repro/internal/energy"
 	"repro/internal/exp"
@@ -647,6 +654,107 @@ func BenchmarkServePredict_Solo(b *testing.B) {
 func BenchmarkServePredict_Int8(b *testing.B) {
 	b.ReportAllocs()
 	benchServePredict(b, 16, inference.Int8)
+}
+
+// --- Cluster-router benchmark (the proxy hot path) ---
+
+// routerBench shares one three-shard cluster — real serve.Servers behind
+// the real HTTP mux, fronted by the consistent-hash router — across
+// benchmark repeats; rebuilding three servers per repeat would dwarf the
+// path under measurement.
+type routerBench struct {
+	url    string
+	body   []byte
+	client *http.Client
+	err    error
+}
+
+var benchRouterEnv = sync.OnceValue(func() *routerBench {
+	env := benchServeEnv()
+	rb := &routerBench{}
+	rt := cluster.NewRouter(cluster.Options{ProbeInterval: time.Second})
+	for i := 1; i <= 3; i++ {
+		s, err := serve.NewServer(env.build, env.base, env.ds, serve.Options{
+			Prune: pruner.Options{
+				Target: 0.9, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+				Iterations: 1, FinetuneEpochs: 1, BatchSize: 16, LR: 0.01,
+			},
+			TrainPerClass: 8,
+			TestPerClass:  4,
+			MaxBatch:      16,
+			Linger:        time.Millisecond,
+			MaxQueue:      1024,
+		})
+		if err != nil {
+			rb.err = err
+			return rb
+		}
+		id := fmt.Sprintf("s%d", i)
+		ts := httptest.NewServer(api.NewMux(s, env.ds, api.Config{ShardID: id}))
+		rt.AddShard(id, ts.Listener.Addr().String())
+	}
+	rt.Start()
+	front := httptest.NewServer(rt.Mux())
+	rb.url = front.URL + "/predict"
+
+	classes := []int{1, 5}
+	pb, _ := json.Marshal(map[string]any{"classes": classes})
+	resp, err := http.Post(front.URL+"/personalize", "application/json", bytes.NewReader(pb))
+	if err != nil {
+		rb.err = err
+		return rb
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		rb.err = fmt.Errorf("personalize via router: status %d", resp.StatusCode)
+		return rb
+	}
+	vol := env.ds.Channels * env.ds.H * env.ds.W
+	split := env.ds.MakeSplit("bench-router", classes, 1)
+	rb.body, _ = json.Marshal(map[string]any{
+		"classes": classes, "inputs": [][]float64{split.X.Data[:vol]},
+	})
+	// 16 clients reuse connections; the default two idle conns per host
+	// would re-dial constantly and measure the TCP stack instead.
+	rb.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	return rb
+})
+
+// BenchmarkRouterPredict_3Shards measures the cluster proxy hot path: 16
+// concurrent clients issuing single-sample HTTP predicts through the
+// consistent-hash router into a three-shard tier over real TCP. One op is
+// one predict per client (mirroring ServePredict_Concurrent), so the ns/op
+// delta against that benchmark is the router + HTTP serialization tax.
+func BenchmarkRouterPredict_3Shards(b *testing.B) {
+	b.ReportAllocs()
+	rb := benchRouterEnv()
+	if rb.err != nil {
+		b.Fatal(rb.err)
+	}
+	const clients = 16
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				resp, err := rb.client.Post(rb.url, "application/json", bytes.NewReader(rb.body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("predict status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // --- Memory-density benchmark (the tiered-cache acceptance gate) ---

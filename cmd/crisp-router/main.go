@@ -1,0 +1,124 @@
+// Command crisp-router fronts a set of crisp-serve shards with a
+// consistent-hash ring: it places tenants by class-set key, proxies
+// /personalize and /predict to the owning shard, health-checks members,
+// fails predicts over when a shard dies, and orchestrates graceful drains
+// (POST /drain {"shard":"id"}) so a shard can leave without losing a
+// tenant. See internal/cluster for the design.
+//
+// Shards are named on the command line and must share one snapshot
+// directory — the store is the handoff channel:
+//
+//	crisp-router -addr :8090 \
+//	  -shards s1=127.0.0.1:8080,s2=127.0.0.1:8081,s3=127.0.0.1:8082
+//
+// Like crisp-serve, the router exits gracefully: SIGINT/SIGTERM stops the
+// listener, lets in-flight proxies finish, and shuts the prober down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard list, id=host:port each")
+	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring")
+	probeInterval := flag.Duration("probe-interval", time.Second, "health probe period")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a shard leaves the ring")
+	retries := flag.Int("predict-retries", 2, "retries for idempotent predicts after a shard failure")
+	shutdownTO := flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	members, err := parseShards(*shards)
+	if err != nil {
+		log.Fatalf("crisp-router: %v", err)
+	}
+	if len(members) == 0 {
+		log.Fatal("crisp-router: -shards is required (id=host:port,...)")
+	}
+
+	rt := cluster.NewRouter(cluster.Options{
+		VNodes:         *vnodes,
+		ProbeInterval:  *probeInterval,
+		FailThreshold:  *failThreshold,
+		PredictRetries: *retries,
+	})
+	for _, m := range members {
+		rt.AddShard(m.id, m.addr)
+		log.Printf("crisp-router: shard %s at %s", m.id, m.addr)
+	}
+	rt.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("crisp-router: listen: %v", err)
+	}
+	log.Printf("crisp-router: listening on %s with %d shards", ln.Addr(), len(members))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	if err := run(ln, rt, sigc, *shutdownTO); err != nil {
+		log.Fatalf("crisp-router: %v", err)
+	}
+}
+
+type member struct{ id, addr string }
+
+func parseShards(s string) ([]member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad shard %q, want id=host:port", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate shard id %q", id)
+		}
+		seen[id] = true
+		out = append(out, member{id: id, addr: addr})
+	}
+	return out, nil
+}
+
+// run serves until the listener fails or a signal arrives, then tears down
+// in order: stop accepting, finish in-flight proxies, stop the prober.
+func run(ln net.Listener, rt *cluster.Router, sigc <-chan os.Signal, timeout time.Duration) error {
+	srv := &http.Server{
+		Handler:           rt.Mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		rt.Close()
+		return err
+	case sig := <-sigc:
+		log.Printf("crisp-router: %v: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("crisp-router: shutdown: %v", err)
+		}
+		rt.Close()
+		return nil
+	}
+}

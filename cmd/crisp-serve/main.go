@@ -1,9 +1,10 @@
 // Command crisp-serve exposes the CRISP personalization service over HTTP:
 // one pretrained universal model, per-user pruned engines built on a
 // bounded worker pool, cached with LRU eviction and in-flight deduplication
-// (see internal/serve for the cache semantics).
+// (see internal/serve for the cache semantics, internal/api for the
+// endpoint surface).
 //
-// Endpoints:
+// Endpoints (internal/api):
 //
 //	POST /personalize {"classes":[3,17,42]}
 //	POST /predict     {"classes":[3,17,42], "samples":16}
@@ -11,10 +12,15 @@
 //	POST /snapshot    (flush every cached engine to the snapshot dir)
 //	GET  /stats
 //	GET  /metrics     (Prometheus text exposition of the /stats counters)
+//	GET  /healthz     (liveness + load; probed by crisp-router)
+//	POST /drain       (shard drain: flush + handoff manifest)
+//	POST /handoff     (adopt a tenant from the shared snapshot store)
 //
 // With -snapshot-dir the server is durable: completed personalizations are
 // snapshotted write-behind, evicted engines keep their disk copy, and a
-// restart restores every engine from disk instead of re-pruning.
+// restart restores every engine from disk instead of re-pruning. Pointing
+// several shards at one shared directory makes it the cluster's handoff
+// channel (see cmd/crisp-router).
 //
 // With -memory-budget (e.g. -memory-budget 512M) the engine cache becomes a
 // three-tier hot/warm/cold hierarchy: hot compiled engines up to
@@ -41,25 +47,36 @@
 // separate listener (off by default; bind it to localhost), so CPU and heap
 // profiles of the predict hot path can be captured in-situ.
 //
+// Shutdown is graceful: SIGINT/SIGTERM stops the listener, drains in-flight
+// handlers (bounded by -shutdown-timeout), kicks queued predict batches out
+// so no rider is stranded, flushes every pending write-behind snapshot to
+// disk, and only then exits. Killing a shard with -snapshot-dir set
+// therefore never loses a completed personalization — the invariant the
+// cluster's drain/handoff machinery is built on.
+//
 // Usage:
 //
-//	crisp-serve -addr :8080 -num-classes 20 -target 0.85 -precision int8 -snapshot-dir /var/lib/crisp -pprof-addr localhost:6060
+//	crisp-serve -addr :8080 -num-classes 20 -target 0.85 -precision int8 -snapshot-dir /var/lib/crisp -shard-id shard-0
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux (served only via -pprof-addr)
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/data"
 	"repro/internal/inference"
 	"repro/internal/models"
@@ -67,7 +84,6 @@ import (
 	"repro/internal/pruner"
 	"repro/internal/serve"
 	"repro/internal/sparsity"
-	"repro/internal/tensor"
 )
 
 func main() {
@@ -85,12 +101,14 @@ func main() {
 		cacheSize  = flag.Int("cache", 64, "maximum cached engines (LRU beyond)")
 		memBudget  = flag.String("memory-budget", "", "resident tenant-state byte budget enabling the hot/warm/cold tiered cache, e.g. 512M or 2G (empty: single-level LRU)")
 		hotFrac    = flag.Float64("hot-fraction", 0.75, "share of -memory-budget reserved for hot compiled engines; the rest holds warm delta records")
-		snapDir    = flag.String("snapshot-dir", "", "durable personalization store directory (empty: memory-only)")
+		snapDir    = flag.String("snapshot-dir", "", "durable personalization store directory (empty: memory-only); shards sharing one directory can hand tenants off through it")
 		maxBatch   = flag.Int("max-batch", 16, "coalesce concurrent predicts up to this many samples per engine call (1 disables batching)")
 		linger     = flag.Duration("linger", 2*time.Millisecond, "max time a predict waits for batch mates before flushing")
 		maxQueue   = flag.Int("max-queue", 256, "per-personalization predict queue bound in samples (full queue replies 429)")
 		precision  = flag.String("precision", "float32", "engine precision: float32 (exact) or int8 (quantized plans; ~int8 tensor-core deployment)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty: disabled)")
+		shardID    = flag.String("shard-id", "", "shard identity reported on /healthz and in drain manifests (empty: standalone)")
+		shutdownTO = flag.Duration("shutdown-timeout", 30*time.Second, "max time to wait for in-flight requests on SIGINT/SIGTERM before forcing the listener closed")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -160,8 +178,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// No Close/drain on the way out: ListenAndServe only returns on error
-	// and log.Fatal exits the process, which releases the pool with it.
 
 	if *snapDir != "" {
 		n, err := s.Restore()
@@ -172,209 +188,122 @@ func main() {
 		log.Printf("restored %d personalization(s) from %s (%d bad record(s) skipped)", n, *snapDir, st.RestoreErrors)
 	}
 
-	if *pprofAddr != "" {
-		// The profiling endpoint is opt-in and on its own listener (bind it
-		// to localhost), so hot-path profiles can be captured in-situ
-		// without exposing /debug/pprof next to the public API. The pprof
-		// import registers on DefaultServeMux; the API mux below is
-		// separate, so the main address never serves profiles.
-		go func() {
-			log.Printf("pprof on %s (go tool pprof http://%s/debug/pprof/profile)", *pprofAddr, *pprofAddr)
-			// A failed debug listener must not take live traffic down with
-			// it: log and keep serving the API.
-			log.Printf("pprof listener exited: %v", http.ListenAndServe(*pprofAddr, nil))
-		}()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	tierMode := "single-level LRU"
 	if budget > 0 {
 		tierMode = fmt.Sprintf("tiered, budget %d bytes (hot %.0f%%)", budget, *hotFrac*100)
 	}
-	log.Printf("serving on %s (%d workers, cache %d, %s, max-batch %d, linger %v, max-queue %d, precision %s)",
-		*addr, s.Stats().Workers, *cacheSize, tierMode, *maxBatch, *linger, *maxQueue, prec)
-	log.Fatal(http.ListenAndServe(*addr, newMux(s, ds)))
+	shard := "standalone"
+	if *shardID != "" {
+		shard = "shard " + *shardID
+	}
+	log.Printf("serving on %s (%s, %d workers, cache %d, %s, max-batch %d, linger %v, max-queue %d, precision %s)",
+		ln.Addr(), shard, s.Stats().Workers, *cacheSize, tierMode, *maxBatch, *linger, *maxQueue, prec)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	mux := api.NewMux(s, ds, api.Config{ShardID: *shardID})
+	if err := run(ln, mux, *pprofAddr, s, *snapDir != "", sigc, *shutdownTO); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("shutdown complete")
 }
 
-// newMux wires the HTTP API around a server. It is separated from main so
-// tests can hammer the handlers through httptest.
-func newMux(s *serve.Server, ds *data.Dataset) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /personalize", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Classes []int `json:"classes"`
+// run serves mux on ln until the listener fails or a signal arrives on
+// sigc, then shuts down losslessly, in dependency order:
+//
+//  1. http.Server.Shutdown stops accepting and drains in-flight handlers
+//     (bounded by timeout), so no request is cut off mid-response.
+//  2. Server.DrainBatches kicks any predict batch still lingering for
+//     batch mates, so queued riders are answered instead of stranded.
+//  3. Server.Flush synchronously writes every personalization the
+//     write-behind path has not landed yet — nothing durable is lost.
+//  4. Server.Close drains the worker pool and the remaining pending
+//     snapshot registrations.
+//
+// The predecessor of this path was log.Fatal(http.ListenAndServe(...)):
+// a SIGTERM killed the process between a completed personalization and its
+// write-behind snapshot, silently dropping records — the bug that made
+// shard draining impossible to build. Both listeners carry read/header/idle
+// timeouts so a slow-loris client cannot pin a connection open forever, and
+// the pprof listener is shut down through the same path instead of dying
+// with a spurious error log.
+func run(ln net.Listener, mux http.Handler, pprofAddr string, s *serve.Server, hasStore bool, sigc <-chan os.Signal, timeout time.Duration) error {
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		// The profiling endpoint is opt-in and on its own listener (bind it
+		// to localhost), so hot-path profiles can be captured in-situ
+		// without exposing /debug/pprof next to the public API. The pprof
+		// import registers on DefaultServeMux; the API mux is separate, so
+		// the main address never serves profiles.
+		pprofSrv = &http.Server{
+			Addr:              pprofAddr,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-			return
-		}
-		// Canonicalize separates caller errors (bad class set → 400) from
-		// server-side personalization failures (→ 500).
-		canon, _, err := s.Canonicalize(req.Classes)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		p, cached, err := s.Personalize(canon)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		writeJSON(w, map[string]any{
-			"key":               p.Key,
-			"classes":           p.Classes,
-			"cached":            cached,
-			"accuracy":          p.Accuracy,
-			"sparsity":          p.Report.AchievedSparsity,
-			"flops_ratio":       p.Report.FLOPsRatio,
-			"compressed_layers": p.Engine().CompressedLayers,
-			"precision":         p.Engine().Precision().String(),
-			"agreement":         p.Agreement,
-		})
-	})
-	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Classes []int       `json:"classes"`
-			Samples int         `json:"samples"`
-			Inputs  [][]float64 `json:"inputs"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-			return
-		}
-		canon, key, err := s.Canonicalize(req.Classes)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		if len(req.Inputs) > 0 {
-			x, err := inputsToBatch(req.Inputs, ds)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, err)
-				return
+		go func() {
+			log.Printf("pprof on %s (go tool pprof http://%s/debug/pprof/profile)", pprofAddr, pprofAddr)
+			// A failed debug listener must not take live traffic down with
+			// it: log and keep serving the API. ErrServerClosed is the
+			// normal shutdown path, not an error worth logging.
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof listener exited: %v", err)
 			}
-			preds, err := s.Predict(canon, x)
-			if err != nil {
-				httpError(w, predictStatus(err), err)
-				return
-			}
-			writeJSON(w, map[string]any{"key": key, "predictions": preds, "samples": len(preds)})
-			return
-		}
-		preds, labels, acc, err := s.PredictSamples(canon, req.Samples)
-		if err != nil {
-			httpError(w, predictStatus(err), err)
-			return
-		}
-		writeJSON(w, map[string]any{
-			"key": key, "predictions": preds, "labels": labels,
-			"accuracy": acc, "samples": len(preds),
-		})
-	})
-	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
-		// Explicit flush: write every cached engine that is not yet on disk.
-		// Routine persistence does not need this (completions snapshot
-		// write-behind); it is the admin hook before a planned restart.
-		written, err := s.Flush()
-		if errors.Is(err, serve.ErrNoSnapshotDir) {
-			httpError(w, http.StatusBadRequest, err)
-			return
-		}
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
-		st := s.Stats()
-		writeJSON(w, map[string]any{
-			"written":         written,
-			"snapshot_writes": st.SnapshotWrites,
-			"snapshot_errors": st.SnapshotErrors,
-		})
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Stats())
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		writeMetrics(w, s.Stats())
-	})
-	return mux
+		}()
+	}
+
+	select {
+	case err := <-errc:
+		// The listener failed outright (port taken away, fd limit): still
+		// run the lossless teardown so pending snapshots reach disk.
+		gracefulStop(nil, pprofSrv, s, hasStore, timeout)
+		return err
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down (draining requests, flushing snapshots)...", sig)
+		gracefulStop(srv, pprofSrv, s, hasStore, timeout)
+		return nil
+	}
 }
 
-// predictStatus maps a predict-path error to its HTTP status: admission
-// rejections are the caller's signal to back off (429), everything else is
-// a server-side failure.
-func predictStatus(err error) int {
-	if errors.Is(err, serve.ErrOverloaded) {
-		return http.StatusTooManyRequests
+// gracefulStop is the teardown half of run; srv may be nil when the
+// listener already died.
+func gracefulStop(srv, pprofSrv *http.Server, s *serve.Server, hasStore bool, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if srv != nil {
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: draining requests: %v", err)
+		}
 	}
-	return http.StatusInternalServerError
-}
-
-// writeMetrics renders the serve.Stats counters in the Prometheus text
-// exposition format, including the batch-size distribution as a proper
-// cumulative histogram.
-func writeMetrics(w io.Writer, st serve.Stats) {
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP crisp_serve_%s %s\n# TYPE crisp_serve_%s counter\ncrisp_serve_%s %d\n", name, help, name, name, v)
+	if pprofSrv != nil {
+		if err := pprofSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: stopping pprof listener: %v", err)
+		}
 	}
-	gauge := func(name, help string, v int) {
-		fmt.Fprintf(w, "# HELP crisp_serve_%s %s\n# TYPE crisp_serve_%s gauge\ncrisp_serve_%s %d\n", name, help, name, name, v)
+	s.DrainBatches()
+	if hasStore {
+		if n, err := s.Flush(); err != nil {
+			log.Printf("shutdown: flushing snapshots: %v", err)
+		} else if n > 0 {
+			log.Printf("shutdown: flushed %d pending snapshot(s)", n)
+		}
 	}
-	counter("requests_total", "Personalize calls, including cache hits.", st.Requests)
-	counter("cache_hits_total", "Requests served from the engine cache.", st.CacheHits)
-	counter("cache_misses_total", "Requests that started a pruning job.", st.CacheMisses)
-	counter("dedup_joins_total", "Requests that joined an in-flight identical job.", st.DedupJoins)
-	counter("evictions_total", "Engines dropped by the LRU policy.", st.Evictions)
-	counter("personalizations_total", "Completed pruning jobs.", st.Personalizations)
-	counter("predict_batches_total", "Engine invocations on the predict path.", st.PredictBatches)
-	counter("samples_predicted_total", "Samples served by those invocations.", st.SamplesPredicted)
-	counter("rejected_total", "Predicts dropped by admission control (429).", st.Rejected)
-	counter("flush_size_total", "Batches flushed by reaching max-batch.", st.FlushSize)
-	counter("flush_linger_total", "Batches flushed by the linger timer.", st.FlushLinger)
-	counter("flush_forced_total", "Partial batches forced out by a drain.", st.FlushForced)
-	counter("predict_ns_total", "Wall nanoseconds inside predict engine calls.", st.PredictNS)
-	counter("snapshot_writes_total", "Personalization records written to disk.", st.SnapshotWrites)
-	counter("snapshot_errors_total", "Failed snapshot writes.", st.SnapshotErrors)
-	counter("restore_hits_total", "Engines rebuilt from disk instead of re-pruned.", st.RestoreHits)
-	counter("restore_errors_total", "Snapshot records that failed to load.", st.RestoreErrors)
-	counter("agreement_samples_total", "Held-out samples measured for int8-vs-float top-1 agreement.", st.AgreementSamples)
-	counter("agreement_matches_total", "Measured samples whose int8 and float top-1 agreed.", st.AgreementMatches)
-	counter("warm_hits_total", "Cache misses resolved by a warm delta record.", st.WarmHits)
-	counter("promotions_total", "Warm records promoted back to hot engines.", st.Promotions)
-	counter("demotions_total", "Hot engines demoted to warm delta records.", st.Demotions)
-	counter("warm_evictions_total", "Warm records dropped to the cold tier for budget.", st.WarmEvictions)
-	counter("promote_errors_total", "Warm records that failed promote-time verification.", st.PromoteErrors)
-	gauge("cached_engines", "Engines currently in the hot tier.", st.CachedEngines)
-	gauge("in_flight", "Personalization jobs currently running.", st.InFlight)
-	gauge("queue_depth", "Samples waiting in predict queues.", st.QueueDepth)
-	gauge("workers", "Worker pool bound.", st.Workers)
-	gauge64 := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP crisp_serve_%s %s\n# TYPE crisp_serve_%s gauge\ncrisp_serve_%s %d\n", name, help, name, name, v)
-	}
-	gauge64("memory_budget_bytes", "Configured resident tenant-state budget (0: single-level LRU).", st.MemoryBudgetBytes)
-	gauge64("hot_bytes", "Resident bytes of hot compiled engines.", st.HotBytes)
-	gauge64("warm_bytes", "Resident bytes of warm delta records.", st.WarmBytes)
-	gauge("warm_entries", "Tenants currently held as warm delta records.", st.WarmEntries)
-	gauge("cold_records", "Personalization records indexed in the snapshot store.", st.ColdRecords)
-	gauge("shared_plans", "Canonical compiled plans in the cross-tenant dedup registry.", st.SharedPlans)
-	gauge("shared_plan_refs", "Engine references onto canonical shared plans.", st.SharedPlanRefs)
-	gauge64("shared_plan_bytes", "Bytes held once for all engines sharing each canonical plan.", st.SharedPlanBytes)
-
-	// Precision as an info-style gauge (the mode is a label) and the
-	// measured agreement ratio as a float gauge.
-	fmt.Fprintf(w, "# HELP crisp_serve_precision Engine precision mode (1 for the active mode).\n# TYPE crisp_serve_precision gauge\ncrisp_serve_precision{mode=%q} 1\n", st.Precision)
-	fmt.Fprintf(w, "# HELP crisp_serve_top1_agreement Measured int8-vs-float top-1 agreement ratio (1 when unmeasured).\n# TYPE crisp_serve_top1_agreement gauge\ncrisp_serve_top1_agreement %g\n", st.Top1Agreement)
-
-	// Batch sizes as a cumulative histogram; Stats buckets are per-range.
-	fmt.Fprintf(w, "# HELP crisp_serve_batch_size Samples per predict engine invocation.\n# TYPE crisp_serve_batch_size histogram\n")
-	bounds := []string{"1", "2", "4", "8", "16", "32", "64", "+Inf"}
-	cum := uint64(0)
-	for i, le := range bounds {
-		cum += st.BatchSizeHist[i]
-		fmt.Fprintf(w, "crisp_serve_batch_size_bucket{le=%q} %d\n", le, cum)
-	}
-	fmt.Fprintf(w, "crisp_serve_batch_size_sum %d\n", st.SamplesPredicted)
-	fmt.Fprintf(w, "crisp_serve_batch_size_count %d\n", st.PredictBatches)
+	s.Close()
 }
 
 // parseBytes parses a human byte size: a plain integer, or one with a K/M/G
@@ -403,32 +332,4 @@ func parseBytes(s string) (int64, error) {
 		return 0, fmt.Errorf("invalid byte size %q (want e.g. 1073741824, 512M, 2G)", s)
 	}
 	return n * mult, nil
-}
-
-// inputsToBatch validates caller-provided images against the dataset shape
-// and stacks them into one [B,C,H,W] batch.
-func inputsToBatch(inputs [][]float64, ds *data.Dataset) (*tensor.Tensor, error) {
-	c, h, w := ds.Channels, ds.H, ds.W
-	vol := c * h * w
-	xs := make([]*tensor.Tensor, len(inputs))
-	for i, in := range inputs {
-		if len(in) != vol {
-			return nil, fmt.Errorf("input %d has %d values, want C*H*W=%d", i, len(in), vol)
-		}
-		xs[i] = tensor.FromSlice(in, 1, c, h, w)
-	}
-	return tensor.Concat(xs), nil
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

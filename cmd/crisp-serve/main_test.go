@@ -2,483 +2,24 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
-	"fmt"
-	"io"
+	"log"
 	"math/rand"
+	"net"
 	"net/http"
-	"net/http/httptest"
+	"os"
 	"strings"
-	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/data"
-	"repro/internal/inference"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pruner"
 	"repro/internal/serve"
 	"repro/internal/sparsity"
 )
-
-// newTestMux builds a small service (tiny model, one pruning iteration)
-// behind the real HTTP handlers.
-func newTestMux(t *testing.T) (*http.ServeMux, *serve.Server, *data.Dataset) {
-	return newTestMuxSnapshot(t, "")
-}
-
-// newTestMuxSnapshot is newTestMux with a snapshot directory; the fixture
-// is fully seeded, so two muxes on the same directory model a restart of
-// the same deployment.
-func newTestMuxSnapshot(t *testing.T, snapshotDir string) (*http.ServeMux, *serve.Server, *data.Dataset) {
-	t.Helper()
-	return newTestMuxOpts(t, func(o *serve.Options) { o.SnapshotDir = snapshotDir })
-}
-
-// newTestMuxOpts lets a test override the serving options (batching knobs,
-// snapshot dir) before the server is built.
-func newTestMuxOpts(t *testing.T, mutate func(*serve.Options)) (*http.ServeMux, *serve.Server, *data.Dataset) {
-	t.Helper()
-	ds := data.New(data.Config{
-		Name: "serve-http-test", NumClasses: 6, Channels: 3, H: 8, W: 8,
-		Noise: 0.25, Jitter: 1, Seed: 9,
-	})
-	build := func() *nn.Classifier {
-		return models.Build(models.ResNet, rand.New(rand.NewSource(61)), ds.NumClasses, 1)
-	}
-	base := build()
-	opt := nn.NewSGD(0.05, 0.9, 4e-5)
-	pruner.Finetune(base, ds.MakeSplit("pretrain", []int{0, 1, 2, 3, 4, 5}, 8), 2, 16, opt, rand.New(rand.NewSource(62)))
-	opts := serve.Options{
-		Prune: pruner.Options{
-			Target: 0.7, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
-			Iterations: 1, FinetuneEpochs: 1, BatchSize: 8, LR: 0.01,
-		},
-		TrainPerClass: 6,
-		TestPerClass:  4,
-	}
-	if mutate != nil {
-		mutate(&opts)
-	}
-	s, err := serve.NewServer(build, base, ds, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(s.Close)
-	return newMux(s, ds), s, ds
-}
-
-func postJSON(t *testing.T, srv *httptest.Server, path string, body any, out any) int {
-	t.Helper()
-	buf, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := srv.Client().Post(srv.URL+path, "application/json", bytes.NewReader(buf))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if out != nil && resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return resp.StatusCode
-}
-
-func TestEndpoints(t *testing.T) {
-	mux, _, ds := newTestMux(t)
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
-
-	var pr struct {
-		Key              string  `json:"key"`
-		Cached           bool    `json:"cached"`
-		Sparsity         float64 `json:"sparsity"`
-		CompressedLayers int     `json:"compressed_layers"`
-	}
-	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{3, 1, 3}}, &pr); code != http.StatusOK {
-		t.Fatalf("/personalize status %d", code)
-	}
-	if pr.Key != "1,3" || pr.Cached || pr.Sparsity <= 0 || pr.CompressedLayers == 0 {
-		t.Fatalf("personalize response %+v", pr)
-	}
-	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{1, 3}}, &pr); code != http.StatusOK || !pr.Cached {
-		t.Fatalf("second personalize not served from cache (%d, %+v)", code, pr)
-	}
-
-	var pd struct {
-		Predictions []int `json:"predictions"`
-		Labels      []int `json:"labels"`
-		Samples     int   `json:"samples"`
-	}
-	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1, 3}, "samples": 8}, &pd); code != http.StatusOK {
-		t.Fatalf("/predict status %d", code)
-	}
-	if pd.Samples != 8 || len(pd.Predictions) != 8 || len(pd.Labels) != 8 {
-		t.Fatalf("predict response %+v", pd)
-	}
-
-	// Caller-provided inputs.
-	vol := ds.Channels * ds.H * ds.W
-	inputs := [][]float64{make([]float64, vol), make([]float64, vol)}
-	var pi struct {
-		Predictions []int `json:"predictions"`
-	}
-	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1, 3}, "inputs": inputs}, &pi); code != http.StatusOK {
-		t.Fatalf("/predict with inputs status %d", code)
-	}
-	if len(pi.Predictions) != 2 {
-		t.Fatalf("predictions %v", pi.Predictions)
-	}
-
-	// Malformed requests.
-	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{}}, nil); code != http.StatusBadRequest {
-		t.Fatalf("empty class set: status %d", code)
-	}
-	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{99}}, nil); code != http.StatusBadRequest {
-		t.Fatalf("out-of-range class: status %d", code)
-	}
-	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1}, "inputs": [][]float64{{1, 2}}}, nil); code != http.StatusBadRequest {
-		t.Fatalf("short input row: status %d", code)
-	}
-
-	resp, err := srv.Client().Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var st serve.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	if st.Personalizations != 1 || st.CacheHits == 0 {
-		t.Fatalf("stats %+v", st)
-	}
-}
-
-// TestErrorPaths drives every handler's failure branches through raw HTTP
-// bodies and asserts both the status code and the {"error": "..."} shape.
-func TestErrorPaths(t *testing.T) {
-	mux, _, _ := newTestMux(t)
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
-
-	cases := []struct {
-		name, path, body string
-		wantCode         int
-	}{
-		{"personalize malformed json", "/personalize", `{"classes":`, http.StatusBadRequest},
-		{"personalize empty body", "/personalize", ``, http.StatusBadRequest},
-		{"personalize empty class set", "/personalize", `{"classes":[]}`, http.StatusBadRequest},
-		{"personalize unknown class", "/personalize", `{"classes":[99]}`, http.StatusBadRequest},
-		{"personalize negative class", "/personalize", `{"classes":[-1]}`, http.StatusBadRequest},
-		{"predict malformed json", "/predict", `{"classes":[1],`, http.StatusBadRequest},
-		{"predict empty class set", "/predict", `{"classes":[],"samples":4}`, http.StatusBadRequest},
-		{"predict unknown class", "/predict", `{"classes":[42],"samples":4}`, http.StatusBadRequest},
-		{"predict short input row", "/predict", `{"classes":[1],"inputs":[[1,2,3]]}`, http.StatusBadRequest},
-		{"snapshot without store", "/snapshot", ``, http.StatusBadRequest},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			resp, err := srv.Client().Post(srv.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != tc.wantCode {
-				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantCode)
-			}
-			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
-				t.Fatalf("error content type %q", ct)
-			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
-				t.Fatalf("error body not JSON: %v", err)
-			}
-			if e.Error == "" {
-				t.Fatal("error body missing the error message")
-			}
-		})
-	}
-}
-
-// TestSnapshotEndpointAndWarmRestart covers the admin flush path over HTTP
-// and the restart story end to end: personalize, flush via POST /snapshot,
-// then a second server on the same directory restores from disk without any
-// pruning jobs.
-func TestSnapshotEndpointAndWarmRestart(t *testing.T) {
-	dir := t.TempDir()
-	mux1, s1, _ := newTestMuxSnapshot(t, dir)
-	srv1 := httptest.NewServer(mux1)
-	defer srv1.Close()
-
-	var pr struct {
-		Key string `json:"key"`
-	}
-	if code := postJSON(t, srv1, "/personalize", map[string]any{"classes": []int{1, 3}}, &pr); code != http.StatusOK {
-		t.Fatalf("/personalize status %d", code)
-	}
-	var fl struct {
-		Written        int    `json:"written"`
-		SnapshotWrites uint64 `json:"snapshot_writes"`
-		SnapshotErrors uint64 `json:"snapshot_errors"`
-	}
-	if code := postJSON(t, srv1, "/snapshot", map[string]any{}, &fl); code != http.StatusOK {
-		t.Fatalf("/snapshot status %d", code)
-	}
-	if fl.SnapshotWrites != 1 || fl.SnapshotErrors != 0 {
-		t.Fatalf("flush response %+v (stats %+v)", fl, s1.Stats())
-	}
-
-	// "Restart": a second server over the same directory.
-	mux2, s2, _ := newTestMuxSnapshot(t, dir)
-	if n, err := s2.Restore(); err != nil || n != 1 {
-		t.Fatalf("restore: n=%d err=%v", n, err)
-	}
-	srv2 := httptest.NewServer(mux2)
-	defer srv2.Close()
-
-	if code := postJSON(t, srv2, "/personalize", map[string]any{"classes": []int{3, 1}}, &pr); code != http.StatusOK {
-		t.Fatalf("post-restart /personalize status %d", code)
-	}
-	if pr.Key != "1,3" {
-		t.Fatalf("post-restart key %q", pr.Key)
-	}
-	resp, err := srv2.Client().Get(srv2.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var st serve.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	if st.RestoreHits != 1 || st.Personalizations != 0 {
-		t.Fatalf("warm restart stats %+v (want 1 restore hit, 0 pruning jobs)", st)
-	}
-	if st.CacheHits != 1 {
-		t.Fatalf("restored engine not served from cache: %+v", st)
-	}
-}
-
-// TestMetricsEndpoint: /metrics renders every counter family in the
-// Prometheus text format, with the batch-size histogram cumulative and
-// consistent with the /stats counters.
-func TestMetricsEndpoint(t *testing.T) {
-	mux, s, _ := newTestMux(t)
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
-
-	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1, 3}, "samples": 4}, nil); code != http.StatusOK {
-		t.Fatalf("/predict status %d", code)
-	}
-	resp, err := srv.Client().Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Fatalf("content type %q", ct)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	text := string(body)
-	st := s.Stats()
-	for _, want := range []string{
-		fmt.Sprintf("crisp_serve_requests_total %d\n", st.Requests),
-		fmt.Sprintf("crisp_serve_predict_batches_total %d\n", st.PredictBatches),
-		fmt.Sprintf("crisp_serve_samples_predicted_total %d\n", st.SamplesPredicted),
-		"crisp_serve_rejected_total 0\n",
-		"crisp_serve_queue_depth 0\n",
-		fmt.Sprintf("crisp_serve_batch_size_bucket{le=\"+Inf\"} %d\n", st.PredictBatches),
-		fmt.Sprintf("crisp_serve_batch_size_count %d\n", st.PredictBatches),
-		fmt.Sprintf("crisp_serve_batch_size_sum %d\n", st.SamplesPredicted),
-		"# TYPE crisp_serve_batch_size histogram\n",
-	} {
-		if !strings.Contains(text, want) {
-			t.Fatalf("metrics missing %q:\n%s", want, text)
-		}
-	}
-}
-
-// TestPredictOverload429: a full predict queue surfaces as HTTP 429 (the
-// admission-control contract), not a 500.
-func TestPredictOverload429(t *testing.T) {
-	mux, s, ds := newTestMuxOpts(t, func(o *serve.Options) {
-		o.MaxBatch = 100
-		o.Linger = 30 * time.Second // only DrainBatches flushes
-		o.MaxQueue = 1
-	})
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
-
-	// Build the engine first so the predicts below only queue.
-	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{0, 2}}, nil); code != http.StatusOK {
-		t.Fatalf("/personalize status %d", code)
-	}
-	input := make([]float64, ds.Channels*ds.H*ds.W)
-	body := map[string]any{"classes": []int{0, 2}, "inputs": [][]float64{input}}
-
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if code := postJSON(t, srv, "/predict", body, nil); code != http.StatusOK {
-			t.Errorf("queued predict status %d", code)
-		}
-	}()
-	deadline := time.Now().Add(5 * time.Second)
-	for s.Stats().QueueDepth != 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("first predict never queued")
-		}
-		time.Sleep(200 * time.Microsecond)
-	}
-
-	if code := postJSON(t, srv, "/predict", body, nil); code != http.StatusTooManyRequests {
-		t.Fatalf("overflow predict status %d, want 429", code)
-	}
-	s.DrainBatches()
-	wg.Wait()
-	if st := s.Stats(); st.Rejected != 1 {
-		t.Fatalf("Rejected %d, want 1", st.Rejected)
-	}
-}
-
-// TestConcurrentHTTPClients sustains 8 concurrent /personalize + /predict
-// clients over overlapping class sets and requires cache hits on the
-// repeats — the serving-layer acceptance scenario (run under -race).
-func TestConcurrentHTTPClients(t *testing.T) {
-	mux, s, _ := newTestMux(t)
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
-
-	sets := [][]int{{0, 1}, {1, 2}, {2, 3}, {0, 1, 2}}
-	const clients = 8
-	const rounds = 4
-	var wg sync.WaitGroup
-	wg.Add(clients)
-	for c := 0; c < clients; c++ {
-		go func(c int) {
-			defer wg.Done()
-			for r := 0; r < rounds; r++ {
-				classes := sets[(c+r)%len(sets)]
-				if r%2 == 0 {
-					var pr struct {
-						Key string `json:"key"`
-					}
-					if code := postJSON(t, srv, "/personalize", map[string]any{"classes": classes}, &pr); code != http.StatusOK {
-						t.Errorf("client %d: /personalize status %d", c, code)
-						return
-					}
-					continue
-				}
-				var pd struct {
-					Predictions []int `json:"predictions"`
-				}
-				if code := postJSON(t, srv, "/predict", map[string]any{"classes": classes, "samples": 6}, &pd); code != http.StatusOK {
-					t.Errorf("client %d: /predict status %d", c, code)
-					return
-				}
-				if len(pd.Predictions) != 6 {
-					t.Errorf("client %d: %d predictions", c, len(pd.Predictions))
-					return
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-
-	st := s.Stats()
-	if st.Requests != clients*rounds {
-		t.Fatalf("requests %d, want %d", st.Requests, clients*rounds)
-	}
-	if st.Personalizations != uint64(len(sets)) {
-		t.Fatalf("personalizations %d, want one per distinct set (%d): %+v", st.Personalizations, len(sets), st)
-	}
-	if st.CacheHits == 0 {
-		t.Fatalf("no cache hits across repeated class sets: %+v", st)
-	}
-	if fmt.Sprint(st.CacheHits+st.CacheMisses+st.DedupJoins) != fmt.Sprint(st.Requests) {
-		t.Fatalf("request accounting inconsistent: %+v", st)
-	}
-}
-
-// TestInt8ServingHTTP is the -precision int8 acceptance path over HTTP: the
-// quantized server personalizes and predicts end to end, reports the
-// precision and measured agreement per tenant on /personalize, and exposes
-// the fleet-wide agreement telemetry on /stats and /metrics.
-func TestInt8ServingHTTP(t *testing.T) {
-	mux, _, _ := newTestMuxOpts(t, func(o *serve.Options) { o.Precision = inference.Int8 })
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
-
-	var pr struct {
-		Key       string  `json:"key"`
-		Precision string  `json:"precision"`
-		Agreement float64 `json:"agreement"`
-	}
-	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{1, 3}}, &pr); code != http.StatusOK {
-		t.Fatalf("/personalize status %d", code)
-	}
-	if pr.Precision != "int8" {
-		t.Fatalf("personalize precision %q, want int8", pr.Precision)
-	}
-	if pr.Agreement <= 0 || pr.Agreement > 1 {
-		t.Fatalf("personalize agreement %v outside (0, 1]", pr.Agreement)
-	}
-
-	var pd struct {
-		Predictions []int `json:"predictions"`
-	}
-	if code := postJSON(t, srv, "/predict", map[string]any{"classes": []int{1, 3}, "samples": 8}, &pd); code != http.StatusOK {
-		t.Fatalf("/predict status %d", code)
-	}
-	if len(pd.Predictions) != 8 {
-		t.Fatalf("%d predictions, want 8", len(pd.Predictions))
-	}
-
-	resp, err := srv.Client().Get(srv.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var st serve.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
-	}
-	if st.Precision != "int8" || st.AgreementSamples == 0 {
-		t.Fatalf("int8 stats over HTTP: %+v", st)
-	}
-
-	mresp, err := srv.Client().Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer mresp.Body.Close()
-	body, err := io.ReadAll(mresp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	text := string(body)
-	for _, want := range []string{
-		"crisp_serve_precision{mode=\"int8\"} 1\n",
-		fmt.Sprintf("crisp_serve_agreement_samples_total %d\n", st.AgreementSamples),
-		fmt.Sprintf("crisp_serve_agreement_matches_total %d\n", st.AgreementMatches),
-		"crisp_serve_top1_agreement ",
-	} {
-		if !strings.Contains(text, want) {
-			t.Fatalf("metrics missing %q:\n%s", want, text)
-		}
-	}
-}
 
 func TestParseBytes(t *testing.T) {
 	cases := []struct {
@@ -512,64 +53,138 @@ func TestParseBytes(t *testing.T) {
 	}
 }
 
-func TestTieredMetricsExposed(t *testing.T) {
-	// A one-engine hot tier under a huge budget: the second personalization
-	// demotes the first to a warm record, and /metrics must show the tier
-	// families moving.
-	mux, _, _ := newTestMuxOpts(t, func(o *serve.Options) {
-		o.CacheSize = 1
-		o.MemoryBudgetBytes = 1 << 40
+// newShutdownFixture builds the smallest durable server worth shutting
+// down: one worker (so the write-behind snapshot can be pinned behind a
+// blocker job) and a snapshot directory.
+func newShutdownFixture(t *testing.T, dir string) (*serve.Server, *data.Dataset) {
+	t.Helper()
+	ds := data.New(data.Config{
+		Name: "serve-shutdown-test", NumClasses: 4, Channels: 3, H: 8, W: 8,
+		Noise: 0.25, Jitter: 1, Seed: 11,
 	})
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
+	build := func() *nn.Classifier {
+		return models.Build(models.ResNet, rand.New(rand.NewSource(71)), ds.NumClasses, 1)
+	}
+	base := build()
+	opt := nn.NewSGD(0.05, 0.9, 4e-5)
+	pruner.Finetune(base, ds.MakeSplit("pretrain", []int{0, 1, 2, 3}, 8), 2, 16, opt, rand.New(rand.NewSource(72)))
+	s, err := serve.NewServer(build, base, ds, serve.Options{
+		Workers:     1,
+		SnapshotDir: dir,
+		Prune: pruner.Options{
+			Target: 0.7, NM: sparsity.NM{N: 2, M: 4}, BlockSize: 4,
+			Iterations: 1, FinetuneEpochs: 1, BatchSize: 8, LR: 0.01,
+		},
+		TrainPerClass: 6,
+		TestPerClass:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
 
-	for _, classes := range [][]int{{1, 3}, {0, 2}, {1, 3}} {
-		if code := postJSON(t, srv, "/personalize", map[string]any{"classes": classes}, nil); code != http.StatusOK {
-			t.Fatalf("/personalize %v status %d", classes, code)
-		}
-	}
-	resp, err := srv.Client().Get(srv.URL + "/metrics")
+// TestGracefulShutdownFlushesPendingSnapshots is the shutdown e2e: a
+// SIGTERM delivered while a completed personalization's write-behind
+// snapshot is still pinned in the worker queue must not lose the record —
+// the old log.Fatal(http.ListenAndServe(...)) exit did exactly that. The
+// test personalizes over real HTTP, wedges the single pool worker so the
+// snapshot cannot land, signals the server, and asserts that after run()
+// returns a fresh server on the same directory restores the tenant from
+// disk with zero pruning jobs.
+func TestGracefulShutdownFlushesPendingSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	s, ds := newShutdownFixture(t, dir)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	sigc := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var logBuf bytes.Buffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+	go func() {
+		done <- run(ln, api.NewMux(s, ds, api.Config{ShardID: "shutdown-test"}), "127.0.0.1:0", s, true, sigc, 10*time.Second)
+	}()
+
+	url := "http://" + ln.Addr().String()
+	resp, err := http.Post(url+"/personalize", "application/json", strings.NewReader(`{"classes":[0,2]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
-	text := string(body)
-	for _, want := range []string{
-		fmt.Sprintf("crisp_serve_memory_budget_bytes %d\n", int64(1<<40)),
-		"crisp_serve_demotions_total 2\n",
-		"crisp_serve_warm_hits_total 1\n",
-		"crisp_serve_promotions_total 1\n",
-		"crisp_serve_promote_errors_total 0\n",
-		"crisp_serve_warm_entries 1\n",
-		"crisp_serve_cached_engines 1\n",
-		"crisp_serve_shared_plans ",
-		"crisp_serve_hot_bytes ",
-		"crisp_serve_warm_bytes ",
-	} {
-		if !strings.Contains(text, want) {
-			t.Fatalf("metrics missing %q:\n%s", want, text)
-		}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/personalize status %d", resp.StatusCode)
 	}
-	// The gauges must be live values, not zero placeholders.
-	var st serve.Stats
-	if code := func() int {
-		r, err := srv.Client().Get(srv.URL + "/stats")
+
+	// Wedge the lone pool worker so a not-yet-landed write-behind snapshot
+	// stays pending across the signal: the shutdown path (Flush before
+	// exit) must wait it out rather than abandon it.
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	go s.Pool().Do(func() { close(blocked); <-release })
+	<-blocked
+
+	sigc <- syscall.SIGTERM
+	close(release)
+
+	select {
+	case err := <-done:
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("run returned %v", err)
 		}
-		defer r.Body.Close()
-		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
-			t.Fatal(err)
-		}
-		return r.StatusCode
-	}(); code != http.StatusOK {
-		t.Fatalf("/stats status %d", code)
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
 	}
-	if st.HotBytes <= 0 || st.WarmBytes <= 0 || st.SharedPlanRefs <= 0 {
-		t.Fatalf("tier gauges not live: %+v", st)
+
+	// New connections must be refused after shutdown.
+	if _, err := http.Get(url + "/stats"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+
+	// Every completed personalization is on disk: a fresh server restores
+	// it without a single pruning job.
+	s2, _ := newShutdownFixture(t, dir)
+	defer s2.Close()
+	n, err := s2.Restore()
+	if err != nil || n != 1 {
+		t.Fatalf("post-shutdown restore: n=%d err=%v (stats %+v)", n, err, s2.Stats())
+	}
+	if st := s2.Stats(); st.Personalizations != 0 || st.RestoreHits != 1 {
+		t.Fatalf("post-shutdown stats %+v (want pure restore)", st)
+	}
+
+	// The pprof listener must exit through Shutdown, not by erroring out.
+	if text := logBuf.String(); strings.Contains(text, "pprof listener exited") {
+		t.Fatalf("spurious pprof exit log:\n%s", text)
+	}
+}
+
+// TestShutdownOnListenerError: when the listener dies on its own the
+// teardown still flushes and run returns the cause.
+func TestShutdownOnListenerError(t *testing.T) {
+	dir := t.TempDir()
+	s, ds := newShutdownFixture(t, dir)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigc := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ln, api.NewMux(s, ds, api.Config{}), "", s, true, sigc, 5*time.Second)
+	}()
+	// Give Serve a moment to pick the listener up, then yank it away.
+	time.Sleep(50 * time.Millisecond)
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("run returned nil after the listener died")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after the listener died")
 	}
 }

@@ -1,0 +1,264 @@
+// Package api is the HTTP surface of one CRISP serving process (a
+// standalone server or a cluster shard). It is split out of cmd/crisp-serve
+// so the same handlers serve three callers: the binary, its httptest-based
+// tests, and internal/cluster's in-process e2e shards.
+//
+// Endpoints:
+//
+//	POST /personalize {"classes":[3,17,42]}
+//	POST /predict     {"classes":[3,17,42], "samples":16}
+//	POST /predict     {"classes":[3,17,42], "inputs":[[...C*H*W floats...], ...]}
+//	POST /snapshot    (flush every cached engine to the snapshot dir)
+//	GET  /stats
+//	GET  /metrics     (Prometheus text exposition of the /stats counters)
+//	GET  /healthz     (shard liveness + load for the cluster router's prober)
+//	POST /drain       (stop accepting new tenants, flush, return the handoff manifest)
+//	POST /handoff     {"key":"1,3","fingerprint":...} (adopt a tenant from the shared store)
+//
+// The shard endpoints are always mounted — a standalone server is just a
+// cluster of one — and /drain and /handoff require a snapshot store, since
+// that store is the handoff channel between shards.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/data"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+// Config carries the process identity into the HTTP surface.
+type Config struct {
+	// ShardID names this process in /healthz and drain manifests; empty
+	// means a standalone (unsharded) server.
+	ShardID string
+}
+
+// Health is the /healthz body: liveness plus the load signals the cluster
+// router folds into its per-shard metrics. Stats is the full counter
+// snapshot — the router reads CachedEngines and QueueDepth from it, so the
+// shard's existing telemetry feeds the ring without a second endpoint.
+type Health struct {
+	Status   string      `json:"status"` // "ok" or "draining"
+	Shard    string      `json:"shard,omitempty"`
+	Draining bool        `json:"draining"`
+	Stats    serve.Stats `json:"stats"`
+}
+
+// DrainResponse is the /drain body: the manifest of tenants the drained
+// shard flushed to the shared snapshot store, ready to be adopted.
+type DrainResponse struct {
+	Shard   string                `json:"shard,omitempty"`
+	Tenants []serve.HandoffTenant `json:"tenants"`
+}
+
+// HandoffRequest is the /handoff body: adopt one tenant from the shared
+// snapshot store, verifying it against the sending shard's fingerprints
+// (zero values skip verification — an unverified adopt after a crash).
+type HandoffRequest struct {
+	Key            string `json:"key"`
+	Fingerprint    uint64 `json:"fingerprint"`
+	QuantSignature uint64 `json:"quant_signature"`
+}
+
+// NewMux wires the HTTP API around a server.
+func NewMux(s *serve.Server, ds *data.Dataset, cfg Config) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /personalize", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Classes []int `json:"classes"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		// Canonicalize separates caller errors (bad class set → 400) from
+		// server-side personalization failures (→ 500).
+		canon, _, err := s.Canonicalize(req.Classes)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		p, cached, err := s.Personalize(canon)
+		if err != nil {
+			httpError(w, personalizeStatus(w, err), err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"key":               p.Key,
+			"classes":           p.Classes,
+			"cached":            cached,
+			"accuracy":          p.Accuracy,
+			"sparsity":          p.Report.AchievedSparsity,
+			"flops_ratio":       p.Report.FLOPsRatio,
+			"compressed_layers": p.Engine().CompressedLayers,
+			"precision":         p.Engine().Precision().String(),
+			"agreement":         p.Agreement,
+			"fingerprint":       p.Engine().Fingerprint(),
+		})
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Classes []int       `json:"classes"`
+			Samples int         `json:"samples"`
+			Inputs  [][]float64 `json:"inputs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		canon, key, err := s.Canonicalize(req.Classes)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Inputs) > 0 {
+			x, err := inputsToBatch(req.Inputs, ds)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			preds, err := s.Predict(canon, x)
+			if err != nil {
+				httpError(w, predictStatus(w, err), err)
+				return
+			}
+			writeJSON(w, map[string]any{"key": key, "predictions": preds, "samples": len(preds)})
+			return
+		}
+		preds, labels, acc, err := s.PredictSamples(canon, req.Samples)
+		if err != nil {
+			httpError(w, predictStatus(w, err), err)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"key": key, "predictions": preds, "labels": labels,
+			"accuracy": acc, "samples": len(preds),
+		})
+	})
+	mux.HandleFunc("POST /snapshot", func(w http.ResponseWriter, r *http.Request) {
+		// Explicit flush: write every cached engine that is not yet on disk.
+		// Routine persistence does not need this (completions snapshot
+		// write-behind); it is the admin hook before a planned restart.
+		written, err := s.Flush()
+		if errors.Is(err, serve.ErrNoSnapshotDir) {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		st := s.Stats()
+		writeJSON(w, map[string]any{
+			"written":         written,
+			"snapshot_writes": st.SnapshotWrites,
+			"snapshot_errors": st.SnapshotErrors,
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{Status: "ok", Shard: cfg.ShardID, Draining: s.Draining(), Stats: s.Stats()}
+		if h.Draining {
+			h.Status = "draining"
+		}
+		writeJSON(w, h)
+	})
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		tenants, err := s.Drain()
+		if errors.Is(err, serve.ErrNoSnapshotDir) {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, DrainResponse{Shard: cfg.ShardID, Tenants: tenants})
+	})
+	mux.HandleFunc("POST /handoff", func(w http.ResponseWriter, r *http.Request) {
+		var req HandoffRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		if req.Key == "" {
+			httpError(w, http.StatusBadRequest, errors.New("handoff request missing key"))
+			return
+		}
+		if err := s.RestoreTenant(req.Key, req.Fingerprint, req.QuantSignature); err != nil {
+			code := http.StatusInternalServerError
+			if errors.Is(err, serve.ErrNoSnapshotDir) {
+				code = http.StatusBadRequest
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, map[string]any{"key": req.Key, "restored": true})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WriteMetrics(w, s.Stats())
+	})
+	return mux
+}
+
+// predictStatus maps a predict-path error to its HTTP status: admission
+// rejections are the caller's signal to back off (429), a draining shard
+// tells the caller to retry once the router has re-placed the tenant (503
+// + Retry-After), everything else is a server-side failure.
+func predictStatus(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// personalizeStatus is predictStatus for the personalize path (no
+// admission control there, but draining rejects the same way).
+func personalizeStatus(w http.ResponseWriter, err error) int {
+	if errors.Is(err, serve.ErrDraining) {
+		w.Header().Set("Retry-After", "1")
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// inputsToBatch validates caller-provided images against the dataset shape
+// and stacks them into one [B,C,H,W] batch.
+func inputsToBatch(inputs [][]float64, ds *data.Dataset) (*tensor.Tensor, error) {
+	c, h, w := ds.Channels, ds.H, ds.W
+	vol := c * h * w
+	xs := make([]*tensor.Tensor, len(inputs))
+	for i, in := range inputs {
+		if len(in) != vol {
+			return nil, fmt.Errorf("input %d has %d values, want C*H*W=%d", i, len(in), vol)
+		}
+		xs[i] = tensor.FromSlice(in, 1, c, h, w)
+	}
+	return tensor.Concat(xs), nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("api: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,53 @@
+// Package cluster scales CRISP serving horizontally: a consistent-hash
+// router in front of N shard processes, each an ordinary crisp-serve
+// sharing one snapshot store.
+//
+// # Why sharding is cheap here
+//
+// CRISP's property — every tenant is a pruned-down view of the same
+// universal model — makes tenant state small and portable: a tenant is
+// fully described by its snapshot record (class set + model delta), and
+// restoring that record on any shard reproduces the engine bit for bit
+// (identical structural fingerprint, identical logits; on int8 servers the
+// quant signature pins the codes too). So the cluster never copies live
+// state between shards. Placement is just a hash ring, and every transfer
+// is "write the record to the shared store, restore it over there" — the
+// same code path a single server uses across restarts.
+//
+// # Pieces
+//
+//   - Ring: consistent hash (FNV-64a, virtual nodes) from canonical tenant
+//     key ("1,3,17") to shard id. Membership changes move only the lost
+//     shard's arcs.
+//   - Membership: each shard is Up, Draining, Down, or Drained. A prober
+//     polls every shard's /healthz; FailThreshold consecutive failures
+//     take it off the ring, a later success puts it back (unless it
+//     reports draining — a drained husk must not rejoin). The proxy path
+//     short-circuits the threshold on connection errors.
+//   - Router: proxies /personalize and /predict to the owner. Predicts are
+//     idempotent and retry with exponential backoff after re-looking up the
+//     owner; personalizations get one attempt and the client owns the
+//     retry. While a tenant is mid-handoff the router answers 503 with
+//     Retry-After.
+//
+// # Failure and exit paths
+//
+// Crash (kill -9, machine loss): the proxy's next connection error — or
+// the prober's threshold — removes the shard; the ring re-places its
+// tenants onto survivors, and each survivor restores a tenant from the
+// shared snapshot store on first touch (serve's miss path refreshes the
+// store index before ever considering a re-prune). Nothing is lost as long
+// as the snapshots were flushed; the write-behind keeps that window to the
+// last completed personalization.
+//
+// Graceful exit (POST /drain to the router): the shard is taken off the
+// ring, drains its batches, flushes every resident tenant, and returns a
+// manifest; the router hands each tenant to its new owner via POST
+// /handoff, which restores from the shared store and verifies the
+// fingerprint the old owner reported. Tenants are briefly "moving" (503 +
+// Retry-After) but never lost and never re-pruned.
+//
+// cmd/crisp-router is the binary; internal/cluster/e2e_test.go drives a
+// router plus three real in-process shards through kill, lazy failover,
+// rejoin, and drain under concurrent load.
+package cluster

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/api"
+)
+
+// DrainShard orchestrates one shard's graceful exit:
+//
+//  1. Take the shard off the ring and mark it Draining, so no new tenant
+//     is placed on it while it empties.
+//  2. POST its /drain: the shard stops accepting unknown tenants, flushes
+//     every resident to the shared snapshot store, and returns the handoff
+//     manifest (key + fingerprint per tenant).
+//  3. For each manifest tenant: mark the key moving (predicts see 503 +
+//     Retry-After for the instant the tenant has no committed owner), ask
+//     the ring for the new owner, POST its /handoff so it restores the
+//     tenant from the shared store and verifies the fingerprint, then
+//     unmark.
+//  4. Mark the shard Drained. Its process keeps serving residents until
+//     shut down, and its /healthz keeps reporting draining=true so the
+//     prober never re-adds it.
+//
+// A failed handoff is not a lost tenant: the drain already made the record
+// durable, so the new owner restores it lazily on first touch. The failure
+// is still reported (and counted) — the router must know verification was
+// skipped.
+func (rt *Router) DrainShard(id string) (moved int, errs []string, err error) {
+	rt.mu.RLock()
+	sh, ok := rt.shards[id]
+	rt.mu.RUnlock()
+	if !ok {
+		return 0, nil, fmt.Errorf("cluster: unknown shard %q", id)
+	}
+
+	sh.mu.Lock()
+	sh.state = ShardDraining
+	sh.mu.Unlock()
+	rt.ring.Remove(id)
+
+	dr, err := rt.requestDrain(sh)
+	if err != nil {
+		// The shard is unreachable or refused; it stays off the ring and
+		// lazy failover covers its tenants. Surface the failure.
+		return 0, nil, fmt.Errorf("cluster: draining shard %s: %w", id, err)
+	}
+
+	for _, tn := range dr.Tenants {
+		rt.setMoving(tn.Key, true)
+		target, ok := rt.shardFor(tn.Key)
+		if !ok || target.ID == id {
+			rt.setMoving(tn.Key, false)
+			rt.handoffErrors.Add(1)
+			errs = append(errs, fmt.Sprintf("%s: no surviving owner", tn.Key))
+			continue
+		}
+		if err := rt.requestHandoff(target, tn.Key, tn.Fingerprint, tn.QuantSignature); err != nil {
+			rt.setMoving(tn.Key, false)
+			rt.handoffErrors.Add(1)
+			errs = append(errs, fmt.Sprintf("%s -> %s: %v", tn.Key, target.ID, err))
+			continue
+		}
+		rt.setMoving(tn.Key, false)
+		rt.handoffsMoved.Add(1)
+		moved++
+	}
+
+	sh.mu.Lock()
+	sh.state = ShardDrained
+	sh.mu.Unlock()
+	return moved, errs, nil
+}
+
+func (rt *Router) requestDrain(sh *Shard) (api.DrainResponse, error) {
+	var dr api.DrainResponse
+	resp, err := rt.client.Post("http://"+sh.Addr+"/drain", "application/json", nil)
+	if err != nil {
+		return dr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dr, fmt.Errorf("drain status %d: %s", resp.StatusCode, readError(resp.Body))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return dr, fmt.Errorf("decoding drain manifest: %w", err)
+	}
+	return dr, nil
+}
+
+func (rt *Router) requestHandoff(target *Shard, key string, fp, qsig uint64) error {
+	body, err := json.Marshal(api.HandoffRequest{Key: key, Fingerprint: fp, QuantSignature: qsig})
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Post("http://"+target.Addr+"/handoff", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("handoff status %d: %s", resp.StatusCode, readError(resp.Body))
+	}
+	return nil
+}
+
+// readError pulls the {"error": ...} body a shard attaches to failures,
+// for diagnostics; body read errors just truncate the message.
+func readError(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(b))
+}

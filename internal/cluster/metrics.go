@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+)
+
+// writeMetrics renders the router's counters plus a per-shard view of the
+// membership table in the Prometheus text exposition format. The per-shard
+// load gauges come from the latest successful /healthz probe, so one
+// scrape of the router shows ring placement and shard load together.
+func (rt *Router) writeMetrics(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP crisp_router_%s %s\n# TYPE crisp_router_%s counter\ncrisp_router_%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP crisp_router_proxied_total Requests proxied to shards.\n# TYPE crisp_router_proxied_total counter\n")
+	fmt.Fprintf(w, "crisp_router_proxied_total{path=\"personalize\"} %d\n", rt.proxiedPersonalize.Load())
+	fmt.Fprintf(w, "crisp_router_proxied_total{path=\"predict\"} %d\n", rt.proxiedPredict.Load())
+	counter("retries_total", "Predict attempts repeated after a shard failure.", rt.retries.Load())
+	counter("unavailable_total", "Requests answered 503 (mid-handoff tenant, empty ring, draining owner).", rt.unavailable.Load())
+	counter("proxy_errors_total", "Requests answered 502 after exhausting owners.", rt.proxyErrors.Load())
+	counter("handoffs_total", "Tenants moved by verified drain handoffs.", rt.handoffsMoved.Load())
+	counter("handoff_errors_total", "Drain handoffs that fell back to lazy restore.", rt.handoffErrors.Load())
+	counter("shard_drops_total", "Times a shard was taken off the ring (probes or connection errors).", rt.probeDrops.Load())
+	counter("shard_revives_total", "Times a recovered shard was re-added to the ring.", rt.probeRevives.Load())
+
+	members := rt.members()
+	onRing := rt.ring.Nodes()
+	fmt.Fprintf(w, "# HELP crisp_router_shards Registered shards.\n# TYPE crisp_router_shards gauge\ncrisp_router_shards %d\n", len(members))
+	fmt.Fprintf(w, "# HELP crisp_router_ring_shards Shards currently on the hash ring.\n# TYPE crisp_router_ring_shards gauge\ncrisp_router_ring_shards %d\n", len(onRing))
+	rt.movingMu.Lock()
+	movingN := len(rt.moving)
+	rt.movingMu.Unlock()
+	fmt.Fprintf(w, "# HELP crisp_router_moving_tenants Tenants currently mid-handoff.\n# TYPE crisp_router_moving_tenants gauge\ncrisp_router_moving_tenants %d\n", movingN)
+
+	fmt.Fprintf(w, "# HELP crisp_router_shard_up 1 while the shard is Up and on the ring.\n# TYPE crisp_router_shard_up gauge\n")
+	for _, sh := range members {
+		up := 0
+		if sh.State() == ShardUp {
+			up = 1
+		}
+		fmt.Fprintf(w, "crisp_router_shard_up{shard=%q} %d\n", sh.ID, up)
+	}
+	fmt.Fprintf(w, "# HELP crisp_router_shard_state Shard lifecycle state (0 up, 1 draining, 2 down, 3 drained).\n# TYPE crisp_router_shard_state gauge\n")
+	for _, sh := range members {
+		fmt.Fprintf(w, "crisp_router_shard_state{shard=%q} %d\n", sh.ID, int32(sh.State()))
+	}
+	fmt.Fprintf(w, "# HELP crisp_router_shard_cached_engines Hot engines on the shard at last probe.\n# TYPE crisp_router_shard_cached_engines gauge\n")
+	for _, sh := range members {
+		h := sh.health(false)
+		fmt.Fprintf(w, "crisp_router_shard_cached_engines{shard=%q} %d\n", sh.ID, h.CachedEngines)
+	}
+	fmt.Fprintf(w, "# HELP crisp_router_shard_queue_depth Predict queue depth on the shard at last probe.\n# TYPE crisp_router_shard_queue_depth gauge\n")
+	for _, sh := range members {
+		h := sh.health(false)
+		fmt.Fprintf(w, "crisp_router_shard_queue_depth{shard=%q} %d\n", sh.ID, h.QueueDepth)
+	}
+}

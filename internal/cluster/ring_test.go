@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Lookup("1,3"); ok {
+		t.Fatal("empty ring must report no owner")
+	}
+	r.Add("s1")
+	r.Add("s1") // idempotent
+	if n := r.Nodes(); len(n) != 1 || n[0] != "s1" {
+		t.Fatalf("nodes %v", n)
+	}
+	if owner, ok := r.Lookup("1,3"); !ok || owner != "s1" {
+		t.Fatalf("single-shard ring must own everything, got %q ok=%v", owner, ok)
+	}
+	if !r.Has("s1") || r.Has("s2") {
+		t.Fatal("Has out of sync with membership")
+	}
+	r.Remove("s1")
+	r.Remove("s1") // idempotent
+	if _, ok := r.Lookup("1,3"); ok {
+		t.Fatal("ring must be empty after removing its only shard")
+	}
+}
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%d,%d,%d", i%7, 7+i%11, 20+i)
+	}
+	return keys
+}
+
+func TestRingLookupDeterministic(t *testing.T) {
+	a, b := NewRing(64), NewRing(64)
+	// Insertion order must not matter.
+	for _, n := range []string{"s1", "s2", "s3"} {
+		a.Add(n)
+	}
+	for _, n := range []string{"s3", "s1", "s2"} {
+		b.Add(n)
+	}
+	for _, k := range ringKeys(500) {
+		oa, _ := a.Lookup(k)
+		ob, _ := b.Lookup(k)
+		if oa != ob {
+			t.Fatalf("placement of %q depends on insertion order: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	shards := []string{"s1", "s2", "s3", "s4"}
+	for _, s := range shards {
+		r.Add(s)
+	}
+	counts := make(map[string]int)
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		owner, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed on populated ring")
+		}
+		counts[owner]++
+	}
+	want := len(keys) / len(shards)
+	for _, s := range shards {
+		if counts[s] < want/3 || counts[s] > want*3 {
+			t.Fatalf("shard %s owns %d of %d keys (expected near %d): %v", s, counts[s], len(keys), want, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is the property the cluster leans on: removing
+// one shard moves only that shard's keys, and re-adding it restores the
+// original placement exactly.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(64)
+	for _, s := range []string{"s1", "s2", "s3"} {
+		r.Add(s)
+	}
+	keys := ringKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+	r.Remove("s2")
+	moved := 0
+	for _, k := range keys {
+		after, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("lookup failed after removal")
+		}
+		if after == "s2" {
+			t.Fatal("removed shard still owns keys")
+		}
+		if before[k] != "s2" && after != before[k] {
+			t.Fatalf("key %q moved from surviving shard %q to %q", k, before[k], after)
+		}
+		if before[k] == "s2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: s2 owned nothing")
+	}
+	r.Add("s2")
+	for _, k := range keys {
+		if after, _ := r.Lookup(k); after != before[k] {
+			t.Fatalf("re-adding s2 did not restore placement of %q (%q vs %q)", k, after, before[k])
+		}
+	}
+}

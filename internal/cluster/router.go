@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes the router. Zero values get sane defaults (see NewRouter).
+type Options struct {
+	// VNodes is the virtual-node count per shard on the hash ring.
+	VNodes int
+	// ProbeInterval is the health-check period (default 1s).
+	ProbeInterval time.Duration
+	// FailThreshold is how many consecutive probe failures take a shard
+	// off the ring (default 3). The proxy path short-circuits this on
+	// connection errors — a refused connection is conclusive.
+	FailThreshold int
+	// PredictRetries is how many times a failed predict is retried against
+	// the (re-looked-up) owner before giving up (default 2). Predicts are
+	// idempotent so retrying is safe; personalizations are not retried —
+	// the client sees 502 and owns the retry.
+	PredictRetries int
+	// RetryBackoff is the initial backoff between predict retries,
+	// doubling per attempt and capped at 1s (default 50ms).
+	RetryBackoff time.Duration
+	// Client serves proxied requests. The default allows 5 minutes — a
+	// personalize proxied to a shard is a full pruning run.
+	Client *http.Client
+	// ProbeClient serves /healthz probes. The default times out in 3s so a
+	// wedged shard cannot stall the probe loop.
+	ProbeClient *http.Client
+}
+
+// Router fronts a set of CRISP shards: it places tenants with a consistent
+// hash ring, proxies /personalize and /predict to the owner, health-checks
+// members, fails predicts over when a shard dies, and orchestrates drains
+// so a shard leaves without losing a tenant.
+type Router struct {
+	opts        Options
+	ring        *Ring
+	client      *http.Client
+	probeClient *http.Client
+
+	mu     sync.RWMutex
+	shards map[string]*Shard
+
+	movingMu sync.Mutex
+	moving   map[string]struct{} // tenant keys mid-handoff → 503 Retry-After
+
+	stopc   chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	proxiedPersonalize atomic.Uint64
+	proxiedPredict     atomic.Uint64
+	retries            atomic.Uint64
+	unavailable        atomic.Uint64 // 503s issued (moving tenants, empty ring)
+	proxyErrors        atomic.Uint64 // 502s after exhausting owners
+	handoffsMoved      atomic.Uint64
+	handoffErrors      atomic.Uint64
+	probeDrops         atomic.Uint64 // shards taken off the ring
+	probeRevives       atomic.Uint64 // shards re-added after recovery
+}
+
+// NewRouter builds a router with no members; call AddShard then Start.
+func NewRouter(opts Options) *Router {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = time.Second
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 3
+	}
+	if opts.PredictRetries < 0 {
+		opts.PredictRetries = 0
+	} else if opts.PredictRetries == 0 {
+		opts.PredictRetries = 2
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 50 * time.Millisecond
+	}
+	rt := &Router{
+		opts:        opts,
+		ring:        NewRing(opts.VNodes),
+		client:      opts.Client,
+		probeClient: opts.ProbeClient,
+		shards:      make(map[string]*Shard),
+		moving:      make(map[string]struct{}),
+		stopc:       make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	if rt.probeClient == nil {
+		rt.probeClient = &http.Client{Timeout: 3 * time.Second}
+	}
+	return rt
+}
+
+// AddShard registers a member and puts it on the ring optimistically; the
+// first probe (or first failed proxy) corrects a dead one. Re-adding an
+// existing id updates its address and revives it.
+func (rt *Router) AddShard(id, addr string) {
+	rt.mu.Lock()
+	sh, ok := rt.shards[id]
+	if !ok {
+		sh = &Shard{ID: id, Addr: addr}
+		rt.shards[id] = sh
+	}
+	rt.mu.Unlock()
+	sh.mu.Lock()
+	sh.Addr = addr
+	sh.state = ShardUp
+	sh.fails = 0
+	sh.mu.Unlock()
+	rt.ring.Add(id)
+}
+
+// Start launches the health prober. Close stops it.
+func (rt *Router) Start() {
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		t := time.NewTicker(rt.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stopc:
+				return
+			case <-t.C:
+				for _, sh := range rt.members() {
+					rt.probeOnce(sh)
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the prober; in-flight proxied requests finish on their own.
+func (rt *Router) Close() {
+	rt.stopped.Do(func() { close(rt.stopc) })
+	rt.wg.Wait()
+}
+
+func (rt *Router) members() []*Shard {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]*Shard, 0, len(rt.shards))
+	for _, sh := range rt.shards {
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// shardFor resolves a tenant key to its current owner.
+func (rt *Router) shardFor(key string) (*Shard, bool) {
+	id, ok := rt.ring.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	rt.mu.RLock()
+	sh, ok := rt.shards[id]
+	rt.mu.RUnlock()
+	return sh, ok
+}
+
+// LookupShard exposes placement (tests, ops tooling): the owning shard id
+// for a canonical tenant key.
+func (rt *Router) LookupShard(key string) (string, bool) {
+	return rt.ring.Lookup(key)
+}
+
+func (rt *Router) isMoving(key string) bool {
+	rt.movingMu.Lock()
+	defer rt.movingMu.Unlock()
+	_, ok := rt.moving[key]
+	return ok
+}
+
+func (rt *Router) setMoving(key string, moving bool) {
+	rt.movingMu.Lock()
+	if moving {
+		rt.moving[key] = struct{}{}
+	} else {
+		delete(rt.moving, key)
+	}
+	rt.movingMu.Unlock()
+}
+
+// canonKey mirrors serve.Canonicalize's key construction (sorted, deduped,
+// comma-joined) without validating class ids against a dataset — range
+// errors are the owning shard's 400 to give.
+func canonKey(classes []int) string {
+	if len(classes) == 0 {
+		return ""
+	}
+	sorted := append([]int(nil), classes...)
+	sort.Ints(sorted)
+	var b bytes.Buffer
+	prev := 0
+	for i, c := range sorted {
+		if i > 0 {
+			if c == prev {
+				continue
+			}
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+		prev = c
+	}
+	return b.String()
+}
+
+// Mux wires the router's HTTP surface:
+//
+//	POST /personalize, POST /predict — proxied to the owning shard
+//	POST /drain {"shard":"id"}       — orchestrate that shard's exit
+//	GET  /ring                       — membership, states, placements
+//	GET  /metrics                    — router + per-shard Prometheus text
+//	GET  /healthz                    — router liveness
+func (rt *Router) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /personalize", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxiedPersonalize.Add(1)
+		rt.proxy(w, r, "/personalize", false)
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		rt.proxiedPredict.Add(1)
+		rt.proxy(w, r, "/predict", true)
+	})
+	mux.HandleFunc("POST /drain", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Shard string `json:"shard"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Shard == "" {
+			httpError(w, http.StatusBadRequest, errors.New("drain request needs {\"shard\":\"id\"}"))
+			return
+		}
+		moved, errs, err := rt.DrainShard(req.Shard)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]any{"shard": req.Shard, "moved": moved, "errors": errs})
+	})
+	mux.HandleFunc("GET /ring", func(w http.ResponseWriter, r *http.Request) {
+		members := rt.members()
+		hs := make([]ShardHealth, 0, len(members))
+		for _, sh := range members {
+			hs = append(hs, sh.health(rt.ring.Has(sh.ID)))
+		}
+		writeJSON(w, map[string]any{"shards": hs, "ring": rt.ring.Nodes()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rt.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status": "ok", "shards": len(rt.members()), "on_ring": len(rt.ring.Nodes()),
+		})
+	})
+	return mux
+}
+
+const maxProxyBody = 32 << 20
+
+// proxy forwards one request to the tenant's owner. Idempotent requests
+// (predicts) retry with exponential backoff after a failure: a connection
+// error marks the owner down, so the re-lookup lands on a survivor, which
+// restores the tenant from the shared snapshot store instead of re-pruning.
+// A shard-side 503 (draining) triggers an immediate re-probe so the ring
+// sheds the drainer before the retry. Non-idempotent personalizations get
+// one attempt; the client owns that retry.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string, idempotent bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	var req struct {
+		Classes []int `json:"classes"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	key := canonKey(req.Classes)
+	if key == "" {
+		httpError(w, http.StatusBadRequest, errors.New("empty class set"))
+		return
+	}
+	if rt.isMoving(key) {
+		rt.unavailable.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("tenant {%s} is mid-handoff", key))
+		return
+	}
+
+	attempts := 1
+	if idempotent {
+		attempts += rt.opts.PredictRetries
+	}
+	backoff := rt.opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			rt.retries.Add(1)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+		sh, ok := rt.shardFor(key)
+		if !ok {
+			rt.unavailable.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, errors.New("no shards on the ring"))
+			return
+		}
+		resp, err := rt.client.Post("http://"+sh.Addr+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			rt.markDown(sh, err)
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// The shard is draining and does not hold this tenant: probe it
+			// now so the ring stops pointing at it, then retry elsewhere.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rt.probeOnce(sh)
+			lastErr = fmt.Errorf("shard %s is draining", sh.ID)
+			if !idempotent {
+				rt.unavailable.Add(1)
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, lastErr)
+				return
+			}
+			continue
+		}
+		if idempotent && resp.StatusCode >= 500 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("shard %s returned %d", sh.ID, resp.StatusCode)
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	rt.proxyErrors.Add(1)
+	httpError(w, http.StatusBadGateway, fmt.Errorf("no shard could serve {%s}: %w", key, lastErr))
+}
+
+// relay copies the shard's response through to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

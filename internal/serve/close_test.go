@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCloseUnderLoad races Close against concurrent Predict and
+// Personalize traffic. The ordering contract — pending snapshots, pool
+// drain, inline-job wait, final snapshot wait — must hold while requests
+// are still arriving: no panic, no deadlock, and every personalization
+// that completed before Close returned has its snapshot on disk. Run with
+// -race; the assertions here are mostly "we got out alive".
+func TestCloseUnderLoad(t *testing.T) {
+	opts := quickOpts()
+	opts.Workers = 4
+	opts.SnapshotDir = t.TempDir()
+	s := newTestServer(t, opts)
+
+	// Seed two tenants so predicts have somewhere to land.
+	keys := [][]int{{1, 3}, {0, 2}}
+	for _, k := range keys {
+		if _, _, err := s.Personalize(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var calls atomic.Int64
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				calls.Add(1)
+				switch {
+				case i%3 == 0:
+					// Keep minting fresh tenants so Close races live
+					// pruning jobs, not just cached predicts.
+					_, _, _ = s.Personalize([]int{i % 6, (i + n) % 6})
+				default:
+					_, _, _, _ = s.PredictSamples(keys[n%len(keys)], 2)
+				}
+			}
+		}(i)
+	}
+
+	// Let the storm build, then close under it.
+	time.Sleep(50 * time.Millisecond)
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(120 * time.Second):
+		t.Fatal("Close deadlocked under load")
+	}
+	close(stop)
+	wg.Wait()
+
+	if calls.Load() == 0 {
+		t.Fatal("load generators never ran")
+	}
+	// Close waited out every registered write-behind snapshot.
+	st := s.Stats()
+	if st.InFlight != 0 {
+		t.Fatalf("jobs still in flight after Close: %+v", st)
+	}
+	if st.SnapshotErrors != 0 {
+		t.Fatalf("snapshot errors under close: %+v", st)
+	}
+}

@@ -134,7 +134,7 @@
 // Budget 0 (the default) keeps the single-level count LRU; evicted engines
 // release immediately and rely on the cold tier alone.
 //
-// # HTTP endpoints (cmd/crisp-serve)
+// # HTTP endpoints (internal/api, served by cmd/crisp-serve)
 //
 //	POST /personalize {"classes":[3,17,42]}
 //	  → {"key","classes","cached","accuracy","sparsity","flops_ratio","compressed_layers"}
@@ -189,6 +189,34 @@
 //   - Quantization fails closed: a model with NaN/Inf weights errors at
 //     compile instead of encoding garbage, and the personalization
 //     surfaces that error to the caller.
+//
+// # Drain and handoff (the cluster shard surface)
+//
+// A Server doubles as one shard of a consistent-hash cluster
+// (internal/cluster); the shard-side lifecycle is three exported hooks,
+// all built on the fact that a tenant's durable state is its snapshot
+// record and restores are bit-identical:
+//
+//   - BeginDrain flips the server into draining: Personalize (and thus
+//     Predict) for tenants it does not already hold — hot or warm — fails
+//     with ErrDraining (HTTP 503 + Retry-After), while residents keep
+//     serving. There is no way back; a drained shard restarts fresh.
+//   - Drain is the full shard-side handoff: BeginDrain, force queued
+//     batches out, Flush every resident to the (shared) snapshot store,
+//     and return the manifest of tenants — key, classes, structural
+//     fingerprint, quant signature on int8 — another shard can adopt.
+//   - RestoreTenant is the receiving side: adopt one tenant from the
+//     cheapest tier that has it (local warm record, else the shared store,
+//     re-reading the store's index first to pick up records written by
+//     peer shards) and verify the rebuilt engine against the sending
+//     shard's fingerprints. It never falls back to a pruning run — a
+//     handoff for missing state is a loud error
+//     (Stats.HandoffRestores/HandoffErrors).
+//
+// Crash recovery needs no handoff call at all: the ordinary personalize
+// miss path refreshes the shared store index before pruning, so a
+// survivor that inherits a dead shard's tenant restores it on first touch
+// (Stats.RestoreHits, zero re-prunes).
 //
 // The same Pool type fans the experiment suite out across GOMAXPROCS
 // (exp.RunParallel), so the serving scheduler and the figure runner share

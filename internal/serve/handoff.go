@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/inference"
+)
+
+// ErrDraining reports a personalization rejected because the server is
+// draining: a draining shard serves the tenants it already holds but accepts
+// no new ones, so the cluster router can move its state elsewhere without
+// chasing a moving target. cmd/crisp-serve maps it to HTTP 503 with a
+// Retry-After header; callers should retry against the router, which will
+// have re-placed the tenant by then.
+var ErrDraining = errors.New("serve: draining: not accepting new tenants")
+
+// ErrTenantNotFound reports a handoff restore for a key that no tier —
+// warm record or shared snapshot store — knows about.
+var ErrTenantNotFound = errors.New("serve: tenant not found in any tier")
+
+// HandoffTenant identifies one tenant a draining shard hands off: the cache
+// key, its class set, and the identity fingerprints the receiving shard must
+// reproduce when it restores the tenant from the shared snapshot store.
+// QuantSignature is zero on float32 servers (there are no codes to pin).
+type HandoffTenant struct {
+	Key            string `json:"key"`
+	Classes        []int  `json:"classes"`
+	Fingerprint    uint64 `json:"fingerprint"`
+	QuantSignature uint64 `json:"quant_signature"`
+}
+
+// BeginDrain flips the server into draining mode: Personalize calls for
+// tenants this server does not already hold (hot or warm) fail with
+// ErrDraining, while resident tenants keep serving until they are handed
+// off. Idempotent; there is no way back — a drained shard restarts fresh.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.mu.Lock()
+	s.stats.Draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain executes the shard-side half of a handoff: stop accepting new
+// tenants, force queued predict batches out, flush every resident tenant to
+// the shared snapshot store, and return the manifest of tenants (hot
+// engines and warm delta records) another shard can now restore. Warm
+// records are already durable — demotion writes the snapshot before the
+// engine is released — so after the Flush every manifest entry has a disk
+// copy. The manifest carries each tenant's structural fingerprint (and
+// quant signature on int8 servers) so the receiving shard can verify its
+// restored engine is bit-identical to the one that served here.
+//
+// Drain requires a snapshot store: without one there is nothing to hand
+// off through, and it returns ErrNoSnapshotDir with the server still
+// accepting traffic.
+func (s *Server) Drain() ([]HandoffTenant, error) {
+	if s.store == nil {
+		return nil, ErrNoSnapshotDir
+	}
+	s.BeginDrain()
+	s.DrainBatches()
+	if _, err := s.Flush(); err != nil {
+		return nil, fmt.Errorf("serve: drain flush: %w", err)
+	}
+
+	s.mu.Lock()
+	tenants := make([]HandoffTenant, 0, len(s.entries)+len(s.warm))
+	for _, el := range s.entries {
+		p := el.Value.(*Personalization)
+		t := HandoffTenant{Key: p.Key, Classes: p.Classes, Fingerprint: p.engine.Fingerprint()}
+		if s.opts.Precision == inference.Int8 {
+			t.QuantSignature = p.engine.QuantSignature()
+		}
+		tenants = append(tenants, t)
+	}
+	for _, el := range s.warm {
+		we := el.Value.(*warmEntry)
+		tenants = append(tenants, HandoffTenant{
+			Key: we.key, Classes: we.classes, Fingerprint: we.fp, QuantSignature: we.qsig,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Key < tenants[j].Key })
+	return tenants, nil
+}
+
+// RestoreTenant is the receiving side of a handoff: adopt the tenant for
+// key from the cheapest tier that has it — a local warm record, else the
+// shared snapshot store (re-reading the store index first, since the record
+// was most likely written by another shard after this store opened) — and
+// verify the rebuilt engine against the fingerprints the sending shard
+// captured. wantFP/wantQSig of zero skip their check (an unverified adopt,
+// e.g. recovering a shard that died without draining). Unlike the
+// Personalize miss path it never falls back to a fresh pruning run: a
+// handoff for state that cannot be found is an error the router must see,
+// not a silent multi-second re-prune.
+func (s *Server) RestoreTenant(key string, wantFP, wantQSig uint64) error {
+	if s.store == nil {
+		return ErrNoSnapshotDir
+	}
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		// Already resident (e.g. lazily restored by a predict racing the
+		// handoff): verify it is the same engine and adopt in place.
+		p := el.Value.(*Personalization)
+		fp := p.engine.Fingerprint()
+		s.mu.Unlock()
+		if wantFP != 0 && fp != wantFP {
+			return fmt.Errorf("serve: handoff {%s}: resident fingerprint %016x, want %016x", key, fp, wantFP)
+		}
+		return nil
+	}
+	s.mu.Unlock()
+
+	p, err := s.adoptTenant(key, wantFP, wantQSig)
+	if err != nil {
+		s.mu.Lock()
+		s.stats.HandoffErrors++
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	inserted := s.insertLocked(key, p)
+	if inserted {
+		s.stats.HandoffRestores++
+	}
+	s.mu.Unlock()
+	if !inserted {
+		p.release()
+	}
+	s.rebalance()
+	return nil
+}
+
+// adoptTenant rebuilds the tenant from warm or cold state and verifies it.
+func (s *Server) adoptTenant(key string, wantFP, wantQSig uint64) (*Personalization, error) {
+	var p *Personalization
+	if we := s.takeWarm(key); we != nil {
+		promoted, err := s.promoteWarm(we)
+		if err == nil {
+			p = promoted
+			s.mu.Lock()
+			s.stats.Promotions++
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			s.stats.PromoteErrors++
+			s.mu.Unlock()
+		}
+	}
+	if p == nil {
+		if !s.store.has(key) {
+			// The record was written by another shard into the shared store
+			// after this server indexed it; pick up their appends.
+			if err := s.store.refresh(); err != nil {
+				return nil, fmt.Errorf("serve: handoff {%s}: refreshing store: %w", key, err)
+			}
+		}
+		if !s.store.has(key) {
+			return nil, fmt.Errorf("serve: handoff {%s}: %w", key, ErrTenantNotFound)
+		}
+		restored, err := s.restoreOne(key)
+		if err != nil {
+			return nil, err
+		}
+		p = restored
+	}
+	if wantFP != 0 {
+		if fp := p.engine.Fingerprint(); fp != wantFP {
+			p.release()
+			return nil, fmt.Errorf("serve: handoff {%s}: fingerprint %016x, want %016x", key, fp, wantFP)
+		}
+	}
+	if wantQSig != 0 && s.opts.Precision == inference.Int8 {
+		if sig := p.engine.QuantSignature(); sig != wantQSig {
+			p.release()
+			return nil, fmt.Errorf("serve: handoff {%s}: quant signature %016x, want %016x", key, sig, wantQSig)
+		}
+	}
+	return p, nil
+}

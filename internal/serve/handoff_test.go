@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDrainRequiresSnapshotStore: the snapshot store is the handoff
+// channel; without one Drain and RestoreTenant must refuse and leave the
+// server serving.
+func TestDrainRequiresSnapshotStore(t *testing.T) {
+	s := newTestServer(t, quickOpts())
+	if _, err := s.Drain(); !errors.Is(err, ErrNoSnapshotDir) {
+		t.Fatalf("Drain without store: %v, want ErrNoSnapshotDir", err)
+	}
+	if s.Draining() {
+		t.Fatal("a refused drain must leave the server accepting traffic")
+	}
+	if err := s.RestoreTenant("1,3", 0, 0); !errors.Is(err, ErrNoSnapshotDir) {
+		t.Fatalf("RestoreTenant without store: %v, want ErrNoSnapshotDir", err)
+	}
+	if _, _, err := s.Personalize([]int{1, 3}); err != nil {
+		t.Fatalf("server must still personalize after refused drain: %v", err)
+	}
+}
+
+// TestDrainHandoffRoundTrip is the in-process version of a cluster
+// rebalance: shard A drains, shard B (sharing the snapshot directory, with
+// a store index opened BEFORE A wrote anything — forcing the refresh path)
+// adopts every manifest tenant, and the adopted engines produce
+// bit-identical logits without a single pruning run on B.
+func TestDrainHandoffRoundTrip(t *testing.T) {
+	opts := quickOpts()
+	opts.SnapshotDir = t.TempDir()
+	a := newTestServer(t, opts)
+	b := newTestServer(t, opts) // opens (empty) store index before A writes
+
+	pa1, _, err := a.Personalize([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, _, err := a.Personalize([]int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tierX(a, []int{1, 3})
+	wantLogits := append([]float64(nil), pa1.Engine().Logits(x).Data...)
+
+	tenants, err := a.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 || tenants[0].Key != "0,2,4" || tenants[1].Key != "1,3" {
+		t.Fatalf("manifest %+v, want sorted keys [0,2,4 1,3]", tenants)
+	}
+	if tenants[0].Fingerprint != pa2.Engine().Fingerprint() || tenants[1].Fingerprint != pa1.Engine().Fingerprint() {
+		t.Fatalf("manifest fingerprints do not match the served engines: %+v", tenants)
+	}
+	if !a.Draining() || !a.Stats().Draining {
+		t.Fatal("drain did not mark the server draining")
+	}
+
+	// A keeps serving its residents but refuses new tenants.
+	if _, cached, err := a.Personalize([]int{3, 1}); err != nil || !cached {
+		t.Fatalf("resident tenant on draining shard: cached=%v err=%v", cached, err)
+	}
+	if _, _, err := a.Personalize([]int{5}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new tenant on draining shard: %v, want ErrDraining", err)
+	}
+
+	// Drain is idempotent: the manifest is stable while residents remain.
+	again, err := a.Drain()
+	if err != nil || len(again) != len(tenants) {
+		t.Fatalf("second drain: %d tenants, err=%v", len(again), err)
+	}
+
+	for _, tn := range tenants {
+		if err := b.RestoreTenant(tn.Key, tn.Fingerprint, tn.QuantSignature); err != nil {
+			t.Fatalf("handoff %q: %v", tn.Key, err)
+		}
+	}
+	st := b.Stats()
+	if st.HandoffRestores != 2 || st.Personalizations != 0 || st.HandoffErrors != 0 {
+		t.Fatalf("adoption must be restore-only: %+v", st)
+	}
+	pb, cached, err := b.Personalize([]int{1, 3})
+	if err != nil || !cached {
+		t.Fatalf("adopted tenant not resident on B: cached=%v err=%v", cached, err)
+	}
+	if fp := pb.Engine().Fingerprint(); fp != pa1.Engine().Fingerprint() {
+		t.Fatalf("fingerprint drifted across handoff: %016x vs %016x", fp, pa1.Engine().Fingerprint())
+	}
+	got := pb.Engine().Logits(x).Data
+	for i := range wantLogits {
+		if got[i] != wantLogits[i] {
+			t.Fatalf("logit %d drifted across handoff: %v vs %v", i, got[i], wantLogits[i])
+		}
+	}
+
+	// Re-handing-off a resident tenant is a verified no-op; a fingerprint
+	// mismatch on a resident is the router's signal that state diverged.
+	if err := b.RestoreTenant("1,3", pa1.Engine().Fingerprint(), 0); err != nil {
+		t.Fatalf("resident re-handoff: %v", err)
+	}
+	if err := b.RestoreTenant("1,3", 12345, 0); err == nil {
+		t.Fatal("resident fingerprint mismatch must fail the handoff")
+	}
+}
+
+// TestRestoreTenantWarmPath: a tenant demoted to this server's own warm
+// tier is adopted by promotion, not by a disk read.
+func TestRestoreTenantWarmPath(t *testing.T) {
+	opts := quickOpts()
+	opts.CacheSize = 1
+	opts.MemoryBudgetBytes = 1 << 40
+	opts.SnapshotDir = t.TempDir()
+	s := newTestServer(t, opts)
+
+	p1, _, err := s.Personalize([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := p1.Engine().Fingerprint()
+	// A second tenant squeezes the first out of the one-engine hot tier.
+	if _, _, err := s.Personalize([]int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.WarmEntries != 1 {
+		t.Fatalf("fixture did not demote: %+v", st)
+	}
+	if err := s.RestoreTenant("1,3", fp, 0); err != nil {
+		t.Fatalf("warm adoption: %v", err)
+	}
+	st := s.Stats()
+	if st.HandoffRestores != 1 || st.Promotions != 1 || st.WarmHits != 1 || st.Personalizations != 2 {
+		t.Fatalf("warm adoption bookkeeping: %+v", st)
+	}
+}
+
+// TestRestoreTenantErrors: a handoff never falls back to pruning — missing
+// state and identity mismatches are loud errors, while wantFP=0 allows an
+// unverified adopt (recovering a shard that died without draining).
+func TestRestoreTenantErrors(t *testing.T) {
+	opts := quickOpts()
+	opts.SnapshotDir = t.TempDir()
+	a := newTestServer(t, opts)
+	if _, _, err := a.Personalize([]int{2, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newTestServer(t, opts)
+	if err := b.RestoreTenant("0,1", 0, 0); !errors.Is(err, ErrTenantNotFound) {
+		t.Fatalf("missing tenant: %v, want ErrTenantNotFound", err)
+	}
+	if err := b.RestoreTenant("2,5", 12345, 0); err == nil {
+		t.Fatal("fingerprint mismatch must fail the handoff")
+	}
+	if st := b.Stats(); st.HandoffErrors != 2 || st.Personalizations != 0 {
+		t.Fatalf("handoff error bookkeeping: %+v", st)
+	}
+	if err := b.RestoreTenant("2,5", 0, 0); err != nil {
+		t.Fatalf("unverified adopt: %v", err)
+	}
+	if st := b.Stats(); st.HandoffRestores != 1 || st.Personalizations != 0 {
+		t.Fatalf("unverified adopt bookkeeping: %+v", st)
+	}
+}
+
+// TestLazyFailoverAdoptsPeerSnapshot: when a shard inherits a dead peer's
+// tenant through ordinary traffic (no handoff call), the personalize miss
+// path refreshes the shared store index and restores instead of re-pruning.
+func TestLazyFailoverAdoptsPeerSnapshot(t *testing.T) {
+	opts := quickOpts()
+	opts.SnapshotDir = t.TempDir()
+	a := newTestServer(t, opts)
+	b := newTestServer(t, opts) // index opened while the store is empty
+
+	pa, _, err := a.Personalize([]int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	pb, cached, err := b.Personalize([]int{1, 3})
+	if err != nil || cached {
+		t.Fatalf("failover personalize: cached=%v err=%v", cached, err)
+	}
+	st := b.Stats()
+	if st.RestoreHits != 1 || st.Personalizations != 0 {
+		t.Fatalf("failover must restore, not re-prune: %+v", st)
+	}
+	if pb.Engine().Fingerprint() != pa.Engine().Fingerprint() {
+		t.Fatal("failover restore is not bit-identical to the dead shard's engine")
+	}
+}

@@ -208,6 +208,14 @@ type Stats struct {
 	// records that failed to load and were skipped.
 	RestoreHits   uint64 `json:"restore_hits"`
 	RestoreErrors uint64 `json:"restore_errors"`
+	// HandoffRestores counts tenants adopted from another shard via
+	// RestoreTenant (verified against the sending shard's fingerprints);
+	// HandoffErrors counts adoptions that failed (missing record or a
+	// fingerprint mismatch). Draining reports BeginDrain was called: this
+	// shard serves resident tenants but accepts no new ones.
+	HandoffRestores uint64 `json:"handoff_restores"`
+	HandoffErrors   uint64 `json:"handoff_errors"`
+	Draining        bool   `json:"draining"`
 	// Tier flows (MemoryBudgetBytes > 0): WarmHits counts cache misses
 	// resolved by a warm delta record, Promotions the engines those rebuilt
 	// into the hot tier, Demotions the hot engines compacted to warm
@@ -325,6 +333,11 @@ type Server struct {
 	snapCond     *sync.Cond
 	pendingSnaps int
 	pendingJobs  int
+
+	// draining, once set (BeginDrain), rejects personalizations for tenants
+	// this server does not already hold — the shard-side half of a cluster
+	// handoff (see handoff.go).
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	entries  map[string]*list.Element // key -> lru element holding *Personalization
@@ -472,6 +485,15 @@ func (s *Server) Personalize(classes []int) (*Personalization, bool, error) {
 		<-c.done
 		return c.p, false, c.err
 	}
+	if s.draining.Load() {
+		// A draining shard serves what it holds (hot hits above, warm
+		// promotions below) but starts nothing new: a fresh tenant must land
+		// on the shard the cluster router is re-placing keys onto.
+		if _, warm := s.warm[key]; !warm {
+			s.mu.Unlock()
+			return nil, false, ErrDraining
+		}
+	}
 	call := &inflightCall{done: make(chan struct{})}
 	s.inflight[key] = call
 	s.stats.CacheMisses++
@@ -566,6 +588,14 @@ func (s *Server) personalize(classes []int, key string) (*Personalization, perso
 		s.mu.Lock()
 		s.stats.PromoteErrors++
 		s.mu.Unlock()
+	}
+	if s.store != nil && !s.store.has(key) {
+		// Shards can share one snapshot store: a record another shard wrote
+		// after this store opened is on disk but not in the in-memory index
+		// yet. Re-reading the index before paying for a pruning run is what
+		// lets a surviving shard adopt a dead shard's tenants by restore —
+		// a failed refresh only costs the shortcut, never the request.
+		_ = s.store.refresh()
 	}
 	if s.store != nil && s.store.has(key) {
 		p, err := s.restoreOne(key)

@@ -94,6 +94,24 @@ func (st *snapshotStore) keys() []string {
 	return out
 }
 
+// refresh merges the on-disk index into memory. Shards sharing a snapshot
+// directory each journal their own appends; the on-disk index is therefore
+// a superset of any one shard's in-memory view, and merging (last write
+// wins per key) lets this shard restore records its peers wrote after this
+// store opened.
+func (st *snapshotStore) refresh() error {
+	idx, err := checkpoint.ReadIndex(filepath.Join(st.dir, checkpoint.IndexFile))
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for k, name := range idx {
+		st.index[k] = name
+	}
+	return nil
+}
+
 // put durably writes one personalization record and indexes it.
 func (st *snapshotStore) put(rec checkpoint.PersonalizationRecord, clf *nn.Classifier) error {
 	name := fileFor(rec.Key)
