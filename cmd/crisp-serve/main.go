@@ -36,6 +36,16 @@
 // When a personalization's predict queue is full the server sheds load
 // with 429 Too Many Requests instead of queueing without bound.
 //
+// Tenants carry a QoS class (gold, standard or batch; set via the
+// /personalize "qos" field) that shapes scheduling: per-class latency
+// budgets flush batches before a rider's deadline, and per-tenant
+// class-weighted token buckets shed over-quota tenants (429) once the
+// server is under queue pressure — so a single abusive tenant is shed
+// before admission control has to reject everyone. Tune with -qos-gold /
+// -qos-standard / -qos-batch ("budget=10ms,rps=400,burst=100"),
+// -shed-watermark and -shed-global-queue; -qos-off reverts to plain FIFO
+// batching (the baseline cmd/crisp-load compares against).
+//
 // With -precision int8 every personalized engine runs from int8 quantized
 // plans (the CRISP-STC deployment precision): int8 weight codes, int32
 // accumulation, dequantize-on-store. Each personalization measures its
@@ -110,6 +120,13 @@ func main() {
 		shardID    = flag.String("shard-id", "", "shard identity reported on /healthz and in drain manifests (empty: standalone)")
 		shutdownTO = flag.Duration("shutdown-timeout", 30*time.Second, "max time to wait for in-flight requests on SIGINT/SIGTERM before forcing the listener closed")
 		seed       = flag.Int64("seed", 1, "random seed")
+
+		qosOff      = flag.Bool("qos-off", false, "disable QoS load shaping (no per-tenant quotas or deadline flushes; the FIFO baseline)")
+		qosGold     = flag.String("qos-gold", "", "gold-class policy overrides, e.g. budget=10ms,rps=400,burst=100 (empty: defaults)")
+		qosStandard = flag.String("qos-standard", "", "standard-class policy overrides (empty: defaults)")
+		qosBatch    = flag.String("qos-batch", "", "batch-class policy overrides (empty: defaults)")
+		shedWM      = flag.Float64("shed-watermark", 0, "fraction of -shed-global-queue at which over-quota tenants shed (0: default 0.5)")
+		shedGlobal  = flag.Int("shed-global-queue", 0, "server-wide queued-sample reference for the shed watermark (0: 4 x max-queue)")
 	)
 	flag.Parse()
 
@@ -133,6 +150,27 @@ func main() {
 	budget, err := parseBytes(*memBudget)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	qos := serve.QoSOptions{
+		Disabled:      *qosOff,
+		ShedWatermark: *shedWM,
+		GlobalQueue:   *shedGlobal,
+	}
+	for _, c := range []struct {
+		class serve.QoSClass
+		spec  string
+		dst   *serve.QoSPolicy
+	}{
+		{serve.QoSGold, *qosGold, &qos.Gold},
+		{serve.QoSStandard, *qosStandard, &qos.Standard},
+		{serve.QoSBatch, *qosBatch, &qos.Batch},
+	} {
+		pol, err := serve.ParseQoSPolicy(serve.DefaultQoSPolicy(c.class), c.spec)
+		if err != nil {
+			log.Fatalf("-qos-%s: %v", c.class, err)
+		}
+		*c.dst = pol
 	}
 
 	// Reject bad pruning flags before paying for pre-training.
@@ -174,6 +212,7 @@ func main() {
 		Precision:         prec,
 		MemoryBudgetBytes: budget,
 		HotFraction:       *hotFrac,
+		QoS:               qos,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -201,8 +240,12 @@ func main() {
 	if *shardID != "" {
 		shard = "shard " + *shardID
 	}
-	log.Printf("serving on %s (%s, %d workers, cache %d, %s, max-batch %d, linger %v, max-queue %d, precision %s)",
-		ln.Addr(), shard, s.Stats().Workers, *cacheSize, tierMode, *maxBatch, *linger, *maxQueue, prec)
+	qosMode := "qos on"
+	if *qosOff {
+		qosMode = "qos off (FIFO)"
+	}
+	log.Printf("serving on %s (%s, %d workers, cache %d, %s, max-batch %d, linger %v, max-queue %d, precision %s, %s)",
+		ln.Addr(), shard, s.Stats().Workers, *cacheSize, tierMode, *maxBatch, *linger, *maxQueue, prec, qosMode)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

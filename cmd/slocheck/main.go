@@ -1,0 +1,80 @@
+// Command slocheck gates a crisp-load report against a checked-in SLO
+// baseline: it prints one line per violated threshold and exits non-zero if
+// any SLO is broken. CI runs it after the seeded replay so a latency or
+// shed-rate regression fails the build instead of landing silently.
+//
+// Usage:
+//
+//	slocheck -report report.json -baseline SLO_baseline.json
+//
+// Refreshing the baseline after an intentional performance change:
+//
+//  1. Run the CI replay locally at the pinned seed and rate (see the slo
+//     job in .github/workflows/ci.yml for the exact flags).
+//  2. Read the new report's p50/p99/p999 and shed rates.
+//  3. Edit SLO_baseline.json, keeping thresholds ~2x the freshly observed
+//     values so runner jitter does not flake the gate, and commit it with
+//     the change that moved the numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/sloreport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slocheck: ")
+	var (
+		reportPath   = flag.String("report", "report.json", "crisp-load report to check")
+		baselinePath = flag.String("baseline", "SLO_baseline.json", "SLO baseline to check against")
+	)
+	flag.Parse()
+
+	var report sloreport.Report
+	if err := readJSON(*reportPath, &report); err != nil {
+		log.Fatal(err)
+	}
+	var baseline sloreport.Baseline
+	if err := readJSON(*baselinePath, &baseline); err != nil {
+		log.Fatal(err)
+	}
+
+	violations := sloreport.Check(&report, &baseline)
+	if len(violations) == 0 {
+		log.Printf("PASS: %d requests, goodput %.1f rps, gold p99 %.2fms, standard p99 %.2fms",
+			report.Aggregate.Requests, report.GoodputRPS,
+			classP99(&report, "gold"), classP99(&report, "standard"))
+		return
+	}
+	for _, v := range violations {
+		log.Printf("FAIL: %s", v)
+	}
+	os.Exit(1)
+}
+
+func classP99(r *sloreport.Report, name string) float64 {
+	if c := r.Classes[name]; c != nil {
+		return c.P99MS
+	}
+	return 0
+}
+
+func readJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

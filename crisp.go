@@ -208,6 +208,31 @@ type ServerConfig = serve.Options
 // Callers should back off and retry (cmd/crisp-serve maps it to HTTP 429).
 var ErrOverloaded = serve.ErrOverloaded
 
+// ErrOverQuota re-exports the weighted-shedding rejection: the tenant
+// exceeded its QoS class's rate quota while the server was under queue
+// pressure (also HTTP 429, but targeted at the over-quota tenant — other
+// tenants keep being served).
+var ErrOverQuota = serve.ErrOverQuota
+
+// QoSClass re-exports a tenant's service class for ServerConfig.QoS and
+// Server.PersonalizeQoS; QoSOptions re-exports the load-shaping knobs
+// (per-class QoSPolicy overrides, shed watermark, or Disabled for plain
+// FIFO batching).
+type (
+	QoSClass   = serve.QoSClass
+	QoSOptions = serve.QoSOptions
+	QoSPolicy  = serve.QoSPolicy
+)
+
+// QoS classes: gold gets the tightest latency budget and fattest quota,
+// batch the loosest of both; standard (the zero value) is the default
+// interactive tier.
+const (
+	QoSGold     = serve.QoSGold
+	QoSStandard = serve.QoSStandard
+	QoSBatch    = serve.QoSBatch
+)
+
 // Precision re-exports the engine execution precision for
 // ServerConfig.Precision.
 type Precision = inference.Precision

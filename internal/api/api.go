@@ -72,6 +72,10 @@ func NewMux(s *serve.Server, ds *data.Dataset, cfg Config) *http.ServeMux {
 	mux.HandleFunc("POST /personalize", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Classes []int `json:"classes"`
+			// QoS optionally (re)classes the tenant: "gold", "standard" or
+			// "batch". Omitted: a new tenant starts Standard, an existing
+			// tenant keeps its class.
+			QoS *string `json:"qos"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -84,7 +88,18 @@ func NewMux(s *serve.Server, ds *data.Dataset, cfg Config) *http.ServeMux {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		p, cached, err := s.Personalize(canon)
+		var p *serve.Personalization
+		var cached bool
+		if req.QoS != nil {
+			qos, err := serve.ParseQoSClass(*req.QoS)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			p, cached, err = s.PersonalizeQoS(canon, qos)
+		} else {
+			p, cached, err = s.Personalize(canon)
+		}
 		if err != nil {
 			httpError(w, personalizeStatus(w, err), err)
 			return
@@ -93,6 +108,7 @@ func NewMux(s *serve.Server, ds *data.Dataset, cfg Config) *http.ServeMux {
 			"key":               p.Key,
 			"classes":           p.Classes,
 			"cached":            cached,
+			"qos":               p.QoS().String(),
 			"accuracy":          p.Accuracy,
 			"sparsity":          p.Report.AchievedSparsity,
 			"flops_ratio":       p.Report.FLOPsRatio,
@@ -216,7 +232,7 @@ func NewMux(s *serve.Server, ds *data.Dataset, cfg Config) *http.ServeMux {
 // + Retry-After), everything else is a server-side failure.
 func predictStatus(w http.ResponseWriter, err error) int {
 	switch {
-	case errors.Is(err, serve.ErrOverloaded):
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrOverQuota):
 		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrDraining):
 		w.Header().Set("Retry-After", "1")

@@ -165,6 +165,38 @@ func TestEndpoints(t *testing.T) {
 
 // TestErrorPaths drives every handler's failure branches through raw HTTP
 // bodies and asserts both the status code and the {"error": "..."} shape.
+// TestPersonalizeQoSField: the optional "qos" field classes the tenant,
+// the response echoes the resolved class, omitting the field keeps the
+// current class, and a later request re-classes the cached tenant in place.
+func TestPersonalizeQoSField(t *testing.T) {
+	mux, _, _ := newTestMux(t)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var pr struct {
+		Qos    string `json:"qos"`
+		Cached bool   `json:"cached"`
+	}
+	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{1, 3}, "qos": "gold"}, &pr); code != http.StatusOK {
+		t.Fatalf("/personalize status %d", code)
+	}
+	if pr.Qos != "gold" || pr.Cached {
+		t.Fatalf("personalize response %+v, want fresh gold tenant", pr)
+	}
+	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{1, 3}}, &pr); code != http.StatusOK {
+		t.Fatalf("repeat /personalize status %d", code)
+	}
+	if !pr.Cached || pr.Qos != "gold" {
+		t.Fatalf("omitted qos must keep the class: %+v", pr)
+	}
+	if code := postJSON(t, srv, "/personalize", map[string]any{"classes": []int{1, 3}, "qos": "batch"}, &pr); code != http.StatusOK {
+		t.Fatalf("re-class /personalize status %d", code)
+	}
+	if !pr.Cached || pr.Qos != "batch" {
+		t.Fatalf("qos field must re-class the cached tenant: %+v", pr)
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	mux, _, _ := newTestMux(t)
 	srv := httptest.NewServer(mux)
@@ -179,6 +211,7 @@ func TestErrorPaths(t *testing.T) {
 		{"personalize empty class set", "/personalize", `{"classes":[]}`, http.StatusBadRequest},
 		{"personalize unknown class", "/personalize", `{"classes":[99]}`, http.StatusBadRequest},
 		{"personalize negative class", "/personalize", `{"classes":[-1]}`, http.StatusBadRequest},
+		{"personalize unknown qos", "/personalize", `{"classes":[1,3],"qos":"platinum"}`, http.StatusBadRequest},
 		{"predict malformed json", "/predict", `{"classes":[1],`, http.StatusBadRequest},
 		{"predict empty class set", "/predict", `{"classes":[],"samples":4}`, http.StatusBadRequest},
 		{"predict unknown class", "/predict", `{"classes":[42],"samples":4}`, http.StatusBadRequest},
@@ -311,6 +344,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		fmt.Sprintf("crisp_serve_batch_size_count %d\n", st.PredictBatches),
 		fmt.Sprintf("crisp_serve_batch_size_sum %d\n", st.SamplesPredicted),
 		"# TYPE crisp_serve_batch_size histogram\n",
+		"crisp_serve_qos_enabled 1\n",
+		"crisp_serve_flush_deadline_total 0\n",
+		"crisp_serve_shed_total{class=\"gold\"} 0\n",
+		"crisp_serve_shed_total{class=\"standard\"} 0\n",
+		"crisp_serve_shed_total{class=\"batch\"} 0\n",
+		"# TYPE crisp_serve_queue_wait_seconds histogram\n",
+		fmt.Sprintf("crisp_serve_queue_wait_seconds_count{class=\"standard\"} %d\n", st.QueueWait["standard"].Count),
+		"crisp_serve_queue_wait_seconds_bucket{class=\"gold\",le=\"+Inf\"} 0\n",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)

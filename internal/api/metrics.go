@@ -30,6 +30,7 @@ func WriteMetrics(w io.Writer, st serve.Stats) {
 	counter("flush_size_total", "Batches flushed by reaching max-batch.", st.FlushSize)
 	counter("flush_linger_total", "Batches flushed by the linger timer.", st.FlushLinger)
 	counter("flush_forced_total", "Partial batches forced out by a drain.", st.FlushForced)
+	counter("flush_deadline_total", "Batches flushed early by a rider's QoS latency budget.", st.FlushDeadline)
 	counter("predict_ns_total", "Wall nanoseconds inside predict engine calls.", st.PredictNS)
 	counter("snapshot_writes_total", "Personalization records written to disk.", st.SnapshotWrites)
 	counter("snapshot_errors_total", "Failed snapshot writes.", st.SnapshotErrors)
@@ -69,6 +70,32 @@ func WriteMetrics(w io.Writer, st serve.Stats) {
 	// measured agreement ratio as a float gauge.
 	fmt.Fprintf(w, "# HELP crisp_serve_precision Engine precision mode (1 for the active mode).\n# TYPE crisp_serve_precision gauge\ncrisp_serve_precision{mode=%q} 1\n", st.Precision)
 	fmt.Fprintf(w, "# HELP crisp_serve_top1_agreement Measured int8-vs-float top-1 agreement ratio (1 when unmeasured).\n# TYPE crisp_serve_top1_agreement gauge\ncrisp_serve_top1_agreement %g\n", st.Top1Agreement)
+
+	// QoS load shaping: whether the layer is on, per-class sheds, and the
+	// per-class queue-wait distributions (scheduling delay between a predict
+	// entering its batch queue and the flush that took it).
+	qosEnabled := 0
+	if st.QoSEnabled {
+		qosEnabled = 1
+	}
+	gauge("qos_enabled", "1 while QoS load shaping (quotas, deadline flushes) is active.", qosEnabled)
+	fmt.Fprintf(w, "# HELP crisp_serve_shed_total Predicts shed for exceeding the tenant's class quota under load (429).\n# TYPE crisp_serve_shed_total counter\n")
+	for c := serve.QoSClass(0); c < serve.NumQoSClasses; c++ {
+		fmt.Fprintf(w, "crisp_serve_shed_total{class=%q} %d\n", c.String(), st.ShedByClass[c.String()])
+	}
+	fmt.Fprintf(w, "# HELP crisp_serve_queue_wait_seconds Batch-queue wait per rider, by QoS class.\n# TYPE crisp_serve_queue_wait_seconds histogram\n")
+	for c := serve.QoSClass(0); c < serve.NumQoSClasses; c++ {
+		qw := st.QueueWait[c.String()]
+		cum := uint64(0)
+		for i, ms := range serve.QueueWaitBoundsMS {
+			cum += qw.Hist[i]
+			fmt.Fprintf(w, "crisp_serve_queue_wait_seconds_bucket{class=%q,le=\"%g\"} %d\n", c.String(), ms/1000, cum)
+		}
+		cum += qw.Hist[len(serve.QueueWaitBoundsMS)]
+		fmt.Fprintf(w, "crisp_serve_queue_wait_seconds_bucket{class=%q,le=\"+Inf\"} %d\n", c.String(), cum)
+		fmt.Fprintf(w, "crisp_serve_queue_wait_seconds_sum{class=%q} %g\n", c.String(), float64(qw.SumNS)/1e9)
+		fmt.Fprintf(w, "crisp_serve_queue_wait_seconds_count{class=%q} %d\n", c.String(), qw.Count)
+	}
 
 	// Batch sizes as a cumulative histogram; Stats buckets are per-range.
 	fmt.Fprintf(w, "# HELP crisp_serve_batch_size Samples per predict engine invocation.\n# TYPE crisp_serve_batch_size histogram\n")

@@ -280,7 +280,10 @@ const maxProxyBody = 32 << 20
 // restores the tenant from the shared snapshot store instead of re-pruning.
 // A shard-side 503 (draining) triggers an immediate re-probe so the ring
 // sheds the drainer before the retry. Non-idempotent personalizations get
-// one attempt; the client owns that retry.
+// one attempt; the client owns that retry. 4xx responses — including the
+// QoS layer's 429s (ErrOverloaded/ErrOverQuota) — relay to the client
+// without failover: the tenant's quota bucket lives on its owner shard,
+// so retrying elsewhere would dodge the very limiter that fired.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string, idempotent bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxyBody))
 	if err != nil {

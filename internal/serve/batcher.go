@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/tensor"
@@ -23,6 +24,14 @@ type predictReq struct {
 	x    *tensor.Tensor // [B,C,H,W]
 	rows int            // x.Shape[0]
 	done chan struct{}  // buffered(1); one send per enqueue
+	// arrival is when the request entered the queue; the leader's flush
+	// decision and the queue-wait histogram are both relative to it.
+	arrival time.Time
+	// deadline is arrival + the rider's QoS latency budget; zero means no
+	// deadline (QoS disabled or no budget). class tags the rider's QoS
+	// class for the queue-wait histogram.
+	deadline time.Time
+	class    QoSClass
 	// preds is this request's slice of the fanned-out batch result; err is
 	// set instead when the whole batch failed (or the queue rejected it
 	// before enqueueing).
@@ -84,6 +93,12 @@ type batcher struct {
 	// forced flush). Buffered so enqueuers never block on it; sends and
 	// drains happen under mu, so a kick can never go stale.
 	kick chan struct{}
+
+	// ewmaNS tracks the engine's recent batch latency (exponentially
+	// weighted, 1/8 gain). The deadline-aware flush subtracts it from the
+	// oldest rider's deadline so the rider's *total* latency — queue wait
+	// plus the engine call — lands inside its budget, not just the wait.
+	ewmaNS atomic.Int64
 }
 
 // newBatcher builds the per-personalization batcher, or returns nil when
@@ -105,9 +120,12 @@ func (s *Server) newBatcher(run func([]*tensor.Tensor) []int) *batcher {
 
 // submit enqueues x, drives the flush if this caller is the leader, and
 // blocks until the request's rows are predicted (or rejected/failed).
-func (b *batcher) submit(x *tensor.Tensor) ([]int, error) {
+// deadline is the rider's QoS latency deadline (zero: none); class tags the
+// rider for the queue-wait histogram.
+func (b *batcher) submit(x *tensor.Tensor, class QoSClass, deadline time.Time) ([]int, error) {
 	req := reqPool.Get().(*predictReq)
 	req.x, req.rows, req.preds, req.err = x, x.Shape[0], nil, nil
+	req.arrival, req.deadline, req.class = time.Now(), deadline, class
 
 	b.mu.Lock()
 	if b.queued > 0 && b.queued+req.rows > b.maxQueue {
@@ -163,28 +181,65 @@ func (b *batcher) forceFlush() {
 	b.mu.Unlock()
 }
 
+// flushWait returns how long the leader should linger before flushing, and
+// whether the wait is deadline-limited rather than linger-limited. Both
+// bounds are relative to the OLDEST rider, not to when the leader's
+// goroutine happens to run:
+//
+//   - the linger window closes at oldestArrival + linger, so a leader that
+//     was descheduled between enqueueing and leading does not tax the queue
+//     with a second full linger — a queue whose oldest rider arrived long
+//     ago flushes immediately;
+//   - the deadline window closes at oldestDeadline - estimated engine time,
+//     so the rider's whole budget is not eaten lingering for batch mates.
+func (b *batcher) flushWait(oldestArrival, oldestDeadline time.Time, now time.Time) (wait time.Duration, deadlineCut bool) {
+	wait = oldestArrival.Add(b.linger).Sub(now)
+	if !oldestDeadline.IsZero() {
+		guard := time.Duration(b.ewmaNS.Load())
+		if d := oldestDeadline.Add(-guard).Sub(now); d < wait {
+			return d, true
+		}
+	}
+	return wait, false
+}
+
 // lead is the leader's side of the protocol: linger, take the queue, run
 // the engine once, fan out.
 func (b *batcher) lead() {
+	deadlineCut := false
 	if b.linger > 0 {
-		t, _ := lingerTimers.Get().(*time.Timer)
-		if t == nil {
-			t = time.NewTimer(b.linger)
-		} else {
-			t.Reset(b.linger)
-		}
-		select {
-		case <-t.C:
-		case <-b.kick:
-			// Drain a concurrent fire so the recycled timer's channel is
-			// empty before the next Reset.
-			if !t.Stop() {
-				<-t.C
+		b.mu.Lock()
+		// The leader's own request is in pending (only lead removes), so
+		// the queue is non-empty; its head is the oldest rider.
+		oldest := b.pending[0]
+		arrival, deadline := oldest.arrival, oldest.deadline
+		b.mu.Unlock()
+
+		var wait time.Duration
+		wait, deadlineCut = b.flushWait(arrival, deadline, time.Now())
+		if wait > 0 {
+			t, _ := lingerTimers.Get().(*time.Timer)
+			if t == nil {
+				t = time.NewTimer(wait)
+			} else {
+				t.Reset(wait)
 			}
+			select {
+			case <-t.C:
+			case <-b.kick:
+				// Drain a concurrent fire so the recycled timer's channel is
+				// empty before the next Reset.
+				if !t.Stop() {
+					<-t.C
+				}
+				// The kick (size/forced) took the wait, not the deadline.
+				deadlineCut = false
+			}
+			lingerTimers.Put(t)
 		}
-		lingerTimers.Put(t)
 	}
 
+	flushStart := time.Now()
 	b.mu.Lock()
 	batch := b.pending
 	total := b.queued
@@ -207,14 +262,24 @@ func (b *batcher) lead() {
 	// Classify the flush by what actually took the queue, not by which
 	// channel happened to wake the leader: a full batch is a size flush
 	// even if the timer won the race, a forced drain of a partial batch is
-	// neither a size nor a linger flush.
+	// neither a size nor a linger flush, and a deadline flush is a timer
+	// expiry whose wait was cut short by the oldest rider's budget.
 	switch {
 	case total >= b.maxBatch:
 		b.counters.flushSize.Add(1)
 	case forced:
 		b.counters.flushForced.Add(1)
+	case deadlineCut:
+		b.counters.flushDeadline.Add(1)
 	default:
 		b.counters.flushLinger.Add(1)
+	}
+
+	// Retire every rider's queue wait (arrival → flush start) into the
+	// per-class histograms before the engine call so the distribution
+	// reflects pure scheduling delay, not engine time.
+	for _, r := range batch {
+		b.counters.observeWait(r.class, flushStart.Sub(r.arrival))
 	}
 
 	xs = xs[:0]
@@ -254,6 +319,15 @@ func (b *batcher) invoke(xs []*tensor.Tensor, total int) (preds []int, err error
 	}()
 	start := time.Now()
 	preds = b.run(xs)
-	b.counters.observe(total, time.Since(start))
+	d := time.Since(start)
+	b.counters.observe(total, d)
+	// Fold this invocation into the latency estimate the deadline flush
+	// subtracts from rider budgets (1/8 gain; a lost race between loads
+	// only smooths a sample into the average twice — harmless).
+	if old := b.ewmaNS.Load(); old == 0 {
+		b.ewmaNS.Store(d.Nanoseconds())
+	} else {
+		b.ewmaNS.Store(old - old/8 + d.Nanoseconds()/8)
+	}
 	return preds, nil
 }

@@ -45,7 +45,7 @@ func sample(id int) *tensor.Tensor {
 func TestBatcherLingerFlush(t *testing.T) {
 	b, c := stubBatcher(100, 5*time.Millisecond, 100)
 	start := time.Now()
-	preds, err := b.submit(sample(7))
+	preds, err := b.submit(sample(7), QoSStandard, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestBatcherSizeFlushCoalesces(t *testing.T) {
 	for i := 0; i < n; i++ {
 		go func(id int) {
 			defer wg.Done()
-			preds, err := b.submit(sample(id))
+			preds, err := b.submit(sample(id), QoSStandard, time.Time{})
 			if err != nil {
 				t.Error(err)
 				return
@@ -113,14 +113,14 @@ func TestBatcherAdmissionControl(t *testing.T) {
 	for i := 0; i < cap; i++ {
 		go func(id int) {
 			defer wg.Done()
-			if _, err := b.submit(sample(id)); err != nil {
+			if _, err := b.submit(sample(id), QoSStandard, time.Time{}); err != nil {
 				t.Errorf("admitted request %d failed: %v", id, err)
 			}
 		}(i)
 	}
 	waitFor(t, func() bool { return c.queued.Load() == cap })
 
-	if _, err := b.submit(sample(99)); !errors.Is(err, ErrOverloaded) {
+	if _, err := b.submit(sample(99), QoSStandard, time.Time{}); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("overflow submit returned %v, want ErrOverloaded", err)
 	}
 	if got := c.rejected.Load(); got != 1 {
@@ -150,7 +150,7 @@ func TestBatcherOversizeRequestAdmitted(t *testing.T) {
 	for i := range x.Data {
 		x.Data[i] = float64(i)
 	}
-	preds, err := b.submit(x)
+	preds, err := b.submit(x, QoSStandard, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestBatcherPanicFansOutError(t *testing.T) {
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = b.submit(sample(i))
+			_, errs[i] = b.submit(sample(i), QoSStandard, time.Time{})
 		}(i)
 	}
 	wg.Wait()

@@ -70,6 +70,48 @@
 // Server.DrainBatches flushes all queued batches immediately — the
 // graceful-drain hook for shutdown.
 //
+// # QoS scheduling (Options.QoS)
+//
+// Tenants carry a service class — QoSGold, QoSStandard (the zero default),
+// QoSBatch — set at personalization time (PersonalizeQoS; the "qos" field
+// of POST /personalize) and re-classable in place on a cached tenant. The
+// class is serving-time state only: snapshots do not persist it, so a
+// restored tenant reverts to Standard until the next PersonalizeQoS. Each
+// class resolves to a QoSPolicy (LatencyBudget, QuotaRPS, QuotaBurst;
+// DefaultQoSPolicy, overridable per class via QoSOptions) and a request
+// flows through the scheduler as:
+//
+//   - Quota: the tenant's token bucket (refilled at its class QuotaRPS,
+//     capped at QuotaBurst, charged per sample) is debited. An over-quota
+//     tenant is only actually shed when the server is under pressure —
+//     global queued samples at or past ShedWatermark × GlobalQueue — and
+//     then fails with ErrOverQuota (HTTP 429, Stats.ShedByClass). This is
+//     weighted shedding: the over-quota tenant is dropped before per-queue
+//     admission control has to 429 everyone, and below the watermark
+//     quotas never bite (the failed take leaves the bucket untouched, so
+//     recovery is immediate).
+//   - Deadline: an admitted request enters its tenant's batch queue
+//     carrying deadline = arrival + LatencyBudget. The batch leader's wait
+//     is min(oldestArrival + Linger, oldestDeadline − EWMA engine latency),
+//     both anchored at the OLDEST rider — a leader descheduled between
+//     enqueueing and leading never taxes the queue with a second full
+//     linger, and a gold rider never spends its whole budget lingering for
+//     batch mates (Stats.FlushDeadline counts deadline-cut flushes). Queue
+//     waits are recorded per class in Stats.QueueWait histograms
+//     (QueueWaitBoundsMS buckets).
+//   - Lanes: pool work is split into two priority lanes — explicit
+//     Personalize prunes (LanePersonalize) and predict-triggered cache-miss
+//     resolution (LanePredict) — each capped at workers−1 concurrent jobs,
+//     so with two or more workers neither lane can occupy every worker: a
+//     flood of multi-second prunes cannot starve predicts, and vice versa.
+//
+// QoSOptions.Disabled turns the whole layer off (the FIFO baseline
+// cmd/crisp-load compares against); the arrival-relative linger remains,
+// because that is a correctness fix rather than policy. cmd/crisp-load
+// replays a Zipf-skewed, diurnally-bursty multi-tenant trace against this
+// scheduler and cmd/slocheck gates the resulting per-class latency and
+// shed-rate report against SLO_baseline.json in CI.
+//
 // # Snapshot lifecycle (Options.SnapshotDir)
 //
 // With a snapshot directory configured the cache becomes durable, so a

@@ -5,6 +5,24 @@ import (
 	"sync"
 )
 
+// Lane classifies pool work for priority admission: jobs submitted through
+// DoLane are capped per lane at workers-1 concurrent executions, so one
+// lane can never occupy every worker — a flood of explicit /personalize
+// prunes always leaves a worker for predict-triggered restores, and vice
+// versa. Unlaned Do/Map work (snapshots, the experiment runner) is subject
+// to no cap.
+type Lane int
+
+const (
+	// LanePersonalize carries explicit Personalize prunes (the expensive,
+	// multi-second jobs).
+	LanePersonalize Lane = iota
+	// LanePredict carries predict-triggered cache-miss resolution (warm
+	// promotions, cold restores, miss prunes) and cluster handoff adopts.
+	LanePredict
+	laneCount
+)
+
 // Pool is a bounded worker pool: a fixed set of goroutines draining an
 // unbuffered job channel. Submission blocks until a worker is free, which
 // gives natural backpressure — at most Workers() jobs run at once and
@@ -15,6 +33,13 @@ type Pool struct {
 	jobs    chan func()
 	workers int
 	wg      sync.WaitGroup
+
+	// lanes are counting semaphores bounding each lane at workers-1 in
+	// flight (1 when the pool has a single worker, where no reservation is
+	// possible). A laned job holds its slot across the whole Do — including
+	// the wait for a worker — so at most cap(lane) workers ever run that
+	// lane and at least one worker stays available to the other lane.
+	lanes [laneCount]chan struct{}
 
 	// mu guards closed; submitters hold it shared while handing a job to a
 	// worker, so Close cannot close the channel under an in-flight send.
@@ -29,6 +54,13 @@ func NewPool(workers int) *Pool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{jobs: make(chan func()), workers: workers}
+	laneCap := workers - 1
+	if laneCap < 1 {
+		laneCap = 1
+	}
+	for i := range p.lanes {
+		p.lanes[i] = make(chan struct{}, laneCap)
+	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
@@ -70,6 +102,19 @@ func (p *Pool) Do(f func()) {
 		return
 	}
 	<-done
+}
+
+// DoLane is Do with priority admission: the job first claims one of its
+// lane's workers-1 slots (blocking behind its own lane's backlog, never the
+// other lane's), then runs like Do. With two or more workers this
+// guarantees starvation-freedom between the lanes: however deep the
+// personalize backlog, a predict-triggered job waits behind at most its own
+// lane, and there is always a worker the saturated lane cannot hold.
+func (p *Pool) DoLane(lane Lane, f func()) {
+	sem := p.lanes[lane]
+	sem <- struct{}{}
+	defer func() { <-sem }()
+	p.Do(f)
 }
 
 // Map runs f(0..n-1) across the pool and waits for all of them; on a

@@ -76,6 +76,13 @@ type Options struct {
 	// compiled engines; the remainder holds warm records. Outside (0, 1]
 	// it defaults to 0.75. Ignored when MemoryBudgetBytes is 0.
 	HotFraction float64
+	// QoS configures the load-shaping layer: per-tenant service classes
+	// (gold/standard/batch) with class-weighted token-bucket quotas,
+	// deadline-aware batch flushing, and weighted shedding that drops
+	// over-quota tenants (ErrOverQuota) before admission control has to
+	// reject everyone. Zero-valued fields take the class defaults
+	// (DefaultQoSPolicy); set QoS.Disabled for the FIFO baseline.
+	QoS QoSOptions
 }
 
 // withDefaults fills unset serving options.
@@ -131,6 +138,12 @@ type Personalization struct {
 	// bat coalesces concurrent Predict calls against this engine; nil when
 	// batching is disabled (Options.MaxBatch <= 1).
 	bat *batcher
+	// qos is the tenant's service class (a QoSClass; atomic because
+	// PersonalizeQoS may re-class a tenant while predicts are in flight).
+	// bucket is its token-bucket quota, charged per predicted sample at the
+	// class rate.
+	qos    atomic.Int32
+	bucket tokenBucket
 	// size is the resident cost this personalization charges against the
 	// hot tier: engine-owned compiled state plus the model clone, fixed at
 	// creation (see Server.sizeOf).
@@ -160,6 +173,9 @@ func (p *Personalization) release() {
 // Engine exposes the compiled sparse inference engine.
 func (p *Personalization) Engine() *inference.Engine { return p.engine }
 
+// QoS returns the tenant's current service class.
+func (p *Personalization) QoS() QoSClass { return QoSClass(p.qos.Load()) }
+
 // Stats is a point-in-time snapshot of the server's counters.
 type Stats struct {
 	// Requests counts Personalize calls (including ones served from cache).
@@ -182,12 +198,25 @@ type Stats struct {
 	// Rejected counts Predict requests dropped by admission control
 	// (ErrOverloaded: the personalization's queue was full).
 	Rejected uint64 `json:"rejected"`
-	// FlushSize, FlushLinger and FlushForced partition batched flushes by
-	// trigger: the queue reached MaxBatch samples, the Linger timer fired
-	// first, or DrainBatches forced a partial batch out.
-	FlushSize   uint64 `json:"flush_size"`
-	FlushLinger uint64 `json:"flush_linger"`
-	FlushForced uint64 `json:"flush_forced"`
+	// FlushSize, FlushLinger, FlushForced and FlushDeadline partition
+	// batched flushes by trigger: the queue reached MaxBatch samples, the
+	// linger window (relative to the oldest rider's arrival) closed, a
+	// DrainBatches forced a partial batch out, or the oldest rider's QoS
+	// latency budget neared exhaustion (deadline-aware linger).
+	FlushSize     uint64 `json:"flush_size"`
+	FlushLinger   uint64 `json:"flush_linger"`
+	FlushForced   uint64 `json:"flush_forced"`
+	FlushDeadline uint64 `json:"flush_deadline"`
+	// ShedByClass counts weighted-shedding drops (ErrOverQuota) per QoS
+	// class name: over-quota tenants dropped under queue pressure before
+	// blanket admission control has to 429 everyone.
+	ShedByClass map[string]uint64 `json:"shed_by_class"`
+	// QueueWait captures batched-predict queue waits (rider arrival → flush
+	// start) per QoS class name.
+	QueueWait map[string]QueueWaitStats `json:"queue_wait"`
+	// QoSEnabled reports whether the load-shaping layer is active (false
+	// when Options.QoS.Disabled — the FIFO baseline).
+	QoSEnabled bool `json:"qos_enabled"`
 	// PredictNS is cumulative wall time (nanoseconds) spent inside engine
 	// invocations on the predict path; PredictNS / PredictBatches is the
 	// mean batch latency.
@@ -263,6 +292,23 @@ type Stats struct {
 	Top1Agreement    float64 `json:"top1_agreement"`
 }
 
+// QueueWaitStats is one QoS class's queue-wait distribution: a histogram
+// over QueueWaitBoundsMS plus the sum and count for means.
+type QueueWaitStats struct {
+	// Hist buckets riders by queue wait; bucket i covers waits up to
+	// QueueWaitBoundsMS[i] milliseconds, the last bucket is +Inf.
+	Hist [len(QueueWaitBoundsMS) + 1]uint64 `json:"hist"`
+	// SumNS is the cumulative queue wait in nanoseconds; Count the riders
+	// measured.
+	SumNS uint64 `json:"sum_ns"`
+	Count uint64 `json:"count"`
+}
+
+// QueueWaitBoundsMS are the queue-wait histogram's upper bounds in
+// milliseconds (the final implicit bucket is +Inf). Shared with the
+// Prometheus exposition in internal/api.
+var QueueWaitBoundsMS = [7]float64{0.25, 0.5, 1, 2.5, 5, 10, 50}
+
 // predictCounters are the predict-path counters. The control-plane counters
 // (Personalize bookkeeping) stay under Server.mu — they already hold it for
 // the cache — but the predict fan-in is the hot path: with dynamic batching
@@ -279,6 +325,12 @@ type predictCounters struct {
 	latencyNS   atomic.Uint64    // cumulative engine wall time
 	queued      atomic.Int64     // gauge: samples waiting across batchers
 	hist        [8]atomic.Uint64 // batch sizes: <=1,2,4,8,16,32,64,+Inf
+
+	flushDeadline atomic.Uint64                // batches flushed on a rider's deadline
+	shed          [NumQoSClasses]atomic.Uint64 // ErrOverQuota drops per class
+	qwHist        [NumQoSClasses][len(QueueWaitBoundsMS) + 1]atomic.Uint64
+	qwNS          [NumQoSClasses]atomic.Uint64
+	qwCount       [NumQoSClasses]atomic.Uint64
 }
 
 // observe retires one engine invocation of n samples taking d.
@@ -291,6 +343,23 @@ func (c *predictCounters) observe(n int, d time.Duration) {
 		bound <<= 1
 	}
 	c.hist[b].Add(1)
+}
+
+// observeWait retires one rider's queue wait into its class histogram.
+func (c *predictCounters) observeWait(class QoSClass, w time.Duration) {
+	if class < 0 || int(class) >= NumQoSClasses {
+		class = QoSStandard
+	}
+	ms := w.Seconds() * 1e3
+	b := 0
+	for b < len(QueueWaitBoundsMS) && ms > QueueWaitBoundsMS[b] {
+		b++
+	}
+	c.qwHist[class][b].Add(1)
+	if ns := w.Nanoseconds(); ns > 0 {
+		c.qwNS[class].Add(uint64(ns))
+	}
+	c.qwCount[class].Add(1)
 }
 
 // inflightCall tracks one running personalization so identical concurrent
@@ -321,6 +390,9 @@ type Server struct {
 	// total resident bytes (hot + warm) and the hot tier's share. Zero
 	// budget means the legacy single-level count LRU.
 	budget, hotBudget int64
+	// qos is the resolved load-shaping policy (see qos.go): per-class
+	// latency budgets and quotas plus the shed watermark.
+	qos qosRuntime
 	// snapMu/snapCond guard the pending counters: pendingSnaps counts
 	// write-behind snapshots not yet on disk, pendingJobs counts
 	// personalization jobs between submission and their snapshot being
@@ -382,6 +454,8 @@ func NewServer(build func() *nn.Classifier, base *nn.Classifier, ds *data.Datase
 		s.hotBudget = int64(float64(s.budget) * opts.HotFraction)
 	}
 	s.stats.MemoryBudgetBytes = s.budget
+	s.qos = newQoSRuntime(opts.QoS, opts.MaxQueue)
+	s.stats.QoSEnabled = !s.qos.disabled
 	s.snapCond = sync.NewCond(&s.snapMu)
 	if opts.SnapshotDir != "" {
 		store, err := openStore(opts.SnapshotDir)
@@ -463,8 +537,27 @@ func (s *Server) Canonicalize(classes []int) ([]int, string, error) {
 
 // Personalize returns the engine for the given class set, building it on
 // the worker pool if it is neither cached nor already in flight. The bool
-// reports whether the result came straight from the cache.
+// reports whether the result came straight from the cache. The tenant's QoS
+// class is left as it is (Standard for a brand-new tenant); use
+// PersonalizeQoS to set it.
 func (s *Server) Personalize(classes []int) (*Personalization, bool, error) {
+	return s.personalizeLane(classes, LanePersonalize, nil)
+}
+
+// PersonalizeQoS is Personalize with an explicit service class: the tenant
+// is created at (or an existing tenant re-classed to) qos, which selects
+// its latency budget, quota rate and shed priority (see QoSOptions). QoS is
+// a serving-time property — snapshots do not persist it, so a restored
+// tenant reverts to Standard until its next PersonalizeQoS.
+func (s *Server) PersonalizeQoS(classes []int, qos QoSClass) (*Personalization, bool, error) {
+	return s.personalizeLane(classes, LanePersonalize, &qos)
+}
+
+// personalizeLane is the Personalize implementation: lane picks the pool
+// admission lane (explicit personalizations vs predict-triggered misses —
+// neither may starve the other; see Pool.DoLane), and qos, when non-nil,
+// (re)classes the tenant on success.
+func (s *Server) personalizeLane(classes []int, lane Lane, qos *QoSClass) (*Personalization, bool, error) {
 	canon, key, err := s.Canonicalize(classes)
 	if err != nil {
 		return nil, false, err
@@ -477,12 +570,18 @@ func (s *Server) Personalize(classes []int) (*Personalization, bool, error) {
 		s.stats.CacheHits++
 		p := el.Value.(*Personalization)
 		s.mu.Unlock()
+		if qos != nil {
+			p.qos.Store(int32(*qos))
+		}
 		return p, true, nil
 	}
 	if c, ok := s.inflight[key]; ok {
 		s.stats.DedupJoins++
 		s.mu.Unlock()
 		<-c.done
+		if qos != nil && c.err == nil {
+			c.p.qos.Store(int32(*qos))
+		}
 		return c.p, false, c.err
 	}
 	if s.draining.Load() {
@@ -508,9 +607,12 @@ func (s *Server) Personalize(classes []int) (*Personalization, bool, error) {
 	s.pendingAdd(&s.pendingJobs)
 	defer s.pendingDone(&s.pendingJobs)
 	var src personalizeSource
-	s.pool.Do(func() {
+	s.pool.DoLane(lane, func() {
 		call.p, src, call.err = s.personalize(canon, key)
 	})
+	if qos != nil && call.err == nil {
+		call.p.qos.Store(int32(*qos))
+	}
 
 	s.mu.Lock()
 	inserted := false
@@ -682,17 +784,38 @@ func (s *Server) Predict(classes []int, x *tensor.Tensor) ([]int, error) {
 	}
 	// The hot path — an already-canonical class set with a cached engine —
 	// skips Canonicalize's map/join allocations entirely; anything else
-	// (unsorted sets, duplicates, cache misses) takes the full path.
+	// (unsorted sets, duplicates, cache misses) takes the full path. A miss
+	// resolves on the predict pool lane, so a backlog of explicit
+	// personalizations can never starve it of workers.
 	p := s.predictFast(classes)
 	if p == nil {
 		var err error
-		p, _, err = s.Personalize(classes)
+		p, _, err = s.personalizeLane(classes, LanePredict, nil)
 		if err != nil {
 			return nil, err
 		}
 	}
+	// Weighted shedding: charge the tenant's token bucket one token per
+	// sample at its class rate. An over-quota tenant is only shed while the
+	// server-wide predict queue is past the watermark — quotas shape load
+	// under pressure, they do not cap an idle server — and the drop singles
+	// out that tenant (ErrOverQuota) instead of 429ing everyone. Compliant
+	// tenants still hit the per-queue hard bound (ErrOverloaded) last.
+	class := p.QoS()
+	var deadline time.Time
+	if !s.qos.disabled {
+		pol := s.qos.policy(class)
+		if !p.bucket.take(float64(x.Shape[0]), pol.QuotaRPS, pol.QuotaBurst, time.Now()) &&
+			int(s.counters.queued.Load()) >= s.qos.shedAt {
+			s.counters.shed[class].Add(1)
+			return nil, fmt.Errorf("%w (tenant {%s}, class %s)", ErrOverQuota, p.Key, class)
+		}
+		if pol.LatencyBudget > 0 {
+			deadline = time.Now().Add(pol.LatencyBudget)
+		}
+	}
 	if p.bat != nil {
-		return p.bat.submit(x)
+		return p.bat.submit(x, class, deadline)
 	}
 	start := time.Now()
 	preds := p.engine.Predict(x)
@@ -819,6 +942,19 @@ func (s *Server) Stats() Stats {
 	st.FlushSize = s.counters.flushSize.Load()
 	st.FlushLinger = s.counters.flushLinger.Load()
 	st.FlushForced = s.counters.flushForced.Load()
+	st.FlushDeadline = s.counters.flushDeadline.Load()
+	st.ShedByClass = make(map[string]uint64, NumQoSClasses)
+	st.QueueWait = make(map[string]QueueWaitStats, NumQoSClasses)
+	for c := QoSClass(0); c < NumQoSClasses; c++ {
+		st.ShedByClass[c.String()] = s.counters.shed[c].Load()
+		var qw QueueWaitStats
+		for i := range qw.Hist {
+			qw.Hist[i] = s.counters.qwHist[c][i].Load()
+		}
+		qw.SumNS = s.counters.qwNS[c].Load()
+		qw.Count = s.counters.qwCount[c].Load()
+		st.QueueWait[c.String()] = qw
+	}
 	st.PredictNS = s.counters.latencyNS.Load()
 	st.QueueDepth = int(s.counters.queued.Load())
 	for i := range st.BatchSizeHist {

@@ -1,0 +1,109 @@
+package sloreport
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	lat := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.50, 5}, {0.90, 9}, {0.99, 10}, {0.999, 10}, {0, 1}, {1, 10},
+	}
+	for _, tc := range tests {
+		if got := Percentile(lat, tc.p); got != tc.want {
+			t.Errorf("p%g = %g, want %g", tc.p*100, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty percentile %g, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := ClassReport{Requests: 10, OK: 8, Shed: 1, Overloaded: 1}
+	c.Summarize([]float64{8, 1, 2, 3, 4, 5, 6, 7}) // unsorted on purpose
+	if c.P50MS != 4 || c.MaxMS != 8 || c.MeanMS != 4.5 {
+		t.Fatalf("summary %+v", c)
+	}
+	if c.ShedRate != 0.2 {
+		t.Fatalf("shed rate %g, want 0.2 (shed+overloaded over requests)", c.ShedRate)
+	}
+}
+
+// passingReport builds a report that satisfies baseline().
+func passingReport() *Report {
+	gold := &ClassReport{Requests: 500, OK: 500, P50MS: 10, P99MS: 15, P999MS: 20}
+	std := &ClassReport{Requests: 500, OK: 500, P50MS: 20, P99MS: 25, P999MS: 30}
+	return &Report{
+		TargetRPS: 200, AchievedRPS: 199, GoodputRPS: 199,
+		Classes:   map[string]*ClassReport{"gold": gold, "standard": std},
+		Aggregate: ClassReport{Requests: 1000, OK: 1000, ShedRate: 0},
+	}
+}
+
+func baseline() *Baseline {
+	return &Baseline{
+		Classes: map[string]SLO{
+			"gold":      {MaxP50MS: 16, MaxP99MS: 40, MaxShedRate: 0.05, MinRequests: 100},
+			"aggregate": {MaxShedRate: 0.05, MinRequests: 500},
+		},
+		MinGoodputRPS: 150,
+	}
+}
+
+func TestCheckPasses(t *testing.T) {
+	if v := Check(passingReport(), baseline()); len(v) != 0 {
+		t.Fatalf("clean report violated: %v", v)
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"p50 regression", func(r *Report) { r.Classes["gold"].P50MS = 21 }, "p50_ms"},
+		{"p99 regression", func(r *Report) { r.Classes["gold"].P99MS = 50 }, "p99_ms"},
+		{"shed regression", func(r *Report) { r.Classes["gold"].ShedRate = 0.5 }, "shed_rate"},
+		{"goodput floor", func(r *Report) { r.GoodputRPS = 10 }, "goodput"},
+		{"under-driven harness", func(r *Report) { r.AchievedRPS = 50 }, "under-drove"},
+		{"vacuous pass guard", func(r *Report) { r.Classes["gold"].OK = 3 }, "meaningful percentiles"},
+		{"missing class", func(r *Report) { delete(r.Classes, "gold") }, "report lacks"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			r := passingReport()
+			tc.mutate(r)
+			v := Check(r, baseline())
+			if len(v) == 0 {
+				t.Fatal("regression passed the gate")
+			}
+			found := false
+			for _, msg := range v {
+				if strings.Contains(msg, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("violations %v, want one mentioning %q", v, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckZeroFieldsUnchecked: a baseline that pins nothing passes any
+// outcome — thresholds are opt-in per dimension.
+func TestCheckZeroFieldsUnchecked(t *testing.T) {
+	r := passingReport()
+	r.Classes["gold"].P99MS = 1e9
+	r.GoodputRPS = 0.001
+	b := &Baseline{Classes: map[string]SLO{"gold": {}}}
+	if v := Check(r, b); len(v) != 0 {
+		t.Fatalf("unpinned baseline violated: %v", v)
+	}
+}
