@@ -36,6 +36,7 @@ func WriteMetrics(w io.Writer, st serve.Stats) {
 	counter("snapshot_errors_total", "Failed snapshot writes.", st.SnapshotErrors)
 	counter("restore_hits_total", "Engines rebuilt from disk instead of re-pruned.", st.RestoreHits)
 	counter("restore_errors_total", "Snapshot records that failed to load.", st.RestoreErrors)
+	counter("snapshots_quarantined_total", "Corrupt snapshot records moved aside and de-indexed.", st.SnapshotsQuarantined)
 	counter("handoff_restores_total", "Tenants adopted from another shard via verified handoff.", st.HandoffRestores)
 	counter("handoff_errors_total", "Handoff adoptions that failed (missing record or fingerprint mismatch).", st.HandoffErrors)
 	counter("agreement_samples_total", "Held-out samples measured for int8-vs-float top-1 agreement.", st.AgreementSamples)

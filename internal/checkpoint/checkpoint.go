@@ -16,11 +16,19 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc64"
 	"io"
 	"math"
 
 	"repro/internal/nn"
 )
+
+// crcTable is the CRC-64/ECMA table checksummed streams use; the sum
+// covers everything after the version word, so any single flipped bit —
+// including in raw float64 weights, which otherwise decode "successfully"
+// into silently wrong logits — fails the load closed.
+var crcTable = crc64.MakeTable(crc64.ECMA)
 
 const (
 	magic   = "CRSP"
@@ -206,9 +214,12 @@ func unpackBits(bits []byte, dst []float64) {
 	}
 }
 
-// errWriter accumulates the first write error.
+// errWriter accumulates the first write error. When crc is set, every byte
+// written also feeds it — checksummed formats (personalization v3, deltas)
+// point it at a crc64 and emit the sum as a trailer.
 type errWriter struct {
 	w   io.Writer
+	crc hash.Hash64
 	err error
 }
 
@@ -216,7 +227,9 @@ func (e *errWriter) bytes(b []byte) {
 	if e.err != nil {
 		return
 	}
-	_, e.err = e.w.Write(b)
+	if _, e.err = e.w.Write(b); e.err == nil && e.crc != nil {
+		e.crc.Write(b)
+	}
 }
 
 func (e *errWriter) u32(v uint32) {
@@ -239,9 +252,17 @@ func (e *errWriter) str(s string) {
 // i32 writes a signed 32-bit value (two's complement in the u32 slot).
 func (e *errWriter) i32(v int32) { e.u32(uint32(v)) }
 
-// errReader accumulates the first read error.
+func (e *errWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	e.bytes(buf[:])
+}
+
+// errReader accumulates the first read error. Like errWriter, a non-nil
+// crc sees every byte read, so checksum verification costs no second pass.
 type errReader struct {
 	r   io.Reader
+	crc hash.Hash64
 	err error
 }
 
@@ -254,7 +275,9 @@ func (e *errReader) bytes(n int) []byte {
 		return nil
 	}
 	buf := make([]byte, n)
-	_, e.err = io.ReadFull(e.r, buf)
+	if _, e.err = io.ReadFull(e.r, buf); e.err == nil && e.crc != nil {
+		e.crc.Write(buf)
+	}
 	return buf
 }
 
@@ -276,6 +299,14 @@ func (e *errReader) f64() float64 {
 
 // i32 reads a signed 32-bit value written by errWriter.i32.
 func (e *errReader) i32() int32 { return int32(e.u32()) }
+
+func (e *errReader) u64() uint64 {
+	b := e.bytes(8)
+	if e.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
 
 func (e *errReader) str() string {
 	n := e.u32()

@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"bytes"
 	"fmt"
+	"hash/crc64"
 
 	"repro/internal/nn"
 )
@@ -19,6 +20,7 @@ import (
 //	  mode 1 (kept):  u32 count | f64 kept-position values, in index order
 //	  mode 2 (dense): f64 full weight tensor (unmasked param that diverged)
 //	u32 #bnStats | per stat: name | u8 mode(0|2) | [f64 means | f64 vars]
+//	u64 crc64/ECMA over everything after the version word (since v2)
 //
 // The delta is exact where it matters and deliberately lossy where it
 // cannot matter: masked-out (pruned) weight values are not stored, and
@@ -32,7 +34,7 @@ import (
 
 const (
 	deltaMagic   = "CRSD"
-	deltaVersion = 1
+	deltaVersion = 2 // v2 added the crc64 trailer
 
 	deltaSame  = 0
 	deltaKept  = 1
@@ -51,6 +53,7 @@ func EncodeModelDelta(base, tenant *nn.Classifier) ([]byte, error) {
 	bw := &errWriter{w: &buf}
 	bw.bytes([]byte(deltaMagic))
 	bw.u32(deltaVersion)
+	bw.crc = crc64.New(crcTable)
 	bw.u32(uint32(len(tp)))
 	for i, p := range tp {
 		b := bp[i]
@@ -116,6 +119,12 @@ func EncodeModelDelta(base, tenant *nn.Classifier) ([]byte, error) {
 			bw.f64(v)
 		}
 	}
+	sum := uint64(0)
+	if bw.err == nil {
+		sum = bw.crc.Sum64()
+	}
+	bw.crc = nil
+	bw.u64(sum)
 	if bw.err != nil {
 		return nil, bw.err
 	}
@@ -139,6 +148,7 @@ func ApplyModelDelta(delta []byte, base, dst *nn.Classifier) error {
 	if v := br.u32(); v != deltaVersion {
 		return fmt.Errorf("checkpoint: delta: unsupported version %d (want %d)", v, deltaVersion)
 	}
+	br.crc = crc64.New(crcTable)
 	bp, dp := base.Params(), dst.Params()
 	if len(bp) != len(dp) {
 		return fmt.Errorf("checkpoint: delta across architectures: %d vs %d params", len(bp), len(dp))
@@ -251,7 +261,19 @@ func ApplyModelDelta(delta []byte, base, dst *nn.Classifier) error {
 			return fmt.Errorf("checkpoint: delta norm stat %q: unknown mode %d", name, mode[0])
 		}
 	}
-	return br.err
+	if br.err != nil {
+		return br.err
+	}
+	sum := br.crc.Sum64()
+	br.crc = nil
+	want := br.u64()
+	if br.err != nil {
+		return br.err
+	}
+	if sum != want {
+		return fmt.Errorf("checkpoint: delta checksum mismatch (stored %016x, computed %016x)", want, sum)
+	}
+	return nil
 }
 
 // equalSlices reports elementwise equality (bit-level intent: weights are

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // IndexFile is the conventional name of the snapshot index inside a
@@ -22,15 +25,18 @@ const indexHeader = "CRSPIDX1"
 // never be picked up.
 type Index map[string]string
 
-// ReadIndex loads an index file. A missing file is an empty index, not an
+// ReadIndex loads an index file from the real filesystem; see ReadIndexFS.
+func ReadIndex(path string) (Index, error) { return ReadIndexFS(fault.OS{}, path) }
+
+// ReadIndexFS loads an index file. A missing file is an empty index, not an
 // error; a malformed file is an error. Entries are appended one per write
 // (AppendIndex), so the file is a journal: duplicate keys resolve to the
 // last entry, and a malformed FINAL line — a write torn by a crash — is
 // dropped silently rather than poisoning the whole index (the orphaned
 // record re-indexes on its next snapshot). A malformed interior line is
 // still an error.
-func ReadIndex(path string) (Index, error) {
-	f, err := os.Open(path)
+func ReadIndexFS(fsys fault.FS, path string) (Index, error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return Index{}, nil
 	}
@@ -65,16 +71,23 @@ func ReadIndex(path string) (Index, error) {
 	return idx, nil
 }
 
-// AppendIndex journals one entry to the index file in a single O_APPEND
+// AppendIndex journals one entry on the real filesystem; see AppendIndexFS.
+func AppendIndex(path, key, file string) error {
+	return AppendIndexFS(fault.OS{}, path, key, file)
+}
+
+// AppendIndexFS journals one entry to the index file in a single O_APPEND
 // write (creating the file with its header first if needed), so indexing a
 // new snapshot costs O(1) instead of rewriting every entry. ReadIndex's
 // last-entry-wins and torn-tail rules make the append crash-safe: a partial
-// final line loses only that entry, never the index.
-func AppendIndex(path, key, file string) error {
+// final line loses only that entry, never the index. The entry is fsynced
+// before the call returns — an indexed snapshot is an acknowledged one, and
+// an acknowledgment that can evaporate in a power cut is a lie.
+func AppendIndexFS(fsys fault.FS, path, key, file string) error {
 	if key == "" || file == "" || strings.ContainsAny(key+file, "\t\n") {
 		return fmt.Errorf("checkpoint: invalid index entry %q -> %q", key, file)
 	}
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
@@ -100,18 +113,30 @@ func AppendIndex(path, key, file string) error {
 			entry = "\n" + entry
 		}
 	}
-	if _, err := f.WriteString(entry); err != nil {
+	if _, err := f.Write([]byte(entry)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// WriteIndex atomically replaces the index file: the new content lands in a
-// temp file in the same directory and is renamed over path, so readers see
-// either the old or the new index, never a torn one. Entries are written in
-// sorted key order for reproducible files.
+// WriteIndex atomically replaces the index file on the real filesystem;
+// see WriteIndexFS.
 func WriteIndex(path string, idx Index) error {
+	return WriteIndexFS(fault.OS{}, path, idx)
+}
+
+// WriteIndexFS atomically replaces the index file: the new content lands in
+// a temp file in the same directory (written and fsynced before the rename
+// publishes it, then the directory is fsynced so the rename itself is
+// durable), so readers see either the old or the new index, never a torn
+// one — even across a power cut. Entries are written in sorted key order
+// for reproducible files.
+func WriteIndexFS(fsys fault.FS, path string, idx Index) error {
 	var b strings.Builder
 	b.WriteString(indexHeader + "\n")
 	keys := make([]string, 0, len(idx))
@@ -124,12 +149,27 @@ func WriteIndex(path string, idx Index) error {
 	}
 
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if _, err := f.Write([]byte(b.String())); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
-	return nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
 }

@@ -7,10 +7,10 @@ package checkpoint
 // snapshots to disk so a restart can reload engines instead of re-running
 // the prune+fine-tune pipeline per tenant.
 //
-// The record is version 2 of the checkpoint stream (same magic, same
+// The record is version 3 of the checkpoint stream (same magic, same
 // endian-fixed primitives):
 //
-//	magic "CRSP" | u32 2
+//	magic "CRSP" | u32 3
 //	| key | u32 #classes | u32 classes (sorted ids)
 //	| f64 accuracy
 //	| report: method | f64 target | f64 achieved | f64 flopsRatio
@@ -18,20 +18,34 @@ package checkpoint
 //	|                            | i32 keptBlockCols | u32 gridCols
 //	|   u32 #iters;   per iter:  u32 iteration | f64 kappa | f64 sparsity | f64 loss
 //	| classifier body (identical encoding to the v1 payload)
+//	| u64 crc64/ECMA over everything after the version word
 //
-// Version 1 streams (plain classifiers written by Save) remain loadable by
-// Load; LoadPersonalization rejects them, and Load rejects v2 records, so
-// the two cannot be confused silently.
+// The trailing checksum is what makes disk corruption fail closed: a bit
+// flipped inside a raw float64 weight parses fine and would silently change
+// the tenant's logits; with the trailer, any flip anywhere in the record is
+// a load error (and the serving layer quarantines the record).
+//
+// Version 2 records (identical, minus the checksum trailer) still load —
+// fleets carry snapshots written before the trailer existed. Version 1
+// streams (plain classifiers written by Save) remain loadable by Load;
+// LoadPersonalization rejects them, and Load rejects v2+ records, so the
+// two cannot be confused silently.
 
 import (
 	"fmt"
+	"hash/crc64"
 	"io"
 
 	"repro/internal/nn"
 	"repro/internal/pruner"
 )
 
-const personalizationVersion = 2
+const (
+	personalizationVersion = 3
+	// legacyPersonalizationVersion is the pre-checksum record format,
+	// accepted on load for snapshots written by older servers.
+	legacyPersonalizationVersion = 2
+)
 
 // maxCount bounds every repeated-field count in a v2 record. Real records
 // have a handful of classes, layers and iterations; anything near the bound
@@ -53,12 +67,13 @@ type PersonalizationRecord struct {
 	Report pruner.Report
 }
 
-// SavePersonalization writes a version-2 record: rec's metadata followed by
-// the pruned classifier's full payload.
+// SavePersonalization writes a version-3 record: rec's metadata followed by
+// the pruned classifier's full payload and a crc64 trailer.
 func SavePersonalization(w io.Writer, rec PersonalizationRecord, clf *nn.Classifier) error {
 	bw := &errWriter{w: w}
 	bw.bytes([]byte(magic))
 	bw.u32(personalizationVersion)
+	bw.crc = crc64.New(crcTable)
 
 	bw.str(rec.Key)
 	bw.u32(uint32(len(rec.Classes)))
@@ -90,6 +105,12 @@ func SavePersonalization(w io.Writer, rec PersonalizationRecord, clf *nn.Classif
 	}
 
 	saveBody(bw, clf)
+	var sum uint64
+	if bw.err == nil {
+		sum = bw.crc.Sum64()
+	}
+	bw.crc = nil // the trailer itself is not part of the sum
+	bw.u64(sum)
 	return bw.err
 }
 
@@ -108,8 +129,12 @@ func LoadPersonalization(r io.Reader, clf *nn.Classifier) (PersonalizationRecord
 	if string(head) != magic {
 		return rec, fmt.Errorf("checkpoint: bad magic %q", head)
 	}
-	if v := br.u32(); br.err == nil && v != personalizationVersion {
+	v := br.u32()
+	if br.err == nil && v != personalizationVersion && v != legacyPersonalizationVersion {
 		return rec, fmt.Errorf("checkpoint: unsupported personalization version %d (want %d)", v, personalizationVersion)
+	}
+	if v == personalizationVersion {
+		br.crc = crc64.New(crcTable)
 	}
 
 	rec.Key = br.str()
@@ -171,6 +196,26 @@ func LoadPersonalization(r io.Reader, clf *nn.Classifier) (PersonalizationRecord
 
 	if err := loadBody(br, clf); err != nil {
 		return rec, err
+	}
+	if v == personalizationVersion {
+		sum := br.crc.Sum64()
+		br.crc = nil
+		want := br.u64()
+		if br.err != nil {
+			return rec, br.err
+		}
+		if sum != want {
+			return rec, fmt.Errorf("checkpoint: personalization record checksum mismatch (stored %016x, computed %016x)", want, sum)
+		}
+	} else {
+		// A legacy record ends exactly at the body. Trailing bytes mean this
+		// is really a v3 stream whose version word was corrupted into 2 —
+		// accepting it would silently skip the checksum (a downgrade hole),
+		// so refuse instead.
+		var one [1]byte
+		if n, _ := io.ReadFull(br.r, one[:]); n != 0 {
+			return rec, fmt.Errorf("checkpoint: trailing bytes after legacy personalization record")
+		}
 	}
 	return rec, nil
 }

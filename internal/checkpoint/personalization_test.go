@@ -134,13 +134,15 @@ func TestPersonalizationFailsClosed(t *testing.T) {
 		}
 	}
 
-	// Flipping bytes in the metadata header must error or round-trip a
-	// different record — never panic. (Flips inside the f64 payload are
-	// legitimately undetectable; stick to the structured prefix.)
+	// Flipping bytes anywhere must error, never panic: the crc64 trailer
+	// catches flips even inside the f64 payload (the exhaustive sweep lives
+	// in corruption_test.go; this is the quick structured-prefix pass).
 	for off := 4; off < 60 && off < len(valid); off++ {
 		mut := append([]byte(nil), valid...)
 		mut[off] ^= 0xFF
-		_, _ = LoadPersonalization(bytes.NewReader(mut), dst)
+		if _, err := LoadPersonalization(bytes.NewReader(mut), dst); err == nil {
+			t.Fatalf("byte flip at %d loaded without error", off)
+		}
 	}
 }
 

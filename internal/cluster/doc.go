@@ -47,7 +47,48 @@
 // fingerprint the old owner reported. Tenants are briefly "moving" (503 +
 // Retry-After) but never lost and never re-pruned.
 //
+// # Failure modes
+//
+// What the router does for each failure shape it can observe, and what the
+// failure costs. "Conclusive" failures prove the process is gone;
+// "inconclusive" ones (a wedged worker, a flaky link) only count toward the
+// circuit breaker, because evicting a shard on one blip would churn the
+// ring for nothing.
+//
+//	failure observed          classification  router response                        cost to tenants
+//	------------------------  --------------  -------------------------------------  ------------------------------
+//	connection refused /      conclusive      markDown immediately; ring re-places;  one failed attempt, then
+//	dial error                                retry lands on a survivor              restore-on-touch (no re-prune)
+//	request deadline          inconclusive    count toward BreakerThreshold; retry   latency of the deadline; trips
+//	exceeded (wedged shard)                   same owner until the breaker trips     breaker after N consecutive
+//	connection reset          inconclusive    same as deadline — the request may     one retry round trip
+//	mid-exchange                              have been processed; only predicts
+//	                                          (idempotent) are retried
+//	black-hole partition      inconclusive    per-request deadlines bound every      bounded by the QoS-derived
+//	(no RST, just silence)    (until probes   attempt; breaker + failed probes       deadline, then failover
+//	                          fail)           converge on Down within FailThreshold
+//	probe failures            conclusive      off the ring at FailThreshold; lazy    none if snapshots flushed
+//	(FailThreshold in a row)  after N         restore on survivors
+//	corrupt snapshot record   disk fault      shard-side: checksum fails closed,     exactly one re-prune for that
+//	(bit rot, torn write)                     record quarantined + de-indexed        tenant; peers' records kept
+//	shard-side 503            draining        immediate re-probe, then retry —       one extra round trip
+//	(draining owner)                          the ring sheds the drainer first
+//	429 (over quota /         not a failure   relayed to the client unchanged —      client-owned backoff
+//	shed load)                                retrying elsewhere would dodge the
+//	                                          tenant's own quota bucket
+//
+// Per-request deadlines derive from the tenant's QoS class (learned from
+// proxied /personalize bodies): deadline = latency budget × BudgetScale,
+// clamped to [PredictFloor, PredictTimeout]. A gold tenant fails over in
+// hundreds of milliseconds while a batch tenant tolerates a slow shard —
+// the same budget arithmetic the shard's batcher runs, reused as the
+// cluster's impatience.
+//
 // cmd/crisp-router is the binary; internal/cluster/e2e_test.go drives a
 // router plus three real in-process shards through kill, lazy failover,
-// rejoin, and drain under concurrent load.
+// rejoin, and drain under concurrent load (with seeded network faults when
+// CRISP_E2E_FAULTS is set). cmd/crisp-chaos replays Zipf traffic through a
+// live cluster under a seeded storm — partition, record corruption, crash,
+// restart — and fails CI unless recovery is exact: zero lost tenants, one
+// quarantine, one re-prune, bit-identical logits.
 package cluster

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/data"
+	"repro/internal/fault"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/pruner"
@@ -20,6 +22,29 @@ import (
 	"repro/internal/sparsity"
 	"repro/internal/tensor"
 )
+
+// e2eRouterOptions is the router config both scenarios share. Setting
+// CRISP_E2E_FAULTS (the CI e2e job does) additionally runs the whole suite
+// over a flaky network: a seeded light fault schedule injecting latency and
+// connection resets into /predict proxies. The assertions do not change —
+// predicts are idempotent and absorbing exactly this is the router's job.
+func e2eRouterOptions() Options {
+	opts := Options{
+		ProbeInterval:  50 * time.Millisecond,
+		FailThreshold:  2,
+		PredictRetries: 3,
+		RetryBackoff:   20 * time.Millisecond,
+	}
+	if os.Getenv("CRISP_E2E_FAULTS") != "" {
+		frt := fault.NewRoundTripper(nil, fault.NewInjector(443), fault.NetFaults{
+			LatencyProb: 0.05, Latency: 30 * time.Millisecond,
+			ResetProb: 0.03,
+			Paths:     []string{"/predict"},
+		})
+		opts.Client = &http.Client{Transport: frt}
+	}
+	return opts
+}
 
 // e2eEnv is the shared cluster fixture: one tiny dataset and one lightly
 // pre-trained universal model; every shard (including restarted ones)
@@ -173,12 +198,7 @@ func sumPersonalizations(shards map[string]*realShard, skip string) uint64 {
 func TestClusterKillRejoinE2E(t *testing.T) {
 	dir := t.TempDir()
 	shards := map[string]*realShard{}
-	rt := NewRouter(Options{
-		ProbeInterval:  50 * time.Millisecond,
-		FailThreshold:  2,
-		PredictRetries: 3,
-		RetryBackoff:   20 * time.Millisecond,
-	})
+	rt := NewRouter(e2eRouterOptions())
 	for _, id := range []string{"s1", "s2", "s3"} {
 		sh := newRealShard(t, id, dir, "")
 		shards[id] = sh
@@ -380,12 +400,7 @@ func TestClusterKillRejoinE2E(t *testing.T) {
 func TestClusterDrainHandoffE2E(t *testing.T) {
 	dir := t.TempDir()
 	shards := map[string]*realShard{}
-	rt := NewRouter(Options{
-		ProbeInterval:  50 * time.Millisecond,
-		FailThreshold:  2,
-		PredictRetries: 3,
-		RetryBackoff:   20 * time.Millisecond,
-	})
+	rt := NewRouter(e2eRouterOptions())
 	for _, id := range []string{"s1", "s2", "s3"} {
 		sh := newRealShard(t, id, dir, "")
 		shards[id] = sh

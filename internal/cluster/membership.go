@@ -51,11 +51,20 @@ type Shard struct {
 	ID   string
 	Addr string // host:port, no scheme
 
-	mu      sync.Mutex
-	state   ShardState
-	fails   int         // consecutive probe failures
-	stats   serve.Stats // last successful /healthz snapshot
-	lastErr string
+	mu           sync.Mutex
+	state        ShardState
+	fails        int         // consecutive probe failures
+	breakerFails int         // consecutive inconclusive proxy failures (circuit breaker)
+	stats        serve.Stats // last successful /healthz snapshot
+	lastErr      string
+}
+
+// breakerReset clears the circuit breaker after a successful proxied
+// response: the breaker counts consecutive failures only.
+func (sh *Shard) breakerReset() {
+	sh.mu.Lock()
+	sh.breakerFails = 0
+	sh.mu.Unlock()
 }
 
 func (sh *Shard) State() ShardState {
@@ -112,6 +121,7 @@ func (rt *Router) probeOnce(sh *Shard) {
 		return
 	}
 	sh.fails = 0
+	sh.breakerFails = 0
 	sh.lastErr = ""
 	sh.stats = h.Stats
 	revive := false

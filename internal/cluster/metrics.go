@@ -23,6 +23,8 @@ func (rt *Router) writeMetrics(w io.Writer) {
 	counter("handoff_errors_total", "Drain handoffs that fell back to lazy restore.", rt.handoffErrors.Load())
 	counter("shard_drops_total", "Times a shard was taken off the ring (probes or connection errors).", rt.probeDrops.Load())
 	counter("shard_revives_total", "Times a recovered shard was re-added to the ring.", rt.probeRevives.Load())
+	counter("proxy_timeouts_total", "Proxied requests that hit their per-request deadline.", rt.proxyTimeouts.Load())
+	counter("breaker_trips_total", "Shards marked down by the consecutive-failure circuit breaker.", rt.breakerTrips.Load())
 
 	members := rt.members()
 	onRing := rt.ring.Nodes()

@@ -2,16 +2,21 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
+
+	"repro/internal/serve"
 )
 
 // Options tunes the router. Zero values get sane defaults (see NewRouter).
@@ -30,10 +35,32 @@ type Options struct {
 	// the client sees 502 and owns the retry.
 	PredictRetries int
 	// RetryBackoff is the initial backoff between predict retries,
-	// doubling per attempt and capped at 1s (default 50ms).
+	// doubling per attempt and capped at 1s (default 50ms). The wait is
+	// context-cancellable: a client hang-up or router shutdown ends it.
 	RetryBackoff time.Duration
-	// Client serves proxied requests. The default allows 5 minutes — a
-	// personalize proxied to a shard is a full pruning run.
+	// PredictTimeout caps a proxied predict's per-request deadline (default
+	// 10s); it is also the deadline when the tenant's QoS class is unknown.
+	PredictTimeout time.Duration
+	// PersonalizeTimeout bounds a proxied personalization, which is a full
+	// pruning run on the shard (default 5m).
+	PersonalizeTimeout time.Duration
+	// BudgetScale turns a tenant's QoS latency budget into its predict
+	// deadline: deadline = budget × BudgetScale, clamped to
+	// [PredictFloor, PredictTimeout] (default 50). The budget is a p99
+	// batch-flush target, not a proxy round trip; the scale leaves room for
+	// queueing and the network while still letting gold tenants fail fast.
+	BudgetScale int
+	// PredictFloor is the minimum per-request predict deadline (default 1s):
+	// even a 10ms-budget gold tenant should not be timed out by one GC pause.
+	PredictFloor time.Duration
+	// BreakerThreshold is how many consecutive inconclusive proxy failures
+	// (timeouts, resets — not refused connections, which are conclusive on
+	// their own) trip a shard's circuit breaker and mark it down (default 4).
+	BreakerThreshold int
+	// Client serves proxied requests. Deadlines are per-request (see
+	// PredictTimeout/PersonalizeTimeout), so the default client carries no
+	// blanket timeout — a blanket one would cap every request at the
+	// slowest path's ceiling.
 	Client *http.Client
 	// ProbeClient serves /healthz probes. The default times out in 3s so a
 	// wedged shard cannot stall the probe loop.
@@ -53,6 +80,12 @@ type Router struct {
 	mu     sync.RWMutex
 	shards map[string]*Shard
 
+	// qosByKey remembers each tenant's QoS class, learned from the "qos"
+	// field of proxied /personalize bodies, to derive predict deadlines.
+	// Bounded by the tenant population (same order as the ring's placements).
+	qosMu    sync.RWMutex
+	qosByKey map[string]serve.QoSClass
+
 	movingMu sync.Mutex
 	moving   map[string]struct{} // tenant keys mid-handoff → 503 Retry-After
 
@@ -69,6 +102,8 @@ type Router struct {
 	handoffErrors      atomic.Uint64
 	probeDrops         atomic.Uint64 // shards taken off the ring
 	probeRevives       atomic.Uint64 // shards re-added after recovery
+	proxyTimeouts      atomic.Uint64 // proxied requests that hit their deadline
+	breakerTrips       atomic.Uint64 // shards marked down by the circuit breaker
 }
 
 // NewRouter builds a router with no members; call AddShard then Start.
@@ -87,17 +122,33 @@ func NewRouter(opts Options) *Router {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 50 * time.Millisecond
 	}
+	if opts.PredictTimeout <= 0 {
+		opts.PredictTimeout = 10 * time.Second
+	}
+	if opts.PersonalizeTimeout <= 0 {
+		opts.PersonalizeTimeout = 5 * time.Minute
+	}
+	if opts.BudgetScale <= 0 {
+		opts.BudgetScale = 50
+	}
+	if opts.PredictFloor <= 0 {
+		opts.PredictFloor = time.Second
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 4
+	}
 	rt := &Router{
 		opts:        opts,
 		ring:        NewRing(opts.VNodes),
 		client:      opts.Client,
 		probeClient: opts.ProbeClient,
 		shards:      make(map[string]*Shard),
+		qosByKey:    make(map[string]serve.QoSClass),
 		moving:      make(map[string]struct{}),
 		stopc:       make(chan struct{}),
 	}
 	if rt.client == nil {
-		rt.client = &http.Client{Timeout: 5 * time.Minute}
+		rt.client = &http.Client{}
 	}
 	if rt.probeClient == nil {
 		rt.probeClient = &http.Client{Timeout: 3 * time.Second}
@@ -120,6 +171,7 @@ func (rt *Router) AddShard(id, addr string) {
 	sh.Addr = addr
 	sh.state = ShardUp
 	sh.fails = 0
+	sh.breakerFails = 0
 	sh.mu.Unlock()
 	rt.ring.Add(id)
 }
@@ -291,7 +343,8 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string, ide
 		return
 	}
 	var req struct {
-		Classes []int `json:"classes"`
+		Classes []int  `json:"classes"`
+		QoS     string `json:"qos"`
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -301,6 +354,15 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string, ide
 	if key == "" {
 		httpError(w, http.StatusBadRequest, errors.New("empty class set"))
 		return
+	}
+	if path == "/personalize" && req.QoS != "" {
+		// Remember the class so later predicts get a budget-derived deadline.
+		// Invalid values are the shard's 400 to give; don't learn them.
+		if class, err := serve.ParseQoSClass(req.QoS); err == nil {
+			rt.qosMu.Lock()
+			rt.qosByKey[key] = class
+			rt.qosMu.Unlock()
+		}
 	}
 	if rt.isMoving(key) {
 		rt.unavailable.Add(1)
@@ -313,12 +375,19 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string, ide
 	if idempotent {
 		attempts += rt.opts.PredictRetries
 	}
+	timeout := rt.deadlineFor(path, key)
 	backoff := rt.opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			rt.retries.Add(1)
-			time.Sleep(backoff)
+			if !rt.sleepBackoff(r.Context(), backoff) {
+				// The client hung up or the router is shutting down; there
+				// is no one left to retry for.
+				rt.proxyErrors.Add(1)
+				httpError(w, http.StatusBadGateway, fmt.Errorf("retry abandoned for {%s}: %w", key, lastErr))
+				return
+			}
 			if backoff *= 2; backoff > time.Second {
 				backoff = time.Second
 			}
@@ -330,12 +399,13 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string, ide
 			httpError(w, http.StatusServiceUnavailable, errors.New("no shards on the ring"))
 			return
 		}
-		resp, err := rt.client.Post("http://"+sh.Addr+path, "application/json", bytes.NewReader(body))
+		resp, err := rt.postShard(r.Context(), sh.Addr, path, body, timeout)
 		if err != nil {
-			rt.markDown(sh, err)
+			rt.shardFailed(sh, err)
 			lastErr = err
 			continue
 		}
+		sh.breakerReset()
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			// The shard is draining and does not hold this tenant: probe it
 			// now so the ring stops pointing at it, then retry elsewhere.
@@ -362,6 +432,108 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, path string, ide
 	}
 	rt.proxyErrors.Add(1)
 	httpError(w, http.StatusBadGateway, fmt.Errorf("no shard could serve {%s}: %w", key, lastErr))
+}
+
+// deadlineFor derives the per-request deadline: personalizations get the
+// flat pruning-run bound; predicts get the tenant's QoS latency budget
+// scaled by BudgetScale and clamped to [PredictFloor, PredictTimeout], so a
+// gold tenant's failover fires in about a second while a batch tenant is
+// given the time its class already promised it.
+func (rt *Router) deadlineFor(path, key string) time.Duration {
+	if path != "/predict" {
+		return rt.opts.PersonalizeTimeout
+	}
+	rt.qosMu.RLock()
+	class, ok := rt.qosByKey[key]
+	rt.qosMu.RUnlock()
+	if !ok {
+		return rt.opts.PredictTimeout
+	}
+	d := serve.DefaultQoSPolicy(class).LatencyBudget * time.Duration(rt.opts.BudgetScale)
+	if d < rt.opts.PredictFloor {
+		d = rt.opts.PredictFloor
+	}
+	if d > rt.opts.PredictTimeout {
+		d = rt.opts.PredictTimeout
+	}
+	return d
+}
+
+// postShard issues one deadline-bounded POST. The deadline's cancel is tied
+// to the response body: it fires when the caller closes the body (relay or
+// the retry loop's drain), never before the body is read.
+func (rt *Router) postShard(ctx context.Context, addr, path string, body []byte, timeout time.Duration) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody releases a request's deadline context when its response body
+// is closed.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// sleepBackoff waits out one retry backoff, abandoning the wait (false) if
+// the client's request context ends or the router shuts down — a goroutine
+// sleeping toward a dead client is a slow leak under a partition storm.
+func (rt *Router) sleepBackoff(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-rt.stopc:
+		return false
+	}
+}
+
+// shardFailed classifies a proxy transport error. Conclusive failures — the
+// connection was refused, meaning no process listens there — mark the shard
+// down immediately. Inconclusive ones (deadline hit, connection reset,
+// truncated response: the shard may be fine and the path broken, or slow
+// rather than dead) feed the shard's circuit breaker; BreakerThreshold
+// consecutive inconclusive failures trip it, taking the shard off the ring
+// until a probe succeeds. One flaky request never evicts a shard, and a
+// black-holed one cannot keep absorbing traffic for FailThreshold probe
+// rounds either.
+func (rt *Router) shardFailed(sh *Shard, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		rt.proxyTimeouts.Add(1)
+	}
+	var opErr *net.OpError
+	if errors.Is(err, syscall.ECONNREFUSED) || (errors.As(err, &opErr) && opErr.Op == "dial") {
+		rt.markDown(sh, err)
+		return
+	}
+	sh.mu.Lock()
+	sh.breakerFails++
+	trip := sh.breakerFails >= rt.opts.BreakerThreshold
+	sh.mu.Unlock()
+	if trip {
+		rt.breakerTrips.Add(1)
+		rt.markDown(sh, fmt.Errorf("circuit breaker tripped: %w", err))
+	}
 }
 
 // relay copies the shard's response through to the client.

@@ -1,0 +1,174 @@
+package cluster
+
+// Fault-injection tests for the proxy path's hardening: the circuit breaker
+// on inconclusive failures, QoS-budget-derived per-request deadlines, and
+// the cancellable retry backoff. Network faults come from fault.RoundTripper
+// so the failures are the real error shapes (ECONNRESET, context deadline),
+// not hand-rolled sentinels.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/fault"
+)
+
+// TestBreakerTripsOnResets: connection resets are inconclusive — no single
+// one may evict a shard, but BreakerThreshold consecutive ones must. The
+// fault layer resets every /predict while /personalize flows untouched,
+// which also pins the Paths filter end to end.
+func TestBreakerTripsOnResets(t *testing.T) {
+	frt := fault.NewRoundTripper(nil, fault.NewInjector(3), fault.NetFaults{
+		ResetProb: 1, Paths: []string{"/predict"},
+	})
+	rt := NewRouter(Options{
+		PredictRetries:   2,
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 3,
+		Client:           &http.Client{Transport: frt},
+	})
+	sh := newStubShard(t, "s1")
+	rt.AddShard("s1", sh.addr())
+	// No Start(): a probe success would legitimately reset the breaker and
+	// revive the shard mid-assertion.
+	front := httptest.NewServer(rt.Mux())
+	t.Cleanup(front.Close)
+
+	// 3 attempts, 3 resets: the third trips the breaker.
+	resp, _ := postBody(t, front.URL+"/predict", `{"classes":[1,3]}`)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("predict through resets: status %d, want 502", resp.StatusCode)
+	}
+	if got := rt.breakerTrips.Load(); got != 1 {
+		t.Fatalf("breaker trips = %d, want 1", got)
+	}
+	if st := rt.shards["s1"].State(); st != ShardDown {
+		t.Fatalf("tripped shard state %v, want down", st)
+	}
+	if rt.ring.Has("s1") {
+		t.Fatal("tripped shard still on the ring")
+	}
+	if frt.Resets.Load() != 3 {
+		t.Fatalf("resets fired = %d, want 3", frt.Resets.Load())
+	}
+
+	// A probe success heals: breaker cleared, shard revived.
+	rt.probeOnce(rt.shards["s1"])
+	if st := rt.shards["s1"].State(); st != ShardUp || !rt.ring.Has("s1") {
+		t.Fatalf("probe did not revive tripped shard (state %v)", st)
+	}
+
+	// The storm only covers /predict: personalize flows normally.
+	resp, out := postBody(t, front.URL+"/personalize", `{"classes":[1,3]}`)
+	if resp.StatusCode != http.StatusOK || out["shard"] != "s1" {
+		t.Fatalf("personalize during predict storm: status %d out %v", resp.StatusCode, out)
+	}
+
+	metrics := httptest.NewRecorder()
+	rt.writeMetrics(metrics.Body)
+	if !strings.Contains(metrics.Body.String(), "crisp_router_breaker_trips_total 1") {
+		t.Fatalf("metrics missing breaker trips:\n%s", metrics.Body.String())
+	}
+}
+
+// slowShard answers /healthz normally and hangs /predict until the request
+// context dies — a wedged worker, the case a blanket client timeout used to
+// cover only after five minutes.
+func newSlowShard(t *testing.T, id string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.Health{Status: "ok", Shard: id})
+	})
+	mux.HandleFunc("POST /personalize", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"shard": id})
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server's disconnect watcher arms and the
+		// handler (and the test's server shutdown) unblocks the moment the
+		// router abandons the request.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-r.Context().Done():
+		case <-time.After(30 * time.Second):
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestPredictDeadlineFromQoSBudget: after a gold personalize teaches the
+// router the tenant's class, a predict against a wedged shard must fail at
+// the budget-derived deadline (~PredictFloor here), not the 5s ceiling —
+// and the timeout must be counted and feed the breaker.
+func TestPredictDeadlineFromQoSBudget(t *testing.T) {
+	rt := NewRouter(Options{
+		PredictRetries:   -1, // single attempt
+		PredictTimeout:   5 * time.Second,
+		PredictFloor:     50 * time.Millisecond,
+		BudgetScale:      1, // gold: 10ms × 1 → clamped up to the 50ms floor
+		BreakerThreshold: 1,
+	})
+	ts := newSlowShard(t, "s1")
+	rt.AddShard("s1", strings.TrimPrefix(ts.URL, "http://"))
+	front := httptest.NewServer(rt.Mux())
+	t.Cleanup(front.Close)
+
+	resp, _ := postBody(t, front.URL+"/personalize", `{"classes":[1,3],"qos":"gold"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("personalize: status %d", resp.StatusCode)
+	}
+
+	start := time.Now()
+	resp, _ = postBody(t, front.URL+"/predict", `{"classes":[1,3]}`)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("predict against wedged shard: status %d, want 502", resp.StatusCode)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v; QoS budget (~50ms) was not applied", elapsed)
+	}
+	if rt.proxyTimeouts.Load() == 0 {
+		t.Fatal("deadline hit but proxy_timeouts_total did not move")
+	}
+	if rt.breakerTrips.Load() == 0 || rt.shards["s1"].State() != ShardDown {
+		t.Fatal("timeout did not feed the breaker")
+	}
+}
+
+// TestSleepBackoffCancellable: a retry backoff must end early when the
+// client's request context dies or the router shuts down — under a
+// partition storm, goroutines sleeping toward dead clients are a leak.
+func TestSleepBackoffCancellable(t *testing.T) {
+	rt := NewRouter(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if rt.sleepBackoff(ctx, time.Minute) {
+		t.Fatal("backoff survived a dead request context")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled backoff still slept")
+	}
+
+	rt2 := NewRouter(Options{})
+	rt2.Close()
+	start = time.Now()
+	if rt2.sleepBackoff(context.Background(), time.Minute) {
+		t.Fatal("backoff survived router shutdown")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("shutdown backoff still slept")
+	}
+}

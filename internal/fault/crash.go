@@ -1,0 +1,59 @@
+package fault
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// CrashExitCode is the exit status the default crash action dies with, so
+// a parent test can tell an armed crash from any other subprocess failure.
+const CrashExitCode = 86
+
+// crashState is the armed crash point; at most one is armed at a time
+// (crash tests exercise one point per subprocess).
+type crashState struct {
+	point string
+	fn    func()
+}
+
+var armedCrash atomic.Pointer[crashState]
+
+// Crash is a named crash point. Production code marks the instants a
+// power cut would be most damaging — e.g. "snapshot.before-rename",
+// between a record's temp-file write and the rename that publishes it —
+// and a crash test arms one of them to kill the process exactly there.
+// Unarmed (always, in production) it costs one atomic load.
+func Crash(point string) {
+	if st := armedCrash.Load(); st != nil && st.point == point {
+		st.fn()
+	}
+}
+
+// ArmCrash arms one crash point; a nil fn means os.Exit(CrashExitCode) —
+// the moral equivalent of kill -9 at that instant (no deferred cleanup, no
+// flushes). It replaces any previously armed point.
+func ArmCrash(point string, fn func()) {
+	if fn == nil {
+		fn = func() { os.Exit(CrashExitCode) }
+	}
+	armedCrash.Store(&crashState{point: point, fn: fn})
+}
+
+// DisarmCrash clears the armed crash point.
+func DisarmCrash() { armedCrash.Store(nil) }
+
+// CrashEnv is the environment variable ArmCrashFromEnv reads, so a re-
+// exec'd test binary (the subprocess crash pattern) can be armed by its
+// parent without new flags.
+const CrashEnv = "CRISP_CRASHPOINT"
+
+// ArmCrashFromEnv arms the crash point named by $CRISP_CRASHPOINT and
+// reports whether one was armed.
+func ArmCrashFromEnv() bool {
+	point := os.Getenv(CrashEnv)
+	if point == "" {
+		return false
+	}
+	ArmCrash(point, nil)
+	return true
+}

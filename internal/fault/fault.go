@@ -1,0 +1,92 @@
+// Package fault is a deterministic, seed-driven fault-injection layer for
+// the serving stack. It exists so the crash/partition behavior of the
+// snapshot store, the checkpoint index, and the cluster router can be
+// tested — and chaos-replayed in CI — with reproducible failures instead of
+// hand-placed sleeps and one-off monkey patches.
+//
+// Three injection points:
+//
+//   - Disk: FS is the filesystem seam the snapshot store and checkpoint
+//     index write through. NewFS wraps any FS with seeded DiskFaults (torn
+//     writes, ENOSPC, bit-flips on read, fsync stalls and failures) plus an
+//     op trace that tests use to assert durability ordering (fsync before
+//     rename, directory fsync after).
+//   - Network: RoundTripper proxies an http.RoundTripper with added
+//     latency, mid-exchange connection resets, truncated response bodies,
+//     and black-hole partitions (Partition) between router and shards.
+//   - Process: Crash marks named crash points (e.g. between a temp-file
+//     write and its rename); ArmCrash aborts the process when execution
+//     reaches one, which subprocess tests use as a deterministic kill -9.
+//
+// Determinism: every decision is a pure function of (seed, site, n) where
+// n counts prior decisions at that site — the Nth write sees the same fate
+// on every run with the same seed, independent of goroutine interleaving
+// at other sites.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// ErrInjected is the root of every injected error; tests and callers can
+// errors.Is against it to distinguish injected failures from real ones.
+var ErrInjected = errors.New("injected fault")
+
+// injected builds one injected error, tagged with the fault kind.
+func injected(kind string) error {
+	return fmt.Errorf("fault: %s: %w", kind, ErrInjected)
+}
+
+// Injector is a seeded source of fault decisions. Each named site has its
+// own decision counter, so concurrent callers at different sites cannot
+// perturb each other's sequences.
+type Injector struct {
+	seed uint64
+
+	mu    sync.Mutex
+	sites map[string]uint64
+}
+
+// NewInjector builds an injector; equal seeds give equal decision streams.
+func NewInjector(seed int64) *Injector {
+	return &Injector{seed: uint64(seed), sites: map[string]uint64{}}
+}
+
+// mix is the splitmix64 finalizer: a cheap, well-distributed 64-bit hash.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw consumes one decision at site and returns its 64-bit value.
+func (in *Injector) draw(site string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	in.mu.Lock()
+	n := in.sites[site]
+	in.sites[site] = n + 1
+	in.mu.Unlock()
+	return mix(in.seed ^ mix(h.Sum64()) ^ mix(n))
+}
+
+// Hit reports whether the next decision at site fires with probability p.
+func (in *Injector) Hit(site string, p float64) bool {
+	if in == nil || p <= 0 {
+		return false
+	}
+	return float64(in.draw(site))/float64(1<<63)/2 < p
+}
+
+// Intn returns a deterministic value in [0, n) for the next decision at
+// site (used to pick torn-write lengths and bit positions).
+func (in *Injector) Intn(site string, n int) int {
+	if in == nil || n <= 1 {
+		return 0
+	}
+	return int(in.draw(site) % uint64(n))
+}

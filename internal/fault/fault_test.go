@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestInjectorDeterminism: the same seed gives the same decision stream per
+// site, and different sites do not perturb each other.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func(interleave bool) []bool {
+		in := NewInjector(42)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			if interleave {
+				in.Hit("other-site", 0.5) // must not shift "site" decisions
+			}
+			out = append(out, in.Hit("site", 0.3))
+		}
+		return out
+	}
+	a, b, c := run(false), run(false), run(true)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical runs", i)
+		}
+		if a[i] != c[i] {
+			t.Fatalf("decision %d perturbed by another site's draws", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("p=0.3 over %d draws hit %d times — injector not probabilistic", len(a), hits)
+	}
+	if NewInjector(7).Hit("site", 0) {
+		t.Fatal("p=0 fired")
+	}
+	d := NewInjector(43)
+	same := true
+	for i := range a {
+		if d.Hit("site", 0.3) != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical decision streams")
+	}
+}
+
+// TestFaultFSWriteFaults: ENOSPC-style write errors and torn writes fire
+// with certainty at p=1, carry ErrInjected, and a torn write really leaves
+// only a prefix on disk.
+func TestFaultFSWriteFaults(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(OS{}, NewInjector(1), DiskFaults{WriteErr: 1})
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write error = %v, want ErrInjected", err)
+	}
+	f.Close()
+	if b, _ := os.ReadFile(filepath.Join(dir, "a")); len(b) != 0 {
+		t.Fatalf("failed write left %d bytes", len(b))
+	}
+
+	ffs = NewFS(OS{}, NewInjector(1), DiskFaults{TornWrite: 1})
+	f, err = ffs.OpenFile(filepath.Join(dir, "b"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	n, err := f.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v, want ErrInjected", err)
+	}
+	f.Close()
+	b, _ := os.ReadFile(filepath.Join(dir, "b"))
+	if len(b) != n || n >= len(payload) || string(b) != string(payload[:n]) {
+		t.Fatalf("torn write persisted %d bytes (reported %d) of %d", len(b), n, len(payload))
+	}
+	if st := ffs.Stats(); st.TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", st.TornWrites)
+	}
+}
+
+// TestFaultFSReadFlip: a read under ReadFlip=1 differs from the file's real
+// content by exactly one bit.
+func TestFaultFSReadFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec")
+	want := []byte("exactly one bit of this will flip")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFS(OS{}, NewInjector(3), DiskFaults{ReadFlip: 1})
+	f, err := ffs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range want {
+		for bit := 0; bit < 8; bit++ {
+			if (want[i]^got[i])&(1<<bit) != 0 {
+				diff++
+			}
+		}
+	}
+	// io.ReadAll may issue multiple Reads; each non-empty one flips a bit.
+	if diff == 0 {
+		t.Fatal("ReadFlip=1 read came back clean")
+	}
+	if st := ffs.Stats(); st.ReadFlips == 0 {
+		t.Fatal("ReadFlips counter never moved")
+	}
+}
+
+// TestFaultFSMatchAndEnable: the Match filter scopes faults to chosen
+// files, and SetEnabled(false) turns them all off.
+func TestFaultFSMatchAndEnable(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(OS{}, NewInjector(5), DiskFaults{
+		WriteErr: 1,
+		Match:    func(name string) bool { return strings.HasSuffix(name, ".ckpt") },
+	})
+	safe, err := ffs.OpenFile(filepath.Join(dir, "index"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := safe.Write([]byte("x")); err != nil {
+		t.Fatalf("write outside Match failed: %v", err)
+	}
+	safe.Close()
+
+	hot, err := ffs.OpenFile(filepath.Join(dir, "p0.ckpt"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hot.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write inside Match = %v, want ErrInjected", err)
+	}
+	ffs.SetEnabled(false)
+	if _, err := hot.Write([]byte("x")); err != nil {
+		t.Fatalf("write with faults disabled failed: %v", err)
+	}
+	hot.Close()
+}
+
+// TestFaultFSTraceOrdering: the trace records the durability dance in
+// order — create, write, sync, close, rename, syncdir.
+func TestFaultFSTraceOrdering(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFS(OS{}, NewInjector(0), DiskFaults{})
+	ffs.EnableTrace()
+	tmp, err := ffs.CreateTemp(dir, "rec.*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Write([]byte("x"))
+	tmp.Sync()
+	tmp.Close()
+	if err := ffs.Rename(tmp.Name(), filepath.Join(dir, "rec")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, op := range ffs.Trace() {
+		kinds = append(kinds, op.Kind)
+	}
+	want := []string{"create", "write", "sync", "close", "rename", "syncdir"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("trace %v, want %v", kinds, want)
+	}
+}
+
+// TestCrashPoint: Crash fires only the armed point, and only while armed.
+func TestCrashPoint(t *testing.T) {
+	fired := 0
+	ArmCrash("test.point", func() { fired++ })
+	defer DisarmCrash()
+	Crash("other.point")
+	if fired != 0 {
+		t.Fatal("unarmed point fired")
+	}
+	Crash("test.point")
+	if fired != 1 {
+		t.Fatalf("armed point fired %d times, want 1", fired)
+	}
+	DisarmCrash()
+	Crash("test.point")
+	if fired != 1 {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+// TestRoundTripperFaults: resets surface as ErrInjected-free transport
+// errors, truncation cuts the body, and a partitioned host hangs until the
+// request deadline.
+func TestRoundTripperFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "a perfectly healthy response body")
+	}))
+	defer srv.Close()
+
+	rt := NewRoundTripper(nil, NewInjector(9), NetFaults{ResetProb: 1})
+	client := &http.Client{Transport: rt}
+	if _, err := client.Get(srv.URL + "/predict"); err == nil {
+		t.Fatal("reset fault produced no error")
+	}
+	if rt.Resets.Load() != 1 {
+		t.Fatalf("Resets = %d, want 1", rt.Resets.Load())
+	}
+
+	rt = NewRoundTripper(nil, NewInjector(9), NetFaults{TruncateProb: 1})
+	client = &http.Client{Transport: rt}
+	resp, err := client.Get(srv.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil || len(b) >= len("a perfectly healthy response body") {
+		t.Fatalf("truncated read: %d bytes, err %v", len(b), err)
+	}
+
+	// Path filtering: a fault configured for /predict must not touch /healthz.
+	rt = NewRoundTripper(nil, NewInjector(9), NetFaults{ResetProb: 1, Paths: []string{"/predict"}})
+	client = &http.Client{Transport: rt}
+	if _, err := client.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatalf("filtered path faulted: %v", err)
+	}
+
+	rt = NewRoundTripper(nil, NewInjector(9), NetFaults{})
+	rt.Partition(strings.TrimPrefix(srv.URL, "http://"), true)
+	client = &http.Client{Transport: rt, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	if _, err := client.Get(srv.URL + "/predict"); err == nil {
+		t.Fatal("partitioned host answered")
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("partitioned request failed in %v — black hole returned early", d)
+	}
+	rt.Partition(strings.TrimPrefix(srv.URL, "http://"), false)
+	if _, err := client.Get(srv.URL + "/predict"); err != nil {
+		t.Fatalf("healed partition still failing: %v", err)
+	}
+}

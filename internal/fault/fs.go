@@ -1,0 +1,342 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// File is the subset of *os.File the checkpoint layer writes through.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	Name() string
+	Stat() (fs.FileInfo, error)
+	Sync() error
+}
+
+// FS is the filesystem seam of the durable layer: everything the snapshot
+// store and checkpoint index touch goes through one of these, so a fault
+// layer (NewFS) can sit between them and the kernel. OS is the real thing.
+type FS interface {
+	MkdirAll(dir string, perm fs.FileMode) error
+	Open(name string) (File, error)
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making renames and creates inside it
+	// durable (the second half of the write-fsync-rename-fsyncdir dance).
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS backed by the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+func (OS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                    { return os.Remove(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)       { return os.Stat(name) }
+
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	// Some filesystems (and most network mounts) reject fsync on a
+	// directory handle; that is a property of the mount, not a failed
+	// write, so it must not fail the snapshot.
+	if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+		return nil
+	}
+	return err
+}
+
+// DiskFaults tunes NewFS. All probabilities are per-operation; zero means
+// the fault never fires.
+type DiskFaults struct {
+	// WriteErr fails a Write outright with an injected ENOSPC-style error
+	// (nothing reaches the file).
+	WriteErr float64
+	// TornWrite persists only a prefix of the buffer, then errors — the
+	// short-write/torn-write case every journaling layer must survive.
+	TornWrite float64
+	// ReadFlip flips one bit of a successful read's buffer: silent media
+	// corruption, which checksummed formats must fail closed on.
+	ReadFlip float64
+	// SyncErr fails an fsync (file or directory).
+	SyncErr float64
+	// RenameErr fails a rename.
+	RenameErr float64
+	// SyncDelay stalls every fsync by this much (a slow or contended disk);
+	// it always applies, independent of SyncErr.
+	SyncDelay time.Duration
+	// Match restricts faults to files it accepts (by path); nil means every
+	// file. Op recording and SyncDelay ignore it — only error/corruption
+	// faults are filtered.
+	Match func(name string) bool
+}
+
+// Op is one recorded filesystem operation (see FaultFS.Trace): Kind is
+// "write", "sync", "close", "rename", "syncdir", "create", "open" or
+// "remove"; Name is the base name of the file (for renames, the target).
+type Op struct {
+	Kind string
+	Name string
+}
+
+// FSStats counts operations and injected faults on a FaultFS.
+type FSStats struct {
+	Writes, Syncs, SyncDirs, Renames                       uint64
+	WriteErrs, TornWrites, ReadFlips, SyncErrs, RenameErrs uint64
+	SyncStalls                                             uint64
+}
+
+// FaultFS wraps an FS with seeded disk faults and an operation trace. The
+// zero probability configuration is a pure recorder: tests use that to
+// assert durability ordering (data fsync before rename, directory fsync
+// after) without perturbing behavior.
+type FaultFS struct {
+	inner FS
+	inj   *Injector
+	disk  DiskFaults
+
+	// enabled gates the error/corruption faults (trace and counters always
+	// run): a chaos harness arms faults only for the storm window, keeping
+	// setup and post-chaos verification clean.
+	enabled atomic.Bool
+
+	mu      sync.Mutex
+	tracing bool
+	trace   []Op
+	stats   FSStats
+}
+
+// NewFS wraps inner with the given faults, enabled from the start.
+func NewFS(inner FS, inj *Injector, disk DiskFaults) *FaultFS {
+	f := &FaultFS{inner: inner, inj: inj, disk: disk}
+	f.enabled.Store(true)
+	return f
+}
+
+// SetEnabled arms or disarms the error/corruption faults.
+func (f *FaultFS) SetEnabled(on bool) { f.enabled.Store(on) }
+
+// EnableTrace starts recording every operation (see Trace).
+func (f *FaultFS) EnableTrace() {
+	f.mu.Lock()
+	f.tracing = true
+	f.mu.Unlock()
+}
+
+// Trace returns a copy of the recorded operations, in order.
+func (f *FaultFS) Trace() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Op(nil), f.trace...)
+}
+
+// Stats returns a snapshot of the op/fault counters.
+func (f *FaultFS) Stats() FSStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+func (f *FaultFS) record(kind, name string, bump ...*uint64) {
+	f.mu.Lock()
+	if f.tracing {
+		f.trace = append(f.trace, Op{Kind: kind, Name: filepath.Base(name)})
+	}
+	for _, b := range bump {
+		*b++
+	}
+	f.mu.Unlock()
+}
+
+// active reports whether error/corruption faults apply to name.
+func (f *FaultFS) active(name string) bool {
+	return f.enabled.Load() && (f.disk.Match == nil || f.disk.Match(name))
+}
+
+func (f *FaultFS) MkdirAll(dir string, perm fs.FileMode) error { return f.inner.MkdirAll(dir, perm) }
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error)       { return f.inner.Stat(name) }
+
+func (f *FaultFS) Open(name string) (File, error) {
+	f.record("open", name)
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f.record("open", name)
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, fs: f}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	f.record("create", file.Name())
+	return &faultFile{f: file, fs: f}, nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.record("remove", name)
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.stats.Renames++
+	f.mu.Unlock()
+	if f.active(newpath) && f.inj.Hit("fs.rename", f.disk.RenameErr) {
+		f.record("rename-err", newpath, &f.stats.RenameErrs)
+		return injected("rename " + filepath.Base(newpath))
+	}
+	f.record("rename", newpath)
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	f.stats.SyncDirs++
+	f.mu.Unlock()
+	if f.disk.SyncDelay > 0 && f.enabled.Load() {
+		f.mu.Lock()
+		f.stats.SyncStalls++
+		f.mu.Unlock()
+		time.Sleep(f.disk.SyncDelay)
+	}
+	if f.active(dir) && f.inj.Hit("fs.syncdir", f.disk.SyncErr) {
+		f.record("syncdir-err", dir, &f.stats.SyncErrs)
+		return injected("syncdir " + filepath.Base(dir))
+	}
+	f.record("syncdir", dir)
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads reads, writes and syncs through the parent FaultFS.
+type faultFile struct {
+	f  File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Name() string               { return ff.f.Name() }
+func (ff *faultFile) Stat() (fs.FileInfo, error) { return ff.f.Stat() }
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := ff.f.ReadAt(p, off)
+	ff.maybeFlip(p[:max(n, 0)])
+	return n, err
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	n, err := ff.f.Read(p)
+	if n > 0 {
+		ff.maybeFlip(p[:n])
+	}
+	return n, err
+}
+
+// maybeFlip corrupts one bit of a successfully read buffer.
+func (ff *faultFile) maybeFlip(p []byte) {
+	f := ff.fs
+	if len(p) == 0 || !f.active(ff.f.Name()) || !f.inj.Hit("fs.read", f.disk.ReadFlip) {
+		return
+	}
+	bit := f.inj.Intn("fs.read-bit", len(p)*8)
+	p[bit/8] ^= 1 << (bit % 8)
+	f.record("read-flip", ff.f.Name(), &f.stats.ReadFlips)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	f := ff.fs
+	f.mu.Lock()
+	f.stats.Writes++
+	f.mu.Unlock()
+	if f.active(ff.f.Name()) {
+		if f.inj.Hit("fs.write", f.disk.WriteErr) {
+			f.record("write-err", ff.f.Name(), &f.stats.WriteErrs)
+			return 0, injected("write " + filepath.Base(ff.f.Name()) + ": no space left on device")
+		}
+		if len(p) > 0 && f.inj.Hit("fs.write", f.disk.TornWrite) {
+			n := f.inj.Intn("fs.write-torn", len(p))
+			if n > 0 {
+				ff.f.Write(p[:n])
+			}
+			f.record("torn-write", ff.f.Name(), &f.stats.TornWrites)
+			return n, injected("torn write " + filepath.Base(ff.f.Name()))
+		}
+	}
+	f.record("write", ff.f.Name())
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	f := ff.fs
+	f.mu.Lock()
+	f.stats.Syncs++
+	f.mu.Unlock()
+	if f.disk.SyncDelay > 0 && f.enabled.Load() {
+		f.mu.Lock()
+		f.stats.SyncStalls++
+		f.mu.Unlock()
+		time.Sleep(f.disk.SyncDelay)
+	}
+	if f.active(ff.f.Name()) && f.inj.Hit("fs.sync", f.disk.SyncErr) {
+		f.record("sync-err", ff.f.Name(), &f.stats.SyncErrs)
+		return injected("fsync " + filepath.Base(ff.f.Name()))
+	}
+	f.record("sync", ff.f.Name())
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	ff.fs.record("close", ff.f.Name())
+	return ff.f.Close()
+}

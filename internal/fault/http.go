@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// NetFaults tunes a RoundTripper. Probabilities are per-request; zero
+// disables that fault.
+type NetFaults struct {
+	// LatencyProb adds Latency to a request before it is sent (slow link,
+	// overloaded NIC).
+	LatencyProb float64
+	Latency     time.Duration
+	// ResetProb fails the exchange with a connection-reset error after the
+	// request was (as far as the caller can tell) sent: the inconclusive
+	// mid-body failure a router must not treat as proof the peer is dead.
+	ResetProb float64
+	// TruncateProb delivers the response with its body cut short, so the
+	// reader hits an unexpected EOF mid-stream.
+	TruncateProb float64
+	// Paths restricts faults to these URL paths; empty means all. Black-
+	// hole partitions (Partition) ignore it — a partition drops everything.
+	Paths []string
+}
+
+// RoundTripper injects network faults between an HTTP client and its
+// transport. Partition additionally black-holes whole hosts: requests to a
+// partitioned host hang until their context expires, exactly like packets
+// into a dead link — no RST, no FIN, just silence.
+type RoundTripper struct {
+	inner http.RoundTripper
+	inj   *Injector
+	cfg   NetFaults
+
+	mu          sync.Mutex
+	partitioned map[string]bool
+
+	// Resets, Truncates, Delays, Blackholed count fired faults.
+	Resets, Truncates, Delays, Blackholed atomic.Uint64
+}
+
+// NewRoundTripper wraps inner (nil: http.DefaultTransport).
+func NewRoundTripper(inner http.RoundTripper, inj *Injector, cfg NetFaults) *RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &RoundTripper{inner: inner, inj: inj, cfg: cfg, partitioned: map[string]bool{}}
+}
+
+// Partition black-holes (on=true) or heals (on=false) all traffic to host
+// (a host:port as it appears in request URLs).
+func (rt *RoundTripper) Partition(host string, on bool) {
+	rt.mu.Lock()
+	if on {
+		rt.partitioned[host] = true
+	} else {
+		delete(rt.partitioned, host)
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *RoundTripper) isPartitioned(host string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.partitioned[host]
+}
+
+func (rt *RoundTripper) pathEligible(path string) bool {
+	if len(rt.cfg.Paths) == 0 {
+		return true
+	}
+	for _, p := range rt.cfg.Paths {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	if rt.isPartitioned(req.URL.Host) {
+		rt.Blackholed.Add(1)
+		// Hang like a dead link. The 30s cap only exists so a request
+		// issued without any deadline cannot leak a goroutine forever.
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(30 * time.Second):
+			return nil, fmt.Errorf("fault: black hole %s: %w", req.URL.Host, ErrInjected)
+		}
+	}
+	if !rt.pathEligible(req.URL.Path) {
+		return rt.inner.RoundTrip(req)
+	}
+	site := "net:" + req.URL.Path
+	if rt.inj.Hit(site+":latency", rt.cfg.LatencyProb) {
+		rt.Delays.Add(1)
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(rt.cfg.Latency):
+		}
+	}
+	if rt.inj.Hit(site+":reset", rt.cfg.ResetProb) {
+		rt.Resets.Add(1)
+		// Drain the request body first: the caller observed its request
+		// leave, so it cannot know whether the peer processed it.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	}
+	resp, err := rt.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if rt.inj.Hit(site+":truncate", rt.cfg.TruncateProb) && resp.Body != nil {
+		rt.Truncates.Add(1)
+		resp.Body = &truncatedBody{rc: resp.Body, remain: 3}
+	}
+	return resp, nil
+}
+
+// truncatedBody yields the first remain bytes, then an unexpected EOF —
+// the shape of a connection dropped mid-response.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err == nil && b.remain <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

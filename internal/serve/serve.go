@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/fault"
 	"repro/internal/format"
 	"repro/internal/inference"
 	"repro/internal/nn"
@@ -83,6 +84,11 @@ type Options struct {
 	// reject everyone. Zero-valued fields take the class defaults
 	// (DefaultQoSPolicy); set QoS.Disabled for the FIFO baseline.
 	QoS QoSOptions
+	// FS is the filesystem the snapshot store writes through; nil means the
+	// real one (fault.OS). Crash/chaos tests and cmd/crisp-chaos pass a
+	// fault.NewFS here to inject torn writes, read bit-flips and fsync
+	// stalls under the serving stack without touching it.
+	FS fault.FS
 }
 
 // withDefaults fills unset serving options.
@@ -110,6 +116,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HotFraction <= 0 || o.HotFraction > 1 {
 		o.HotFraction = 0.75
+	}
+	if o.FS == nil {
+		o.FS = fault.OS{}
 	}
 	o.Prune = o.Prune.WithDefaults()
 	return o
@@ -237,6 +246,12 @@ type Stats struct {
 	// records that failed to load and were skipped.
 	RestoreHits   uint64 `json:"restore_hits"`
 	RestoreErrors uint64 `json:"restore_errors"`
+	// SnapshotsQuarantined counts corrupt on-disk records the restore path
+	// moved aside (renamed *.quarantined and de-indexed). Each one costs
+	// exactly one re-prune — the next personalization of the key runs fresh
+	// and re-snapshots over the slot — instead of failing every restore of
+	// that tenant forever.
+	SnapshotsQuarantined uint64 `json:"snapshots_quarantined"`
 	// HandoffRestores counts tenants adopted from another shard via
 	// RestoreTenant (verified against the sending shard's fingerprints);
 	// HandoffErrors counts adoptions that failed (missing record or a
@@ -458,7 +473,7 @@ func NewServer(build func() *nn.Classifier, base *nn.Classifier, ds *data.Datase
 	s.stats.QoSEnabled = !s.qos.disabled
 	s.snapCond = sync.NewCond(&s.snapMu)
 	if opts.SnapshotDir != "" {
-		store, err := openStore(opts.SnapshotDir)
+		store, err := openStore(opts.SnapshotDir, opts.FS)
 		if err != nil {
 			s.pool.Close()
 			return nil, err

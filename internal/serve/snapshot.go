@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/data"
+	"repro/internal/fault"
 	"repro/internal/nn"
 )
 
@@ -18,13 +19,21 @@ import (
 // without Options.SnapshotDir.
 var ErrNoSnapshotDir = errors.New("serve: snapshot store not configured")
 
-// snapshotStore is the durable side of the engine cache: one checkpoint v2
+// quarantineSuffix is appended to a corrupt record's filename when the
+// store moves it aside: the bytes stay on disk for postmortems, but nothing
+// will ever index or load them again.
+const quarantineSuffix = ".quarantined"
+
+// snapshotStore is the durable side of the engine cache: one checkpoint
 // record per personalized class set, plus an index file naming the records
-// that are valid. Record writes go to a unique temp file and are renamed
-// into place, so concurrent writers and a crash mid-write can never leave a
-// torn record behind the index.
+// that are valid. Record writes go to a unique temp file — fsynced, then
+// renamed into place, then the directory fsynced — so concurrent writers, a
+// crash mid-write, and a power cut mid-rename can never leave a torn or
+// vanishing record behind the index. All I/O goes through fs, the fault-
+// injection seam (fault.OS in production).
 type snapshotStore struct {
 	dir string
+	fs  fault.FS
 
 	// mu guards index (in memory and its file): index rewrites must not
 	// interleave.
@@ -38,24 +47,27 @@ type snapshotStore struct {
 // without them — the opposite of durability. (A write torn by a crash is
 // not corruption: ReadIndex drops the partial tail entry.) The journal is
 // compacted back to one entry per key on open.
-func openStore(dir string) (*snapshotStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func openStore(dir string, fsys fault.FS) (*snapshotStore, error) {
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: snapshot dir: %w", err)
 	}
 	path := filepath.Join(dir, checkpoint.IndexFile)
-	idx, err := checkpoint.ReadIndex(path)
+	idx, err := checkpoint.ReadIndexFS(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: snapshot index: %w", err)
 	}
 	// Compact whenever the file exists — even to an empty index: this
 	// truncates a torn tail left by a crash, so later appends never
 	// concatenate onto a partial line.
-	if _, statErr := os.Stat(path); statErr == nil {
-		if err := checkpoint.WriteIndex(path, idx); err != nil {
+	if _, statErr := fsys.Stat(path); statErr == nil {
+		if err := checkpoint.WriteIndexFS(fsys, path, idx); err != nil {
 			return nil, fmt.Errorf("serve: compacting snapshot index: %w", err)
 		}
 	}
-	return &snapshotStore{dir: dir, index: idx}, nil
+	return &snapshotStore{dir: dir, fs: fsys, index: idx}, nil
 }
 
 // fileFor names the record file of a key. Keys can be arbitrarily long
@@ -100,36 +112,56 @@ func (st *snapshotStore) keys() []string {
 // wins per key) lets this shard restore records its peers wrote after this
 // store opened.
 func (st *snapshotStore) refresh() error {
-	idx, err := checkpoint.ReadIndex(filepath.Join(st.dir, checkpoint.IndexFile))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.mergeDiskLocked()
+}
+
+// mergeDiskLocked folds the on-disk index into st.index (last write wins
+// per key). Callers hold st.mu.
+func (st *snapshotStore) mergeDiskLocked() error {
+	idx, err := checkpoint.ReadIndexFS(st.fs, filepath.Join(st.dir, checkpoint.IndexFile))
 	if err != nil {
 		return err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	for k, name := range idx {
 		st.index[k] = name
 	}
 	return nil
 }
 
-// put durably writes one personalization record and indexes it.
+// put durably writes one personalization record and indexes it. The order
+// is load-bearing: the record bytes are fsynced BEFORE the rename publishes
+// the name, and the directory is fsynced before the index acknowledges the
+// key — a power cut at any instant leaves either the old state or the new,
+// never a named-but-empty record. The named crash points mark the two
+// instants a crash-point test kills the process at to prove exactly that.
 func (st *snapshotStore) put(rec checkpoint.PersonalizationRecord, clf *nn.Classifier) error {
 	name := fileFor(rec.Key)
-	tmp, err := os.CreateTemp(st.dir, name+".*.tmp")
+	tmp, err := st.fs.CreateTemp(st.dir, name+".*.tmp")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer st.fs.Remove(tmp.Name()) // no-op after a successful rename
 	if err := checkpoint.SavePersonalization(tmp, rec, clf); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(st.dir, name)); err != nil {
+	fault.Crash("snapshot.before-rename")
+	if err := st.fs.Rename(tmp.Name(), filepath.Join(st.dir, name)); err != nil {
 		return err
 	}
+	if err := st.fs.SyncDir(st.dir); err != nil {
+		return err
+	}
+	fault.Crash("snapshot.before-index")
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -138,16 +170,19 @@ func (st *snapshotStore) put(rec checkpoint.PersonalizationRecord, clf *nn.Class
 		// record): the rename replaced the file, no journal entry needed.
 		return nil
 	}
-	if err := checkpoint.AppendIndex(filepath.Join(st.dir, checkpoint.IndexFile), rec.Key, name); err != nil {
+	if err := checkpoint.AppendIndexFS(st.fs, filepath.Join(st.dir, checkpoint.IndexFile), rec.Key, name); err != nil {
 		return err
 	}
 	st.index[rec.Key] = name
 	return nil
 }
 
-// load restores the record for key into clf. It returns ErrNoSnapshot when
+// load restores the record for key into clf. It returns errNoSnapshot when
 // the key is not indexed; any other error means the record exists but could
-// not be used (corrupt, truncated, or a hash collision with another key).
+// not be used (corrupt, truncated, missing, or a hash collision with
+// another key). Unusable records are quarantined on the way out — see
+// quarantine — so a corrupt snapshot costs one re-prune, not an error on
+// every future restore.
 func (st *snapshotStore) load(key string, clf *nn.Classifier) (checkpoint.PersonalizationRecord, error) {
 	st.mu.Lock()
 	name, ok := st.index[key]
@@ -155,24 +190,71 @@ func (st *snapshotStore) load(key string, clf *nn.Classifier) (checkpoint.Person
 	if !ok {
 		return checkpoint.PersonalizationRecord{}, errNoSnapshot
 	}
-	f, err := os.Open(filepath.Join(st.dir, name))
+	f, err := st.fs.Open(filepath.Join(st.dir, name))
 	if err != nil {
+		if os.IsNotExist(err) {
+			// Indexed but gone: the record will never come back on its own.
+			return checkpoint.PersonalizationRecord{}, st.quarantine(key, name, err)
+		}
+		// Other open errors (permissions, transient I/O) may heal; leave
+		// the index alone.
 		return checkpoint.PersonalizationRecord{}, err
 	}
 	defer f.Close()
 	rec, err := checkpoint.LoadPersonalization(f, clf)
 	if err != nil {
-		return rec, fmt.Errorf("serve: snapshot %s: %w", name, err)
+		return rec, st.quarantine(key, name, fmt.Errorf("serve: snapshot %s: %w", name, err))
 	}
 	if rec.Key != key {
-		return rec, fmt.Errorf("serve: snapshot %s holds key %q, want %q", name, rec.Key, key)
+		return rec, st.quarantine(key, name, fmt.Errorf("serve: snapshot %s holds key %q, want %q", name, rec.Key, key))
 	}
 	return rec, nil
+}
+
+// quarantine takes a record the store can no longer trust out of service:
+// the file is moved aside (kept for postmortems, never loaded again), the
+// key is de-indexed, and the rewritten index is published atomically. The
+// next personalization of the key falls through to a fresh pruning run,
+// which re-snapshots over the slot — so corruption degrades to one re-prune
+// instead of a restore error on every request forever. The returned error
+// wraps both cause and errSnapshotQuarantined (the caller's counter hook).
+func (st *snapshotStore) quarantine(key, name string, cause error) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.index[key] != name {
+		// A concurrent writer already replaced the record; nothing to do.
+		return cause
+	}
+	// Shards share the directory: peers journal appends this store may not
+	// have refreshed into memory yet, and rewriting the index from a stale
+	// view would silently drop their records — turning each one's next
+	// restore into a needless re-prune. Merge the on-disk index first so
+	// the rewrite removes only the quarantined key. Best effort: on a read
+	// error the local view still de-indexes correctly for this process.
+	if err := st.mergeDiskLocked(); err == nil && st.index[key] != name {
+		// A peer re-snapshotted this key while we held the bad record;
+		// its fresh version supersedes the quarantine.
+		return cause
+	}
+	// Best effort: if the move itself fails the de-index below still keeps
+	// the record from ever being loaded again.
+	_ = st.fs.Rename(filepath.Join(st.dir, name), filepath.Join(st.dir, name+quarantineSuffix))
+	delete(st.index, key)
+	if err := checkpoint.WriteIndexFS(st.fs, filepath.Join(st.dir, checkpoint.IndexFile), st.index); err != nil {
+		// The in-memory de-index holds for this process; the on-disk entry
+		// now points at a missing file, which quarantines again on restart.
+		return fmt.Errorf("%w (de-indexing failed: %v): %w", cause, err, errSnapshotQuarantined)
+	}
+	return fmt.Errorf("%w: %w", cause, errSnapshotQuarantined)
 }
 
 // errNoSnapshot distinguishes "never snapshotted" (a plain cache miss) from
 // a record that exists but fails to load (counted in Stats.RestoreErrors).
 var errNoSnapshot = errors.New("serve: no snapshot for key")
+
+// errSnapshotQuarantined tags load errors whose record was moved aside and
+// de-indexed (counted in Stats.SnapshotsQuarantined).
+var errSnapshotQuarantined = errors.New("record quarantined")
 
 // restoreOne rebuilds a Personalization from its disk record: the pruned
 // weights and masks load into a fresh clone and the sparse formats are
@@ -187,6 +269,11 @@ func (s *Server) restoreOne(key string) (*Personalization, error) {
 	clone := s.build()
 	rec, err := s.store.load(key, clone)
 	if err != nil {
+		if errors.Is(err, errSnapshotQuarantined) {
+			s.mu.Lock()
+			s.stats.SnapshotsQuarantined++
+			s.mu.Unlock()
+		}
 		return nil, err
 	}
 	// The split is only synthesized when the precision measures agreement

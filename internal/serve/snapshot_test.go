@@ -136,8 +136,10 @@ func TestEvictionKeepsDiskCopy(t *testing.T) {
 }
 
 // TestRestoreSkipsCorruptRecords injects a truncated record and an
-// unindexed garbage file: Restore must load the good records, count the bad
-// one, and the server must re-prune the corrupt set on demand.
+// unindexed garbage file: Restore must load the good records, quarantine the
+// bad one (rename it aside and de-index it), and the server must re-prune
+// the corrupt set on demand — exactly once, since after quarantine the key
+// is a clean cache miss, not a repeated failed load.
 func TestRestoreSkipsCorruptRecords(t *testing.T) {
 	opts, dir := snapshotOpts(t)
 	s1 := newTestServer(t, opts)
@@ -180,12 +182,19 @@ func TestRestoreSkipsCorruptRecords(t *testing.T) {
 		t.Fatalf("restored %d records, want 1", n)
 	}
 	st := s2.Stats()
-	if st.RestoreHits != 1 || st.RestoreErrors != 1 {
+	if st.RestoreHits != 1 || st.RestoreErrors != 1 || st.SnapshotsQuarantined != 1 {
 		t.Fatalf("restore accounting: %+v", st)
 	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Fatalf("corrupt record not moved aside: %v", err)
+	}
+	if idx, err := checkpoint.ReadIndex(filepath.Join(dir, checkpoint.IndexFile)); err != nil || idx["3,4"] != "" {
+		t.Fatalf("corrupt record still indexed (%v): %v", err, idx)
+	}
 
-	// The corrupt set still serves: miss → failed disk load → fresh prune,
-	// whose write-behind snapshot replaces the bad record.
+	// The corrupt set still serves: the quarantined key is now a clean
+	// cache miss → fresh prune, whose write-behind snapshot re-fills the
+	// slot. No second load failure is charged.
 	p, _, err := s2.Personalize([]int{3, 4})
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +203,7 @@ func TestRestoreSkipsCorruptRecords(t *testing.T) {
 		t.Fatalf("corrupt set did not re-personalize: %+v", p)
 	}
 	st = s2.Stats()
-	if st.Personalizations != 1 || st.RestoreErrors != 2 {
+	if st.Personalizations != 1 || st.RestoreErrors != 1 {
 		t.Fatalf("re-prune accounting: %+v", st)
 	}
 	if _, err := s2.Flush(); err != nil {
@@ -366,5 +375,76 @@ func TestSnapshotStorm(t *testing.T) {
 		if rec.Key != key {
 			t.Fatalf("record %s holds key %q, indexed as %q", name, rec.Key, key)
 		}
+	}
+}
+
+// TestQuarantineKeepsPeerRecords: shards sharing a snapshot directory each
+// journal their own appends, so a quarantining store's in-memory index may
+// be stale. The de-index rewrite must merge the on-disk index first — a
+// rewrite from the stale view would silently drop peers' records, turning
+// each one's next failover restore into a needless re-prune. (Found by
+// cmd/crisp-chaos.)
+func TestQuarantineKeepsPeerRecords(t *testing.T) {
+	opts, dir := snapshotOpts(t)
+
+	// Both stores open before any record exists, so neither sees the
+	// other's appends except through refresh.
+	s1 := newTestServer(t, opts)
+	s2 := newTestServer(t, opts)
+	if _, _, err := s1.Personalize([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.Personalize([]int{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt s2's own record on disk and force a cold load of it: the
+	// quarantine runs on s2, whose in-memory index has never seen "1,2".
+	idx, err := checkpoint.ReadIndex(filepath.Join(dir, checkpoint.IndexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, ok := idx["3,4"]
+	if !ok {
+		t.Fatalf("record for %q not indexed: %v", "3,4", idx)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.store.load("3,4", s2.build()); err == nil {
+		t.Fatal("load of corrupted record succeeded")
+	}
+
+	// The rewrite must have removed only the quarantined key.
+	idx, err = checkpoint.ReadIndex(filepath.Join(dir, checkpoint.IndexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := idx["3,4"]; ok {
+		t.Fatal("quarantined key still on the shared index")
+	}
+	if _, ok := idx["1,2"]; !ok {
+		t.Fatal("quarantine dropped a peer's record from the shared index")
+	}
+
+	// And a fresh store must still restore the peer's record.
+	s3 := newTestServer(t, opts)
+	n, err := s3.Restore()
+	if err != nil || n != 1 {
+		t.Fatalf("restore after peer quarantine: n=%d err=%v", n, err)
+	}
+	if st := s3.Stats(); st.RestoreHits != 1 || st.Personalizations != 0 {
+		t.Fatalf("peer record re-pruned instead of restored: %+v", st)
 	}
 }
