@@ -1,0 +1,217 @@
+package accel
+
+import (
+	"sort"
+
+	"repro/internal/format"
+	"repro/internal/tensor"
+)
+
+// This file is the CPU-side tiling picker behind the blocked SpMM kernels
+// in internal/format. Where tilesim.go schedules an accelerator's
+// weight-stationary dataflow, SimulateTiling feeds the same double-buffered
+// schedule core (runSchedule) with costs calibrated to the host CPU — a
+// span-entry walk per column panel, Col/Val re-streamed once per panel
+// pass, and a cache-thrash penalty once the activation matrix outgrows the
+// last-level budget. PickTiling ranks candidate tilings (including the
+// scalar reference kernel) by simulated cycles at plan-compile time; the
+// inference engine installs the winner via Plan.SetTiling. The model is
+// validated against measured kernels by TestTilingPredictionRanksMeasured.
+
+// CPUHW returns the host-CPU calibration of the HW descriptor used by the
+// tiling cost model: float64 operands with int32 column indices (12 bytes
+// per stored entry), cache capacities standing in for SMEM, and sustained
+// scalar MAC throughput standing in for the tensor fabric.
+func CPUHW() HW {
+	return HW{
+		MACsPerCycle:      1,        // sustained scalar FMA with loads/stores
+		SMEMBytes:         1 << 20,  // last-level working-set budget (≈ L2)
+		L1Bytes:           32 << 10, // per-core L1D
+		SMEMBytesPerCycle: 32,       // L2→core sustained
+		DRAMBytesPerCycle: 8,        // ≈ 17 GB/s stream at ~2.1 GHz
+		WeightBytes:       12,       // float64 value + int32 column index
+		ActBytes:          8,        // float64 activations
+		PsumBytes:         8,        // float64 partial sums
+		StartupCycles:     200,      // kernel dispatch + pool wakeup
+		RFReuse:           8,        // one panel's accumulators in registers
+	}
+}
+
+// CacheBlockF64 derives the square float64 cache-block edge for this
+// hardware: the largest power of two b such that a source and a
+// destination block (2·b²·8 bytes) fill at most half the L1, leaving the
+// other half for streams. tensor.CacheBlockF64 pins this value for the
+// compile-time constant users (transpose, tile partitioning); the accel
+// tests assert the two stay in agreement.
+func (hw HW) CacheBlockF64() int {
+	l1 := hw.L1Bytes
+	if l1 <= 0 {
+		l1 = 32 << 10
+	}
+	b := 1
+	for 2*(2*b)*(2*b)*8 <= l1/2 {
+		b *= 2
+	}
+	return b
+}
+
+// PlanShape is the kernel-relevant summary of a compiled plan: output rows,
+// activation rows (Cols), stored entries, and the activation batch width
+// the tiling is being chosen for.
+type PlanShape struct {
+	Rows, Cols, NNZ, Batch int
+	// Uniform marks plans whose row spans all hold the same entry count
+	// (the CRISP fixed-trip-count fast path) — slightly cheaper span walks.
+	Uniform bool
+}
+
+// TilingScore is one candidate tiling with its simulated cost.
+type TilingScore struct {
+	Tiling format.Tiling
+	// Cycles is the simulated kernel latency (lower is better).
+	Cycles float64
+}
+
+// Per-entry walk costs, in cycles per stored entry per pass, calibrated
+// against the measured kernels on the reference machine (see
+// TestTilingPredictionRanksMeasured). The scalar kernel pays more per
+// entry — its destination row is read-modified-written through cache on
+// every entry — but walks each span exactly once at any batch width. The
+// panel microkernels hold the destination in eight register accumulators
+// (cheaper per entry) but re-walk the span once per eight-column panel, so
+// their total entry overhead scales with ⌈n/8⌉ and the crossover lands
+// near n ≈ 12, matching measurement and blockedAuto's single-pass rule.
+const (
+	scalarEntryCycles = 2.0
+	panelEntryCycles  = 1.5
+	// tileFixedCycles is the per-tile cost of scheduling a tile through
+	// the outer loop and pool (loop setup, accumulator warm-up, dispatch).
+	// Amortized to nothing at the default 64×128 tiles, it is what makes
+	// pathological tiny tilings (4×8) rank — and measure — worst.
+	tileFixedCycles = 1500.0
+)
+
+// SimulateTiling predicts the kernel latency of one tiling for the given
+// plan shape, in cycles of the supplied hardware model.
+//
+// The scalar kernel (Tiling.Scalar) is modeled as one schedule "tile":
+// span data and the full activation stream once at DRAM bandwidth while
+// full-width row walks consume them, each entry paying scalarEntryCycles —
+// the configuration measured fastest once the batch outgrows one panel
+// pass, because contiguous rows ride the hardware prefetcher and the span
+// streams exactly once.
+//
+// Blocked tilings partition the output into RowTile×ColTile tiles; within
+// a tile, eight-column panel passes re-walk each row span, so Col/Val
+// re-stream once per panel (⌈ct/8⌉ passes per tile) and every pass pays
+// panelEntryCycles per entry on top of the MACs. While the activation fits
+// the cache budget — and the batch is narrow enough that the span walks
+// stay near one pass — the panels' register accumulators win; beyond
+// either boundary the re-streams (at thrash-degraded bandwidth when the
+// activation spills) hand the verdict back to scalar, like the measured
+// kernels do.
+func SimulateTiling(hw HW, ps PlanShape, t format.Tiling) float64 {
+	n := ps.Batch
+	if n < 1 {
+		n = 1
+	}
+	nnz := float64(ps.NNZ)
+	actBytes := float64(ps.Cols) * float64(n) * hw.ActBytes
+	spanBytes := nnz * hw.WeightBytes
+	macs := nnz * float64(n)
+	perMAC := 1 / float64(hw.MACsPerCycle)
+
+	if t.Scalar {
+		// One pass: stream span + activation + dst, full-width row walks.
+		// The stream is pipelined row chunk by row chunk — the hardware
+		// prefetcher keeps the next rows' spans in flight while the
+		// current rows compute — so schedule it as overlapping chunks
+		// rather than one serial load+compute tile.
+		chunks := max(1, ps.Rows/64)
+		load := (spanBytes + actBytes + float64(ps.Rows)*float64(n)*hw.PsumBytes) / hw.DRAMBytesPerCycle
+		compute := macs*perMAC + nnz*scalarEntryCycles
+		f := float64(chunks)
+		_, end, _, _ := runSchedule(chunks, load/f, compute/f, (spanBytes+actBytes)/f, macs/f)
+		return end + hw.StartupCycles
+	}
+
+	rt, ct := t.RowTile, t.ColTile
+	cb := hw.CacheBlockF64()
+	if rt <= 0 {
+		rt = 2 * cb
+	}
+	if ct <= 0 {
+		ct = 4 * cb
+	}
+	rt = min(rt, ps.Rows)
+	ct = min(ct, n)
+	rTiles := ceilDiv(ps.Rows, rt)
+	cTiles := ceilDiv(n, ct)
+	tiles := rTiles * cTiles
+	panelsPerTile := float64(ceilDiv(ct, 8))
+
+	// Per tile: the tile's row spans re-stream once per panel pass, plus
+	// the tile's activation column slice.
+	tileSpanBytes := spanBytes / float64(rTiles) * panelsPerTile
+	tileActBytes := float64(ps.Cols) * float64(ct) * hw.ActBytes
+	bw := hw.SMEMBytesPerCycle
+	if actBytes > float64(hw.SMEMBytes) {
+		// Activation outgrows the budget: panel gathers thrash — loads
+		// degrade to DRAM latency/bandwidth instead of cache hits.
+		bw = hw.DRAMBytesPerCycle
+	}
+	load := (tileSpanBytes + tileActBytes) / bw
+
+	// Per tile: MACs with register-resident accumulators, the span-walk
+	// overhead repeated per panel pass, and the fixed tile dispatch cost.
+	tileMACs := macs / float64(tiles)
+	entryOverhead := nnz / float64(rTiles) * panelsPerTile * panelEntryCycles
+	if ps.Uniform {
+		// Fixed-trip-count spans: no RowPtr loads, better scheduling.
+		entryOverhead *= 0.75
+	}
+	compute := tileMACs*perMAC + entryOverhead + tileFixedCycles
+
+	_, end, _, _ := runSchedule(tiles, load, compute, tileSpanBytes+tileActBytes, tileMACs)
+	return end + hw.StartupCycles
+}
+
+// RankTilings simulates the candidate set for a plan shape — the scalar
+// reference, the package-default tiles, and cache-block-derived
+// alternatives — and returns it sorted best (fewest cycles) first.
+// Batches too narrow to fill a register panel rank the scalar kernel
+// alone: the blocked dispatch refuses them anyway.
+func RankTilings(hw HW, ps PlanShape) []TilingScore {
+	cb := hw.CacheBlockF64()
+	cands := []format.Tiling{{Scalar: true}}
+	if ps.Batch >= 4 {
+		cands = append(cands,
+			format.Tiling{RowTile: 2 * cb, ColTile: 4 * cb},
+			format.Tiling{RowTile: cb, ColTile: 2 * cb},
+			format.Tiling{RowTile: 4 * cb, ColTile: 8 * cb},
+			format.Tiling{RowTile: 2 * cb, ColTile: ps.Batch},
+		)
+	}
+	scores := make([]TilingScore, 0, len(cands))
+	for _, t := range cands {
+		scores = append(scores, TilingScore{Tiling: t, Cycles: SimulateTiling(hw, ps, t)})
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].Cycles < scores[j].Cycles })
+	return scores
+}
+
+// PickTiling returns the simulated-best tiling for a plan shape. The
+// inference engine queries it at plan-compile time; when the pick is a
+// blocked tiling it installs it via Plan.SetTiling, and when the pick is
+// Scalar it leaves the plan's zero-value tiling in place, so dispatch
+// falls back to the kernel's own per-call activation-size heuristic
+// (which can still take the blocked path for batch shapes the
+// compile-time query did not anticipate).
+func PickTiling(hw HW, ps PlanShape) format.Tiling {
+	return RankTilings(hw, ps)[0].Tiling
+}
+
+// The tensor package pins CacheBlockF64 as an untyped constant (it cannot
+// import accel without a cycle); keep this file's derivation visibly tied
+// to it. The accel tests assert CPUHW().CacheBlockF64() == this value.
+var _ = [1]struct{}{}[tensor.CacheBlockF64-32]

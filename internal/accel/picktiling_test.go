@@ -1,0 +1,175 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/format"
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+func TestCacheBlockAgreesWithTensor(t *testing.T) {
+	if got := CPUHW().CacheBlockF64(); got != tensor.CacheBlockF64 {
+		t.Fatalf("CPUHW().CacheBlockF64() = %d, tensor pins %d", got, tensor.CacheBlockF64)
+	}
+	// Accelerator configs leave L1Bytes zero; the derivation must fall back
+	// to the same default rather than degenerate.
+	if got := (HW{}).CacheBlockF64(); got != tensor.CacheBlockF64 {
+		t.Fatalf("zero-L1 CacheBlockF64() = %d, want %d", got, tensor.CacheBlockF64)
+	}
+}
+
+func TestPickTilingVerdicts(t *testing.T) {
+	hw := CPUHW()
+	// Single-panel batch with a cache-resident activation (2048·8·8 =
+	// 128 KB): the panel kernels walk each span once with the destination
+	// in registers and win.
+	narrow := PlanShape{Rows: 512, Cols: 2048, NNZ: 512 * 2048 / 4, Batch: 8}
+	if pick := PickTiling(hw, narrow); pick.Scalar {
+		t.Fatalf("single-panel shape %+v picked scalar", narrow)
+	} else if pick.RowTile <= 0 || pick.ColTile <= 0 {
+		t.Fatalf("blocked pick has degenerate tiles: %+v", pick)
+	}
+	// Two panel passes (n=16): the re-walked Col/Val streams cost more
+	// than the scalar kernel's single pass — scalar must win, mirroring
+	// blockedAuto's single-pass rule.
+	wide := PlanShape{Rows: 512, Cols: 2048, NNZ: 512 * 2048 / 4, Batch: 16}
+	if pick := PickTiling(hw, wide); !pick.Scalar {
+		t.Fatalf("two-pass shape %+v picked blocked tiling %+v", wide, pick)
+	}
+	// Streaming activation (4096·64·8 = 2 MB outgrows the budget): panel
+	// gathers thrash on top of the extra passes; scalar by a wide margin.
+	streaming := PlanShape{Rows: 512, Cols: 4096, NNZ: 512 * 4096 / 4, Batch: 64}
+	if pick := PickTiling(hw, streaming); !pick.Scalar {
+		t.Fatalf("streaming shape %+v picked blocked tiling %+v", streaming, pick)
+	}
+	// Below panelMin there is no panel to block; only scalar is ranked.
+	if pick := PickTiling(hw, PlanShape{Rows: 64, Cols: 64, NNZ: 1024, Batch: 2}); !pick.Scalar {
+		t.Fatalf("sub-panel batch picked blocked tiling %+v", pick)
+	}
+}
+
+func TestUniformSpansNeverPredictedSlower(t *testing.T) {
+	hw := CPUHW()
+	ps := PlanShape{Rows: 64, Cols: 576, NNZ: 2944, Batch: 8}
+	for _, tl := range []format.Tiling{{}, {RowTile: 64, ColTile: 128}} {
+		ragged := SimulateTiling(hw, ps, tl)
+		ps.Uniform = true
+		uniform := SimulateTiling(hw, ps, tl)
+		ps.Uniform = false
+		if uniform > ragged {
+			t.Fatalf("tiling %+v: uniform spans predicted slower (%.0f) than ragged (%.0f)", tl, uniform, ragged)
+		}
+	}
+}
+
+// uniformCRISPPlan builds a fully-uniform CRISP plan (every block kept,
+// 2:4 inside) — the fixed-trip-count fast-path shape the picker's Uniform
+// flag describes.
+func uniformCRISPPlan(t *testing.T, rng *rand.Rand, rows, cols int) *format.Plan {
+	t.Helper()
+	w := tensor.Randn(rng, 1, rows, cols)
+	for r := 0; r < rows; r++ {
+		for g := 0; g < cols; g += 4 {
+			// Zero two random positions of every four: magnitude pruning
+			// keeps random columns, so the panel gathers see the irregular
+			// access pattern real pruned models produce (a fixed kept-column
+			// pattern would let every tiling degenerate to the same regular
+			// stream and wash out the measurable differences).
+			a, b := rng.Intn(4), rng.Intn(4)
+			for b == a {
+				b = rng.Intn(4)
+			}
+			w.Data[r*cols+g+a] = 0
+			w.Data[r*cols+g+b] = 0
+		}
+	}
+	e, err := format.EncodeCRISP(w, 4, sparsity.NM{N: 2, M: 4})
+	if err != nil {
+		t.Fatalf("EncodeCRISP: %v", err)
+	}
+	return e.Compile()
+}
+
+// measureTiling times one tiling on a plan: warm call, then min of reps
+// (minimum filters scheduler noise on shared machines).
+func measureTiling(p *format.Plan, x *tensor.Tensor, tl format.Tiling, reps int) time.Duration {
+	v := *p
+	v.SetTiling(tl)
+	v.MatMul(x) // warm caches and the worker pool
+	lowest := time.Duration(1<<63 - 1)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		v.MatMul(x)
+		if d := time.Since(start); d < lowest {
+			lowest = d
+		}
+	}
+	return lowest
+}
+
+// TestTilingPredictionRanksMeasured validates the cost model against the
+// real kernels on the two contrasts that are robust on shared machines:
+//
+//  1. single-panel, cache-resident CRISP shape — the model predicts the
+//     blocked tiling beats the scalar reference (register accumulators,
+//     one span pass), and measurement must agree;
+//  2. streaming shape at wide batch — the model predicts a pathological
+//     4×8 tiling loses badly to scalar (the activation re-streams from
+//     DRAM once per tiny column tile), and measurement must agree.
+//
+// Slack is generous (min-of-N timing, 1.1× margins): the assertions check
+// ordering, not absolute cycle counts.
+func TestTilingPredictionRanksMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement; skipped under -short")
+	}
+	rng := rand.New(rand.NewSource(7))
+	hw := CPUHW()
+	scalar := format.Tiling{Scalar: true}
+
+	// Contrast 1: blocked wins the single-panel resident shape.
+	p := uniformCRISPPlan(t, rng, 512, 512)
+	ps := PlanShape{Rows: 512, Cols: 512, NNZ: p.NNZ(), Batch: 8, Uniform: true}
+	best := RankTilings(hw, ps)[0]
+	if best.Tiling.Scalar {
+		t.Fatalf("model picked scalar for single-panel resident shape %+v", ps)
+	}
+	x := tensor.Randn(rng, 1, 512, 8)
+	mBest := measureTiling(p, x, best.Tiling, 7)
+	mScalar := measureTiling(p, x, scalar, 7)
+	t.Logf("resident n=8: blocked %+v %v vs scalar %v (predicted %.0f vs %.0f cycles)",
+		best.Tiling, mBest, mScalar, best.Cycles, SimulateTiling(hw, ps, scalar))
+	if float64(mBest) > 1.1*float64(mScalar) {
+		t.Errorf("predicted-best tiling measured %v, scalar %v; model ranking not reflected", mBest, mScalar)
+	}
+
+	// Contrast 2: a pathological tiny-column tiling loses the streaming
+	// shape. 4096·64·8 = 2 MB of activation re-streams once per 8-wide
+	// column tile.
+	const rows, cols, n = 256, 4096, 64
+	w := tensor.Randn(rng, 1, rows, cols)
+	for i := range w.Data {
+		if rng.Float64() < 0.75 {
+			w.Data[i] = 0
+		}
+	}
+	sp := format.EncodeCSR(w).Compile()
+	sps := PlanShape{Rows: rows, Cols: cols, NNZ: sp.NNZ(), Batch: n}
+	bad := format.Tiling{RowTile: 4, ColTile: 8}
+	scalarCycles := SimulateTiling(hw, sps, scalar)
+	badCycles := SimulateTiling(hw, sps, bad)
+	if scalarCycles >= badCycles {
+		t.Fatalf("model scores pathological 4×8 tiling (%.0f cycles) at or below scalar (%.0f) on streaming shape", badCycles, scalarCycles)
+	}
+	sx := tensor.Randn(rng, 1, cols, n)
+	mStream := measureTiling(sp, sx, scalar, 3)
+	mBad := measureTiling(sp, sx, bad, 3)
+	t.Logf("streaming n=64: scalar %v vs pathological %v (predicted %.0f vs %.0f cycles)",
+		mStream, mBad, scalarCycles, badCycles)
+	if float64(mBad) < 1.1*float64(mStream) {
+		t.Errorf("pathological tiling measured %v vs scalar %v on streaming shape; expected a clear gap", mBad, mStream)
+	}
+}

@@ -112,8 +112,24 @@ func TileSim(hw HW, arch string, l models.LayerShape, sp Sparsity) (*TileTrace, 
 	bytesPerTile := sizeOf(tileK)
 	loadPerTile := bytesPerTile / hw.DRAMBytesPerCycle
 
+	events, end, computeBusy, memBusy := runSchedule(total, loadPerTile, computePerTile, bytesPerTile, macsPerTile)
+	trace.Events = events
+	// Output writeback of the final tile group plus pipeline drain.
+	outCycles := float64(m*n) * hw.ActBytes / hw.DRAMBytesPerCycle
+	trace.Cycles = end + outCycles + hw.StartupCycles
+	trace.ComputeBusy = computeBusy / trace.Cycles
+	trace.MemBusy = (memBusy + outCycles) / trace.Cycles
+	return trace, nil
+}
+
+// runSchedule plays the double-buffered load/compute pipeline shared by
+// TileSim and the CPU-side tiling cost model (SimulateTiling): tile i+1's
+// load starts when tile i's load finishes (single prefetch buffer), tile
+// i's compute starts when both its load and the previous compute are done.
+// It returns the event timeline, the last compute-end time, and the summed
+// busy cycles per resource.
+func runSchedule(total int, loadPerTile, computePerTile, bytesPerTile, macsPerTile float64) (events []TileEvent, end, computeBusy, memBusy float64) {
 	var prevLoadEnd, prevComputeEnd float64
-	var computeBusy, memBusy float64
 	for i := 0; i < total; i++ {
 		ev := TileEvent{Index: i, Bytes: bytesPerTile, MACs: macsPerTile}
 		ev.LoadStart = prevLoadEnd
@@ -124,14 +140,9 @@ func TileSim(hw HW, arch string, l models.LayerShape, sp Sparsity) (*TileTrace, 
 		prevComputeEnd = ev.ComputeEnd
 		computeBusy += computePerTile
 		memBusy += loadPerTile
-		trace.Events = append(trace.Events, ev)
+		events = append(events, ev)
 	}
-	// Output writeback of the final tile group plus pipeline drain.
-	outCycles := float64(m*n) * hw.ActBytes / hw.DRAMBytesPerCycle
-	trace.Cycles = prevComputeEnd + outCycles + hw.StartupCycles
-	trace.ComputeBusy = computeBusy / trace.Cycles
-	trace.MemBusy = (memBusy + outCycles) / trace.Cycles
-	return trace, nil
+	return events, prevComputeEnd, computeBusy, memBusy
 }
 
 // ceilDiv is integer ceiling division.

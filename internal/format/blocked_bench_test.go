@@ -1,0 +1,48 @@
+package format
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// benchPlanShape builds a random CSR plan at the given shape/density and a
+// matching activation, with the tiling forced as requested.
+func benchPlanShape(rows, cols, n int, density float64, t Tiling) (*Plan, *tensor.Tensor, *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(7))
+	m := tensor.New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	p := EncodeCSR(m).Compile()
+	p.SetTiling(t)
+	b := tensor.Randn(rng, 1, cols, n)
+	return p, b, tensor.New(rows, n)
+}
+
+func BenchmarkKernelShapes(b *testing.B) {
+	shapes := []struct {
+		rows, cols, n int
+		density       float64
+	}{
+		{512, 4096, 16, 0.10},
+		{64, 576, 1024, 0.15},
+		{128, 1152, 256, 0.15},
+	}
+	for _, sh := range shapes {
+		for _, mode := range []string{"scalar", "blocked"} {
+			t := Tiling{Scalar: mode == "scalar"}
+			p, act, out := benchPlanShape(sh.rows, sh.cols, sh.n, sh.density, t)
+			name := fmt.Sprintf("%dx%dx%d/%s", sh.rows, sh.cols, sh.n, mode)
+			b.Run(name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.MatMulInto(act, out)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package format
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparsity"
+	"repro/internal/tensor"
+)
+
+// Kernel conformance/differential harness. Every kernel variant enrolled in
+// KernelVariants — and the internal microkernel fallbacks the public
+// dispatch cannot force — runs against the scalar reference kernel over a
+// shape grid chosen to hit every structural edge: ragged row/column tiles,
+// batch widths straddling the 8/4/1-column panels, empty rows, all-padding
+// CRISP spans, uniform-span CRISP plans (the fixed-trip-count fast path)
+// and slab-bound plans. Float results must be bit-identical; int8 results
+// accumulate in exact integer arithmetic, so they must be bit-identical
+// under any tiling too.
+
+// bitIdentical reports whether two rank-2 tensors hold exactly the same
+// bit patterns (stricter than ==: distinguishes -0 from +0, NaN payloads).
+func bitIdentical(t *testing.T, got, want *tensor.Tensor) bool {
+	t.Helper()
+	if len(got.Data) != len(want.Data) {
+		t.Fatalf("size mismatch: %v vs %v", got.Shape, want.Shape)
+	}
+	for i := range got.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Errorf("bit mismatch at %d: got %x want %x", i,
+				math.Float64bits(got.Data[i]), math.Float64bits(want.Data[i]))
+			return false
+		}
+	}
+	return true
+}
+
+// withTiling returns a shallow copy of the plan with the given tiling, so
+// one compiled plan can run under every variant without mutating shared
+// state mid-test.
+func withTiling(p *Plan, t Tiling) *Plan {
+	cp := *p
+	cp.SetTiling(t)
+	return &cp
+}
+
+// conformancePlans builds the plan corpus for one matrix: the CSR compile,
+// and — when the matrix satisfies the hybrid invariants — the CRISP
+// compile (which may prove uniform spans) plus its slab-bound twin.
+func conformancePlans(t *testing.T, w *tensor.Tensor, blk int, nm sparsity.NM) map[string]*Plan {
+	t.Helper()
+	plans := map[string]*Plan{"csr": EncodeCSR(w).Compile()}
+	if blk > 0 {
+		e, err := EncodeCRISP(w, blk, nm)
+		if err == nil {
+			plans["crisp"] = e.Compile()
+			slabbed := e.Compile()
+			if slabbed.BindSlab(NewValueSlab(w)) {
+				plans["crisp-slab"] = slabbed
+			} else {
+				t.Fatalf("BindSlab refused the plan's own source matrix")
+			}
+		}
+	}
+	return plans
+}
+
+// TestKernelConformance is the main differential sweep: every registry
+// variant × every plan source × a shape/batch grid, all proven
+// bit-identical to the scalar reference.
+func TestKernelConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type shape struct {
+		rows, cols int
+		blk        int // 0 = CSR-only (arbitrary structure)
+		emptyRows  bool
+	}
+	shapes := []shape{
+		{rows: 1, cols: 8},
+		{rows: 3, cols: 33, emptyRows: true},
+		{rows: 64, cols: 128, blk: 4},
+		{rows: 65, cols: 33, emptyRows: true},
+		{rows: 8, cols: 16, blk: 4},
+		{rows: 16, cols: 32, blk: 8},
+	}
+	batches := []int{1, 3, 4, 5, 8, 16, 17}
+	for _, s := range shapes {
+		var w *tensor.Tensor
+		if s.blk > 0 {
+			w = hybridMatrix(rng, s.rows, s.cols, s.blk, sparsity.NM{N: 2, M: 4}, 1)
+		} else {
+			w = tensor.Randn(rng, 3, s.rows, s.cols)
+			for i := range w.Data {
+				if rng.Float64() < 0.6 {
+					w.Data[i] = 0
+				}
+			}
+		}
+		if s.emptyRows {
+			for c := 0; c < s.cols; c++ {
+				w.Data[(s.rows/2)*s.cols+c] = 0
+			}
+		}
+		for src, p := range conformancePlans(t, w, s.blk, sparsity.NM{N: 2, M: 4}) {
+			for _, n := range batches {
+				x := tensor.Randn(rng, 1, s.cols, n)
+				want := withTiling(p, Tiling{Scalar: true}).MatMul(x)
+				for _, kv := range KernelVariants() {
+					got := withTiling(p, kv.Tiling).MatMul(x)
+					if !bitIdentical(t, got, want) {
+						t.Fatalf("%s/%s: %dx%d n=%d differs from scalar reference",
+							src, kv.Name, s.rows, s.cols, n)
+					}
+				}
+				// The four-wide panel fallback and the uniform fast path at
+				// forced panel width are internal (the dispatch only takes
+				// them on narrow tail columns), so enroll them directly.
+				got := tensor.New(p.Rows, n)
+				for r := 0; r < p.Rows; r += 2 {
+					p.blockedTile(x, got, n, r, min(r+2, p.Rows), 0, n, 4)
+				}
+				if !bitIdentical(t, got, want) {
+					t.Fatalf("%s/blocked-4: %dx%d n=%d differs from scalar reference",
+						src, s.rows, s.cols, n)
+				}
+			}
+		}
+	}
+}
+
+// TestUniformSpanFastPath pins the CRISP-metadata specialization: an
+// encoding with no surviving padding slots must compile to a uniform plan
+// (blockedTileUniform eligible), one with a dropped zero must not — and
+// both must stay bit-identical to scalar under every variant.
+func TestUniformSpanFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := hybridMatrix(rng, 16, 32, 4, sparsity.NM{N: 2, M: 4}, 1)
+	e, err := EncodeCRISP(w, 4, sparsity.NM{N: 2, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Compile()
+	if p.uniform == 0 {
+		t.Fatal("fully dense-slot CRISP encoding should compile to uniform spans")
+	}
+	x := tensor.Randn(rng, 1, 32, 9)
+	want := withTiling(p, Tiling{Scalar: true}).MatMul(x)
+	for _, kv := range KernelVariants() {
+		if !bitIdentical(t, withTiling(p, kv.Tiling).MatMul(x), want) {
+			t.Fatalf("%s: uniform plan differs from scalar reference", kv.Name)
+		}
+	}
+
+	// Zero one stored value: the padding slot disappears from the plan, the
+	// spans go ragged, and Compile must not claim uniformity.
+	e.Val[0] = 0
+	rp := e.Compile()
+	if rp.uniform != 0 {
+		t.Fatal("ragged spans misdetected as uniform")
+	}
+	want = withTiling(rp, Tiling{Scalar: true}).MatMul(x)
+	for _, kv := range KernelVariants() {
+		if !bitIdentical(t, withTiling(rp, kv.Tiling).MatMul(x), want) {
+			t.Fatalf("%s: ragged plan differs from scalar reference", kv.Name)
+		}
+	}
+}
+
+// TestAllPaddingSpans drives the degenerate encoding whose every slot is a
+// padding zero: the plan holds no entries at all, and every kernel variant
+// must still produce an exact zero matrix of the right shape.
+func TestAllPaddingSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := hybridMatrix(rng, 8, 16, 4, sparsity.NM{N: 2, M: 4}, 1)
+	e, err := EncodeCRISP(w, 4, sparsity.NM{N: 2, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range e.Val {
+		e.Val[i] = 0
+	}
+	p := e.Compile()
+	if p.NNZ() != 0 {
+		t.Fatalf("all-padding encoding compiled to %d entries", p.NNZ())
+	}
+	x := tensor.Randn(rng, 1, 16, 7)
+	want := withTiling(p, Tiling{Scalar: true}).MatMul(x)
+	for _, v := range want.Data {
+		if v != 0 {
+			t.Fatal("scalar reference nonzero on empty plan")
+		}
+	}
+	for _, kv := range KernelVariants() {
+		if !bitIdentical(t, withTiling(p, kv.Tiling).MatMul(x), want) {
+			t.Fatalf("%s: empty plan differs from scalar reference", kv.Name)
+		}
+	}
+}
+
+// TestQuantKernelConformance proves the int8 SWAR kernel identical under
+// scalar and blocked dispatch: integer accumulation is exact, so any
+// tiling must reproduce the scalar result bit for bit.
+func TestQuantKernelConformance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, s := range []struct{ rows, cols int }{{8, 16}, {16, 32}, {64, 128}} {
+		w := hybridMatrix(rng, s.rows, s.cols, 4, sparsity.NM{N: 2, M: 4}, 1)
+		q, err := EncodeCSR(w).Compile().Quantize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 3, 4, 8, 16, 17} {
+			x := tensor.Randn(rng, 1, s.cols, n)
+			want := q.MatMul(x)
+			for _, kv := range KernelVariants() {
+				qq := *q
+				qq.SetTiling(kv.Tiling)
+				if !bitIdentical(t, qq.MatMul(x), want) {
+					t.Fatalf("int8/%s: %dx%d n=%d differs from scalar SWAR",
+						kv.Name, s.rows, s.cols, n)
+				}
+			}
+		}
+	}
+}
+
+// TestConvPlanDifferential proves the fused implicit-im2col kernels — both
+// the sample-major reference layout and the batch-last engine layout —
+// against the explicit lowering (Im2ColInto + scalar plan MatMulInto).
+// Equality is |difference| = 0 via tensor.Equal: bit patterns may differ
+// only in the sign of all-padding-tap zeros (see convplan.go).
+func TestConvPlanDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	type geom struct {
+		inC, kh, kw, stride, pad, inH, inW int
+	}
+	geoms := []geom{
+		{inC: 3, kh: 3, kw: 3, stride: 1, pad: 1, inH: 8, inW: 8},
+		{inC: 4, kh: 3, kw: 3, stride: 2, pad: 1, inH: 8, inW: 8},
+		{inC: 2, kh: 1, kw: 1, stride: 1, pad: 0, inH: 5, inW: 7},
+		{inC: 2, kh: 1, kw: 1, stride: 2, pad: 0, inH: 8, inW: 8},
+		{inC: 1, kh: 5, kw: 3, stride: 1, pad: 2, inH: 7, inW: 5},
+		{inC: 3, kh: 3, kw: 3, stride: 1, pad: 1, inH: 4, inW: 4},
+	}
+	for _, gm := range geoms {
+		for _, batch := range []int{1, 3, 16} {
+			rows := 6
+			cols := gm.inC * gm.kh * gm.kw
+			w := tensor.Randn(rng, 2, rows, cols)
+			for i := range w.Data {
+				if rng.Float64() < 0.5 {
+					w.Data[i] = 0
+				}
+			}
+			p := EncodeCSR(w).Compile()
+			g := tensor.ConvGeom{InC: gm.inC, KH: gm.kh, KW: gm.kw,
+				Stride: gm.stride, Pad: gm.pad, InH: gm.inH, InW: gm.inW}
+			oh, ow := g.OutH(), g.OutW()
+			x := tensor.Randn(rng, 1, batch, gm.inC, gm.inH, gm.inW)
+			n := batch * oh * ow
+
+			lowered := tensor.New(cols, n)
+			tensor.Im2ColInto(x, g, lowered)
+			want := withTiling(p, Tiling{Scalar: true}).MatMul(lowered)
+
+			got := p.ConvMatMulInto(x, g, tensor.New(rows, n))
+			if !tensor.Equal(got, want, 0) {
+				t.Fatalf("fused conv %+v batch=%d differs from lowering", gm, batch)
+			}
+
+			cp := p.CompileConv(gm.kh, gm.kw, gm.stride, gm.pad)
+			chw := gm.inC * gm.inH * gm.inW
+			xT := tensor.TransposeInto(x.Reshape(batch, chw), tensor.New(chw, batch))
+			outT := cp.MatMulBatchLastInto(xT, g, batch, tensor.New(rows*oh*ow, batch))
+			// Batch-last output [r·p, b] transposes to [b, r·p]; the
+			// lowering's layout is [r, b·p] — compare element-wise.
+			back := tensor.TransposeInto(outT, tensor.New(batch, rows*oh*ow))
+			for r := 0; r < rows; r++ {
+				for b := 0; b < batch; b++ {
+					for pix := 0; pix < oh*ow; pix++ {
+						gotV := back.Data[b*rows*oh*ow+r*oh*ow+pix]
+						wantV := want.Data[r*n+b*oh*ow+pix]
+						if gotV != wantV {
+							t.Fatalf("batch-last conv %+v batch=%d mismatch at r=%d b=%d pix=%d: got %v want %v",
+								gm, batch, r, b, pix, gotV, wantV)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package format
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// Implicit-im2col convolution: the conv-layer member of the blocked kernel
+// family. The classic lowering materializes im2col(x) — a [InC·KH·KW,
+// N·OH·OW] matrix that duplicates every input pixel KH·KW times — and then
+// runs the generic SpMM over it. On conv-sized batches that write
+// amplification dominates the whole forward pass: the im2col matrix is
+// KH·KW× the input and far outgrows the cache, so the kernel's activation
+// walks stream from DRAM. A ConvPlan fuses the two: each stored weight
+// entry reads its (channel, kernel-position) tap straight from the input
+// image, so the activation working set is the image itself — KH·KW×
+// smaller, cache-resident — and the im2col matrix is never built.
+//
+// The fusion is only profitable because everything data-dependent is
+// hoisted out of the hot loop at compile time. Decoding a plan column
+// index into (channel, kh, kw) costs two integer divides — done per entry
+// per sample it costs more than the multiply-accumulates it feeds (the
+// first cut of this kernel measured ~2× slower than the lowering for
+// exactly that reason). CompileConv therefore decodes every entry once
+// into a tap table, and the per-geometry border clipping (which output
+// rows/columns keep a given kernel position inside the image) collapses
+// into a KH·KW-entry table computed once per input size and cached on the
+// plan. What remains per (entry, sample) is a handful of adds and one
+// multiply to form the slice bases, then pure contiguous AXPYs.
+//
+// Accumulation-order contract: for every output element the products are
+// added in ascending span order — exactly the order MatMulInto's scalar
+// kernel uses over an im2col matrix, so results match the lowered path
+// element for element (|difference| = 0). The one representational
+// exception: taps that fall in the zero padding are skipped here but
+// contribute an explicit ±0.0 product in the lowered path, so an output
+// whose every contribution is a signed zero can differ in the sign of its
+// zero. Magnitudes, and therefore every downstream computation, are
+// unaffected.
+
+// ConvPlan is a Plan specialized for implicit-im2col convolution with a
+// fixed kernel shape. It is immutable after CompileConv apart from the
+// per-input-geometry clip cache, which is republished atomically and is
+// safe for concurrent MatMulInto use.
+type ConvPlan struct {
+	p                   *Plan
+	kh, kw, stride, pad int
+	inC                 int
+	taps                []convTap
+	state               atomic.Pointer[convState]
+}
+
+// convTap is one stored weight entry's decoded position: the input channel
+// and the flattened kernel position kh·KW+kw (the index into the
+// per-geometry clip table).
+type convTap struct {
+	c  int32
+	kk int32
+}
+
+// convClip is the border clipping for one kernel position (kh, kw) at one
+// input geometry: the output rows [oy0, oy1) and columns [ox0, ox1) whose
+// tap lands inside the image, and the tap's input offset at (oy0, ox0)
+// within its channel. Taps outside the range read zero padding and
+// contribute nothing.
+type convClip struct {
+	oy0, oy1 int32
+	ox0, ox1 int32
+	src0     int32
+}
+
+// convState is the per-input-geometry derived state, cached on the plan so
+// steady-state forwards recompute nothing and allocate nothing.
+type convState struct {
+	inH, inW int
+	oh, ow   int
+	clips    []convClip
+}
+
+// CompileConv specializes the plan for convolution with the given kernel
+// shape, decoding every entry's (channel, kernel-position) tap once. The
+// plan's Cols must equal InC·KH·KW for some whole channel count.
+func (p *Plan) CompileConv(kh, kw, stride, pad int) *ConvPlan {
+	if kh <= 0 || kw <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("format: CompileConv bad kernel %dx%d stride %d pad %d", kh, kw, stride, pad))
+	}
+	khw := kh * kw
+	if p.Cols%khw != 0 {
+		panic(fmt.Sprintf("format: CompileConv plan cols %d not divisible by KH*KW = %d", p.Cols, khw))
+	}
+	cp := &ConvPlan{
+		p: p, kh: kh, kw: kw, stride: stride, pad: pad,
+		inC:  p.Cols / khw,
+		taps: make([]convTap, len(p.Col)),
+	}
+	for i, cc := range p.Col {
+		c := cc / int32(khw)
+		cp.taps[i] = convTap{c: c, kk: cc - c*int32(khw)}
+	}
+	return cp
+}
+
+// Geom reports whether g matches the compiled kernel shape.
+func (cp *ConvPlan) matches(g tensor.ConvGeom) bool {
+	return g.KH == cp.kh && g.KW == cp.kw && g.Stride == cp.stride && g.Pad == cp.pad && g.InC == cp.inC
+}
+
+// clipRange returns the output range [o0, o1) along one axis whose tap
+// index o·Stride + k − Pad lands inside [0, in).
+func clipRange(k, pad, stride, in, outDim int) (int, int) {
+	o0 := 0
+	if pad > k {
+		o0 = (pad - k + stride - 1) / stride
+	}
+	o1 := (in + pad - k + stride - 1) / stride
+	if o1 > outDim {
+		o1 = outDim
+	}
+	if o1 < o0 {
+		o1 = o0
+	}
+	return o0, o1
+}
+
+// stateFor returns the clip table for the input geometry, computing and
+// caching it on first sight of a new input size. The compute is
+// deterministic, so a racing duplicate store publishes identical content.
+func (cp *ConvPlan) stateFor(g tensor.ConvGeom) *convState {
+	if st := cp.state.Load(); st != nil && st.inH == g.InH && st.inW == g.InW {
+		return st
+	}
+	st := &convState{
+		inH: g.InH, inW: g.InW,
+		oh: g.OutH(), ow: g.OutW(),
+		clips: make([]convClip, cp.kh*cp.kw),
+	}
+	for kh := 0; kh < cp.kh; kh++ {
+		for kw := 0; kw < cp.kw; kw++ {
+			oy0, oy1 := clipRange(kh, cp.pad, cp.stride, g.InH, st.oh)
+			ox0, ox1 := clipRange(kw, cp.pad, cp.stride, g.InW, st.ow)
+			iy0 := oy0*cp.stride + kh - cp.pad
+			ix0 := ox0*cp.stride + kw - cp.pad
+			st.clips[kh*cp.kw+kw] = convClip{
+				oy0: int32(oy0), oy1: int32(oy1),
+				ox0: int32(ox0), ox1: int32(ox1),
+				src0: int32(iy0*g.InW + ix0),
+			}
+		}
+	}
+	cp.state.Store(st)
+	return st
+}
+
+// MatMulInto computes the convolution of every sample in x ([batch, InC,
+// InH, InW]) with the plan's weight rows into out ([Rows, batch·OH·OW],
+// im2col output layout). Previous contents of out are overwritten.
+func (cp *ConvPlan) MatMulInto(x *tensor.Tensor, g tensor.ConvGeom, out *tensor.Tensor) *tensor.Tensor {
+	if !cp.matches(g) {
+		panic(fmt.Sprintf("format: ConvPlan compiled for %dx%d stride %d pad %d inC %d, got %+v",
+			cp.kh, cp.kw, cp.stride, cp.pad, cp.inC, g))
+	}
+	if len(x.Shape) != 4 || x.Shape[1] != g.InC || x.Shape[2] != g.InH || x.Shape[3] != g.InW {
+		panic(fmt.Sprintf("format: ConvPlan input %v does not match geometry %+v", x.Shape, g))
+	}
+	st := cp.stateFor(g)
+	batch := x.Shape[0]
+	n := batch * st.oh * st.ow
+	p := cp.p
+	if len(out.Shape) != 2 || out.Shape[0] != p.Rows || out.Shape[1] != n {
+		panic(fmt.Sprintf("format: ConvPlan output %v, want [%d %d]", out.Shape, p.Rows, n))
+	}
+	if p.NNZ()*n < spmmParallelThreshold || p.Rows < 2 {
+		cp.convRows(x.Data, st, batch, out.Data, n, 0, p.Rows)
+		return out
+	}
+	parallelRows(p.Rows, p.NNZ()*n, func(row0, row1 int) {
+		cp.convRows(x.Data, st, batch, out.Data, n, row0, row1)
+	})
+	return out
+}
+
+// ConvMatMulInto is the compile-on-the-fly convenience form: it builds a
+// throwaway ConvPlan for g's kernel shape and runs it. Steady-state
+// callers (the inference engine) hold a compiled ConvPlan instead.
+func (p *Plan) ConvMatMulInto(x *tensor.Tensor, g tensor.ConvGeom, out *tensor.Tensor) *tensor.Tensor {
+	return p.CompileConv(g.KH, g.KW, g.Stride, g.Pad).MatMulInto(x, g, out)
+}
+
+// MatMulBatchLastInto is the batch-last form of the fused convolution: xT
+// is the transposed input [InC·InH·InW, batch] (sample index innermost)
+// and out is filled as [Rows·OH·OW, batch]. Batch-last is the layout the
+// inference engine runs, because it turns every tap's contribution into a
+// contiguous w·batch-element AXPY: in sample-major layout a tap touches w
+// consecutive pixels of one sample (w ≤ OW, single digits on late-stage
+// feature maps), so slice and loop overhead swamp the multiply-adds;
+// batch-last fuses the clipped pixel run and the batch dimension into one
+// run, amortizing that overhead across an order of magnitude more work.
+// The per-element accumulation order is identical to MatMulInto's —
+// ascending span order, entries in the outermost loop — so transposing the
+// result back to sample-major reproduces it bit for bit.
+func (cp *ConvPlan) MatMulBatchLastInto(xT *tensor.Tensor, g tensor.ConvGeom, batch int, out *tensor.Tensor) *tensor.Tensor {
+	if !cp.matches(g) {
+		panic(fmt.Sprintf("format: ConvPlan compiled for %dx%d stride %d pad %d inC %d, got %+v",
+			cp.kh, cp.kw, cp.stride, cp.pad, cp.inC, g))
+	}
+	if len(xT.Shape) != 2 || xT.Shape[0] != g.InC*g.InH*g.InW || xT.Shape[1] != batch {
+		panic(fmt.Sprintf("format: ConvPlan batch-last input %v, want [%d %d]", xT.Shape, g.InC*g.InH*g.InW, batch))
+	}
+	st := cp.stateFor(g)
+	p := cp.p
+	ohow := st.oh * st.ow
+	if len(out.Shape) != 2 || out.Shape[0] != p.Rows*ohow || out.Shape[1] != batch {
+		panic(fmt.Sprintf("format: ConvPlan batch-last output %v, want [%d %d]", out.Shape, p.Rows*ohow, batch))
+	}
+	if p.NNZ()*batch*ohow < spmmParallelThreshold || p.Rows < 2 {
+		cp.convRowsBatchLast(xT.Data, st, batch, out.Data, 0, p.Rows)
+		return out
+	}
+	parallelRows(p.Rows, p.NNZ()*batch*ohow, func(row0, row1 int) {
+		cp.convRowsBatchLast(xT.Data, st, batch, out.Data, row0, row1)
+	})
+	return out
+}
+
+// convRowsBatchLast computes output rows [row0, row1) in batch-last
+// layout. Entries stay outermost (the accumulation-order contract); the
+// inner AXPY covers a whole clipped pixel run across every sample at once.
+func (cp *ConvPlan) convRowsBatchLast(xd []float64, st *convState, batch int, out []float64, row0, row1 int) {
+	p := cp.p
+	chanSize := st.inH * st.inW
+	ohow := st.oh * st.ow
+	ow := st.ow
+	rowStep := cp.stride * st.inW * batch
+	s := cp.stride
+	for r := row0; r < row1; r++ {
+		dst := out[r*ohow*batch : (r+1)*ohow*batch]
+		clear(dst)
+		i0, i1 := int(p.RowPtr[r]), int(p.RowPtr[r+1])
+		for i := i0; i < i1; i++ {
+			t := cp.taps[i]
+			cl := &st.clips[t.kk]
+			w := int(cl.ox1 - cl.ox0)
+			rows := int(cl.oy1 - cl.oy0)
+			if w <= 0 || rows <= 0 {
+				continue
+			}
+			v := p.value(r, int32(i))
+			so := (int(t.c)*chanSize + int(cl.src0)) * batch
+			do := (int(cl.oy0)*ow + int(cl.ox0)) * batch
+			if s == 1 {
+				// Stride-1 taps read w·batch consecutive values: one long
+				// AXPY per clipped output row. Equal-length reslices let
+				// the compiler drop the per-element bounds checks.
+				wb := w * batch
+				for k := 0; k < rows; k++ {
+					xr := xd[so : so+wb]
+					d := dst[do : do+wb]
+					for j, xv := range xr {
+						d[j] += v * xv
+					}
+					so += rowStep
+					do += ow * batch
+				}
+			} else {
+				// Strided taps are contiguous per pixel (batch elements);
+				// step s pixels between output columns.
+				sb := s * batch
+				for k := 0; k < rows; k++ {
+					soX := so
+					for ox := 0; ox < w; ox++ {
+						xr := xd[soX : soX+batch]
+						d := dst[do+ox*batch:]
+						d = d[:batch]
+						for j, xv := range xr {
+							d[j] += v * xv
+						}
+						soX += sb
+					}
+					so += rowStep
+					do += ow * batch
+				}
+			}
+		}
+	}
+}
+
+// convRows computes output rows [row0, row1) of the fused convolution.
+// Each output row is owned by one worker: it is zeroed once, then every
+// span entry scatters its clipped, shifted input window into it, sample by
+// sample. Entries walk in span order in the outermost loop, so each output
+// element accumulates its products in ascending span order — the scalar
+// SpMM's order over an im2col matrix — regardless of the sample/row
+// nesting inside (distinct (b, oy, ox) never alias). The whole n-wide dst
+// row (batch·OH·OW floats) is small enough to stay cache-resident across
+// the span walk, while Col/Val/taps stream through exactly once per row.
+func (cp *ConvPlan) convRows(xd []float64, st *convState, batch int, out []float64, n, row0, row1 int) {
+	p := cp.p
+	chanSize := st.inH * st.inW
+	imgSize := cp.inC * chanSize
+	ohow := st.oh * st.ow
+	ow := st.ow
+	rowStep := cp.stride * st.inW
+	s := cp.stride
+	for r := row0; r < row1; r++ {
+		dst := out[r*n : (r+1)*n]
+		clear(dst)
+		i0, i1 := int(p.RowPtr[r]), int(p.RowPtr[r+1])
+		for i := i0; i < i1; i++ {
+			t := cp.taps[i]
+			cl := &st.clips[t.kk]
+			w := int(cl.ox1 - cl.ox0)
+			rows := int(cl.oy1 - cl.oy0)
+			if w <= 0 || rows <= 0 {
+				continue
+			}
+			v := p.value(r, int32(i))
+			srcBase := int(t.c)*chanSize + int(cl.src0)
+			dstBase := int(cl.oy0)*ow + int(cl.ox0)
+			if s == 1 {
+				for b := 0; b < batch; b++ {
+					bd := dst[b*ohow:]
+					img := xd[b*imgSize:]
+					so, do := srcBase, dstBase
+					for k := 0; k < rows; k++ {
+						// Equal-length reslices let the compiler drop the
+						// per-element bounds checks from the AXPY.
+						xr := img[so : so+w]
+						d := bd[do : do+w]
+						for j, xv := range xr {
+							d[j] += v * xv
+						}
+						so += rowStep
+						do += ow
+					}
+				}
+			} else {
+				for b := 0; b < batch; b++ {
+					bd := dst[b*ohow:]
+					img := xd[b*imgSize:]
+					so, do := srcBase, dstBase
+					for k := 0; k < rows; k++ {
+						d := bd[do : do+w]
+						for j := range d {
+							d[j] += v * img[so+j*s]
+						}
+						so += rowStep
+						do += ow
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package format implements the sparse-weight storage formats compared in
+// the CRISP paper's Fig. 4: CSR, ELLPACK, Blocked-ELLPACK and the CRISP
+// hybrid format (Blocked-ELLPACK block-column indices plus packed
+// ⌈log2 M⌉-bit intra-group offsets for the N:M non-zeros).
+//
+// Each format has a real encoder (encode → decode round-trips the masked
+// matrix, SpMM matches dense GEMM) and an analytical metadata-bit model used
+// to evaluate full-size ImageNet layers without materializing them. The bit
+// conventions follow common practice and are validated against the paper's
+// reported ≈5×/≈7× CSR/ELLPACK overheads:
+//
+//   - CSR: one ⌈log2 cols⌉-bit column index per non-zero + 32-bit row
+//     pointers.
+//   - ELLPACK (ITPACK): rows padded to the maximum row population, 16-bit
+//     column indices (the format's fixed-width index array).
+//   - Blocked-ELLPACK: one ⌈log2 gridCols⌉-bit block-column index per kept
+//     block.
+//   - CRISP: Blocked-ELLPACK block indices + ⌈log2 M⌉ bits per kept N:M slot.
+//
+// # Execution plans
+//
+// The storage formats model what the hardware stores; executing them
+// directly pays block-grid arithmetic, offset decoding and padding-slot
+// branches on every SpMM. For software serving each encoding therefore
+// compiles — once, via Compile/CompilePlan — into a Plan: a flat
+// row-pointer / column-index / value layout with zero slots dropped, whose
+// kernel is a straight gather-multiply-accumulate that accumulates in
+// exactly the storage kernel's order (bit-identical results). Large SpMMs
+// fan out over a persistent package-level worker pool (see parallelRows);
+// the steady-state hot path spawns no goroutines and MatMulInto variants
+// let callers supply recycled output buffers.
+//
+// # The blocked kernel family
+//
+// A compiled Plan dispatches among several kernel implementations of the
+// same SpMM (blocked.go, microkernel.go):
+//
+//   - the scalar reference kernel: one pass per row span, full-batch-width
+//     AXPY per entry (rowRange) — the semantics-defining implementation;
+//   - register-blocked panel kernels: eight- and four-column panels whose
+//     partial sums live in register accumulators across the whole span
+//     (spanPanel8/spanPanel4, with slab-gather variants);
+//   - a cache-tiled outer loop that feeds RowTile×ColTile output tiles to
+//     the worker pool (matmulBlocked/runTiles);
+//   - a CRISP-structure-specialized fast path for plans whose row spans
+//     were proved uniform at compile time (blockedTileUniform, fixed trip
+//     counts, no row-pointer loads); and
+//   - the int8 SWAR kernel, whose packed integer accumulators ride the
+//     same blocked outer loops under an explicit tiling.
+//
+// Which kernel runs is chosen per call: an explicit Tiling (SetTiling)
+// pins the blocked path or the scalar path; the zero-value Tiling lets
+// blockedAuto decide from the batch width and activation size (a single
+// panel pass over a cache-resident activation is the blocked family's
+// winning regime — see blockedPanelWidth and blockedActBudget). The
+// simulator-backed picker in internal/accel (PickTiling) makes the same
+// call from a cost model at plan-compile time.
+//
+// # Bit-exactness contract
+//
+// Every kernel variant must produce output bit-identical to the scalar
+// reference: for each output element, floating-point products are added in
+// ascending span (storage) order. Blocking, tiling, panel width, slab
+// binding, parallel fan-out and quantized dispatch may change where
+// partial sums live and which order output *elements* are produced in,
+// but never the order of additions *within* an element. KernelVariants
+// enrolls every dispatchable configuration in a registry; the conformance
+// harness (conformance_test.go) proves each one bit-identical to the
+// scalar reference across a geometry/batch grid, and FuzzBlockedMatMul
+// replays the same differential check under fuzzer-chosen shapes,
+// sparsity and values. New kernels join the family by adding a
+// KernelVariant entry — enrollment in the harness is automatic.
+package format

@@ -1,34 +1,3 @@
-// Package format implements the sparse-weight storage formats compared in
-// the CRISP paper's Fig. 4: CSR, ELLPACK, Blocked-ELLPACK and the CRISP
-// hybrid format (Blocked-ELLPACK block-column indices plus packed
-// ⌈log2 M⌉-bit intra-group offsets for the N:M non-zeros).
-//
-// Each format has a real encoder (encode → decode round-trips the masked
-// matrix, SpMM matches dense GEMM) and an analytical metadata-bit model used
-// to evaluate full-size ImageNet layers without materializing them. The bit
-// conventions follow common practice and are validated against the paper's
-// reported ≈5×/≈7× CSR/ELLPACK overheads:
-//
-//   - CSR: one ⌈log2 cols⌉-bit column index per non-zero + 32-bit row
-//     pointers.
-//   - ELLPACK (ITPACK): rows padded to the maximum row population, 16-bit
-//     column indices (the format's fixed-width index array).
-//   - Blocked-ELLPACK: one ⌈log2 gridCols⌉-bit block-column index per kept
-//     block.
-//   - CRISP: Blocked-ELLPACK block indices + ⌈log2 M⌉ bits per kept N:M slot.
-//
-// # Execution plans
-//
-// The storage formats model what the hardware stores; executing them
-// directly pays block-grid arithmetic, offset decoding and padding-slot
-// branches on every SpMM. For software serving each encoding therefore
-// compiles — once, via Compile/CompilePlan — into a Plan: a flat
-// row-pointer / column-index / value layout with zero slots dropped, whose
-// kernel is a straight gather-multiply-accumulate that accumulates in
-// exactly the storage kernel's order (bit-identical results). Large SpMMs
-// fan out over a persistent package-level worker pool (see parallelRows);
-// the steady-state hot path spawns no goroutines and MatMulInto variants
-// let callers supply recycled output buffers.
 package format
 
 import (

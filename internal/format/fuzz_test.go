@@ -1,12 +1,80 @@
 package format
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/sparsity"
 	"repro/internal/tensor"
 )
+
+// FuzzBlockedMatMul differentially fuzzes every enrolled kernel variant
+// (KernelVariants) against the scalar reference: fuzzer-chosen geometry,
+// sparsity and batch width build a plan corpus — arbitrary CSR structure
+// and, when the matrix conforms, the CRISP compile with its uniform-span
+// fast path — and every variant must reproduce the scalar result bit for
+// bit. The int8 SWAR kernel rides the same inputs: integer accumulation is
+// exact, so blocked dispatch must match scalar dispatch exactly there too.
+// Seed corpus: testdata/fuzz/FuzzBlockedMatMul.
+func FuzzBlockedMatMul(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), int64(16), int64(0))
+	f.Add(int64(7), int64(0), int64(0), int64(1), int64(1))
+	f.Add(int64(42), int64(3), int64(1), int64(17), int64(2))
+	f.Fuzz(func(t *testing.T, seed, rowSel, colSel, nSel, mode int64) {
+		rng := rand.New(rand.NewSource(seed))
+		rowsGrid := []int{1, 3, 8, 64, 65}
+		colsGrid := []int{8, 16, 33, 128}
+		rows := rowsGrid[int(uint64(rowSel))%len(rowsGrid)]
+		cols := colsGrid[int(uint64(colSel))%len(colsGrid)]
+		n := int(uint64(nSel))%19 + 1
+
+		var w *tensor.Tensor
+		if mode%2 == 0 && rows%4 == 0 && cols%4 == 0 {
+			w = hybridMatrix(rng, rows, cols, 4, sparsity.NM{N: 2, M: 4}, int(uint64(mode>>1))%(cols/4))
+		} else {
+			w = tensor.Randn(rng, 2, rows, cols)
+			for i := range w.Data {
+				if rng.Float64() < 0.6 {
+					w.Data[i] = 0
+				}
+			}
+		}
+		plans := []*Plan{EncodeCSR(w).Compile()}
+		if e, err := EncodeCRISP(w, 4, sparsity.NM{N: 2, M: 4}); err == nil {
+			plans = append(plans, e.Compile())
+		}
+		x := tensor.Randn(rng, 1, cols, n)
+		for _, p := range plans {
+			ref := *p
+			ref.SetTiling(Tiling{Scalar: true})
+			want := ref.MatMul(x)
+			for _, kv := range KernelVariants() {
+				v := *p
+				v.SetTiling(kv.Tiling)
+				got := v.MatMul(x)
+				for i := range got.Data {
+					if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+						t.Fatalf("%s: output[%d] = %v, scalar reference %v", kv.Name, i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+			if q, err := p.Quantize(); err == nil {
+				qwant := q.MatMul(x)
+				for _, kv := range KernelVariants() {
+					qv := *q
+					qv.SetTiling(kv.Tiling)
+					qgot := qv.MatMul(x)
+					for i := range qgot.Data {
+						if math.Float64bits(qgot.Data[i]) != math.Float64bits(qwant.Data[i]) {
+							t.Fatalf("int8/%s: output[%d] = %v, scalar SWAR %v", kv.Name, i, qgot.Data[i], qwant.Data[i])
+						}
+					}
+				}
+			}
+		}
+	})
+}
 
 // FuzzEncodeCRISPDecode drives the CRISP encoder with fuzzer-chosen
 // geometry, sparsity pattern and values. The raw inputs parameterize a

@@ -35,11 +35,29 @@ type Plan struct {
 	// by (row, Col) instead of by entry index. Set only by BindSlab, which
 	// verifies bit-equality first (see slab.go).
 	slab *ValueSlab
+
+	// tiling configures the blocked kernel path (blocked.go); the zero
+	// value selects the package defaults. Installed via SetTiling at
+	// compile time — the plan's kernel-visible state stays immutable once
+	// it sees concurrent use.
+	tiling Tiling
+
+	// uniform, when positive, records that every row span holds exactly
+	// this many entries — proved by CRISPFormat.Compile from the N:M +
+	// block metadata when no padding slot survives — enabling the
+	// fixed-trip-count fast path (blockedTileUniform).
+	uniform int
 }
 
 // NNZ returns the number of stored (all non-zero) entries. Col is populated
 // in both owned and slab-bound plans, so it is the authoritative count.
 func (p *Plan) NNZ() int { return len(p.Col) }
+
+// UniformSpan returns the proved per-row entry count when every row span
+// holds the same number of entries (the CRISP fixed-trip-count fast path),
+// and 0 for ragged plans. Tiling pickers use it to cost the cheaper span
+// walk.
+func (p *Plan) UniformSpan() int { return p.uniform }
 
 // Planner is implemented by encodings that compile directly into a Plan.
 type Planner interface {
@@ -120,6 +138,26 @@ func (e *CRISPFormat) Compile() *Plan {
 		p.Val[next[r]] = v
 		next[r]++
 	})
+
+	// The N:M + block-column layout stores the same slot count for every
+	// row of a kept block; when no padding slot survives the compile (no
+	// dropped zeros), every row span is therefore the same width. Proving
+	// that here lets the blocked kernels run the fixed-trip-count,
+	// RowPtr-free fast path (blockedTileUniform). One O(Rows) scan over
+	// the already-built RowPtr is the cheapest sound check — it also
+	// catches layouts the grid arithmetic alone couldn't prove.
+	if e.Rows > 0 {
+		u := int(p.RowPtr[1])
+		for r := 1; r < e.Rows; r++ {
+			if int(p.RowPtr[r+1])-int(p.RowPtr[r]) != u {
+				u = 0
+				break
+			}
+		}
+		if u > 0 {
+			p.uniform = u
+		}
+	}
 	return p
 }
 
@@ -143,11 +181,22 @@ func (p *Plan) MatMulInto(b, out *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// matmul is the plan kernel. The single-sample path calls rowRange
-// directly — routing it through a closure would heap-allocate the closure
-// on every SpMM call, because the worker pool's task channel makes it
-// escape — and only batch-scale problems pay for the fan-out wrapper.
+// matmul is the plan kernel. Batch widths of panelMin and up take the
+// register-blocked, cache-tiled path (blocked.go) when the activation
+// matrix is cache-resident (blockedAuto) or the caller installed an
+// explicit tiling; streaming-sized activations — and plans opting out via
+// Tiling.Scalar — run the scalar reference kernel, whose contiguous
+// full-width row walks win above the cache budget (see blockedActBudget).
+// Both produce bit-identical output (see microkernel.go). The
+// single-sample path calls rowRange directly — routing it through a
+// closure would heap-allocate the closure on every SpMM call, because the
+// worker pool's task channel makes it escape — and only batch-scale
+// problems pay for the fan-out wrapper.
 func (p *Plan) matmul(b, out *tensor.Tensor, n int) {
+	if n >= panelMin && !p.tiling.Scalar && (p.tiling.explicit() || blockedAuto(p.Cols, n)) {
+		p.matmulBlocked(b, out, n)
+		return
+	}
 	// Branches (not a method value) keep the serial path allocation-free:
 	// a bound method value would escape through the pool's task channel.
 	if p.NNZ()*n < spmmParallelThreshold || p.Rows < 2 {

@@ -46,6 +46,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/accel"
 	"repro/internal/format"
 	"repro/internal/nn"
 	"repro/internal/sparsity"
@@ -96,7 +97,19 @@ type CompileOptions struct {
 	// values) share one canonical instance and one cached int8 image. The
 	// engine holds references it returns via Release when evicted.
 	Registry *format.Registry
+	// BatchHint is the activation batch width the engine specializes its
+	// kernel tilings for: at compile time each plan asks the simulator-
+	// backed picker (accel.PickTiling) which kernel family wins its shape
+	// at this width, and pins the verdict when it names a blocked tiling.
+	// Zero selects the nominal serving batch (defaultBatchHint). The hint
+	// only steers performance — every kernel variant is bit-identical.
+	BatchHint int
 }
+
+// defaultBatchHint is the nominal serving batch width engines specialize
+// for when CompileOptions.BatchHint is zero (the benchmark and serve-tier
+// batch scale).
+const defaultBatchHint = 16
 
 // Engine is a compiled sparse-execution plan for one classifier. An engine
 // is immutable after New and safe for concurrent Logits/LogitsBatch calls.
@@ -115,6 +128,8 @@ type Engine struct {
 	// interned lists the canonical plans this engine holds registry
 	// references to; Release returns them.
 	interned []*format.Plan
+	// batchHint is the batch width tilings were picked for (CompileOptions).
+	batchHint int
 	// footprint accumulates the engine-owned bytes at compile time (see
 	// MemoryFootprint).
 	footprint int64
@@ -142,7 +157,10 @@ func New(clf *nn.Classifier, blockSize int, nm sparsity.NM) (*Engine, error) {
 // quantization scratch drawn from the same engine-owned arena as the float
 // buffers.
 func NewWithOptions(clf *nn.Classifier, blockSize int, nm sparsity.NM, opts CompileOptions) (*Engine, error) {
-	e := &Engine{clf: clf, precision: opts.Precision, shared: opts.Shared, registry: opts.Registry}
+	e := &Engine{clf: clf, precision: opts.Precision, shared: opts.Shared, registry: opts.Registry, batchHint: opts.BatchHint}
+	if e.batchHint <= 0 {
+		e.batchHint = defaultBatchHint
+	}
 	root, err := e.compile(clf.Net, blockSize, nm)
 	if err != nil {
 		return nil, err
@@ -311,7 +329,14 @@ func (e *Engine) compile(l nn.Layer, b int, nm sparsity.NM) (execLayer, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &sparseConv{conv: v, mm: mm}, nil
+		sc := &sparseConv{conv: v, mm: mm}
+		if mm.qplan == nil {
+			// Float engines run conv through the fused implicit-im2col
+			// kernel; decoding the tap table here keeps the forward path
+			// allocation-free (see format.CompileConv).
+			sc.cp = mm.plan.CompileConv(v.Geom.KH, v.Geom.KW, v.Geom.Stride, v.Geom.Pad)
+		}
+		return sc, nil
 	case *nn.Linear:
 		mm, err := e.newSpMM(v.Weight, b, nm)
 		if err != nil {
@@ -400,6 +425,23 @@ func (e *Engine) newSpMM(p *nn.Param, b int, nm sparsity.NM) (spmm, error) {
 	}
 	if e.shared != nil {
 		plan.BindSlab(e.shared.Slab(p.Name))
+	}
+	// Compile-time tiling: the simulator-backed picker costs the candidate
+	// kernel families for this plan's shape at the engine's batch hint. A
+	// blocked verdict is pinned; a Scalar verdict leaves the zero-value
+	// tiling so per-call dispatch (blockedAuto) keeps adapting to batch
+	// widths the hint did not anticipate. Runs before registry interning —
+	// the pick is a pure function of plan shape, so structurally identical
+	// plans carry identical tilings and dedup is unaffected.
+	pick := accel.PickTiling(accel.CPUHW(), accel.PlanShape{
+		Rows:    plan.Rows,
+		Cols:    plan.Cols,
+		NNZ:     plan.NNZ(),
+		Batch:   e.batchHint,
+		Uniform: plan.UniformSpan() > 0,
+	})
+	if !pick.Scalar {
+		plan.SetTiling(pick)
 	}
 	owned := true
 	if e.registry != nil {
@@ -506,10 +548,18 @@ func (d *execDense) forward(x *tensor.Tensor, _ *arena) *tensor.Tensor {
 	return d.l.Forward(x, false)
 }
 
+// convBatchLastMin gates the batch-last implicit-im2col conv path: its two
+// transposes and per-tap AXPY runs amortize over the batch width, and at
+// n < 4 the runs are too short to beat the materialized-im2col lowering
+// (at n=1 they are pure overhead — per-sample inference measures ~50%
+// slower batch-last). Small batches fall through to the default case.
+const convBatchLastMin = 4
+
 // sparseConv runs Conv2D from a compiled weight plan.
 type sparseConv struct {
 	conv *nn.Conv2D
 	mm   spmm
+	cp   *format.ConvPlan // fused implicit-im2col kernel; nil in Int8 engines
 }
 
 func (s *sparseConv) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
@@ -518,11 +568,39 @@ func (s *sparseConv) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	n := x.Shape[0]
 	oh, ow := g.OutH(), g.OutW()
 	var outMat *tensor.Tensor // [S, N*OH*OW]
-	if s.mm.qplan != nil && quantConvSupported(ow) {
+	switch {
+	case s.mm.qplan != nil && quantConvSupported(ow):
 		// Int8: quantize-before-im2col (see quantconv.go) — one encode per
 		// input element instead of one per im2col duplicate.
 		outMat = quantConvForward(s.mm.qplan, x, g, n, oh, ow, a)
-	} else {
+	case s.cp != nil && n >= convBatchLastMin:
+		// Float: the implicit-im2col fast path gathers taps straight from
+		// the input image, so the KH·KW×-amplified im2col matrix is never
+		// materialized (see format/convplan.go for the accumulation-order
+		// contract that keeps it bit-compatible with the lowering). The
+		// kernel runs batch-last — transpose in, convolve with whole-batch
+		// AXPY runs, transpose out — which lands the result directly in
+		// the [batch, OutC·OH·OW] layout the next layer wants, so the
+		// sample-major reassembly below is skipped entirely.
+		chw := g.InC * g.InH * g.InW
+		xT := tensor.TransposeInto(a.view(x.Data, n, chw), a.tensor(chw, n))
+		outT := s.cp.MatMulBatchLastInto(xT, g, n, a.tensor(s.mm.plan.Rows*oh*ow, n))
+		y := a.tensor(n, s.conv.OutC, oh, ow)
+		tensor.TransposeInto(outT, a.view(y.Data, n, s.conv.OutC*oh*ow))
+		if s.conv.Bias != nil {
+			p := oh * ow
+			for b := 0; b < n; b++ {
+				for oc := 0; oc < s.conv.OutC; oc++ {
+					bias := s.conv.Bias.W.Data[oc]
+					dst := y.Data[(b*s.conv.OutC+oc)*p : (b*s.conv.OutC+oc+1)*p]
+					for i := range dst {
+						dst[i] += bias
+					}
+				}
+			}
+		}
+		return y
+	default:
 		cols := tensor.Im2ColInto(x, g, a.tensor(g.InC*g.KH*g.KW, n*oh*ow))
 		outMat = s.mm.into(cols, a.tensor(s.mm.plan.Rows, n*oh*ow), a)
 	}
@@ -753,23 +831,44 @@ type execReLU struct {
 
 func (e *execReLU) forward(x *tensor.Tensor, a *arena) *tensor.Tensor {
 	y := a.tensor(x.Shape...)
-	c := e.relu.Cap
-	for i, v := range x.Data {
-		out := v
-		if v < 0 {
-			out = 0
-		} else if c > 0 && v > c {
-			out = c
+	if c := e.relu.Cap; c > 0 {
+		for i, v := range x.Data {
+			out := v
+			if v < 0 {
+				out = 0
+			} else if v > c {
+				out = c
+			}
+			y.Data[i] = out
 		}
-		y.Data[i] = out
+	} else {
+		// Activation signs are near-random, so the naive `if v < 0` branch
+		// mispredicts roughly every other element. Testing the sign on the
+		// integer bit pattern instead compiles to a conditional move —
+		// negative inputs (sign bit ⇒ negative int64) clamp to +0 with no
+		// branch in the loop. The only value the rewrite treats differently
+		// is -0, which rectifies to +0 instead of passing through; the two
+		// compare equal everywhere downstream.
+		yd := y.Data
+		for i, v := range x.Data {
+			b := math.Float64bits(v)
+			if int64(b) < 0 {
+				b = 0
+			}
+			yd[i] = math.Float64frombits(b)
+		}
 	}
 	if e.relu.Stats != nil {
 		e.relu.Stats.Total += int64(len(y.Data))
+		nz := int64(0)
 		for _, v := range y.Data {
-			if v != 0 {
-				e.relu.Stats.NonZeros++
-			}
+			// v != 0 ⇔ magnitude bits != 0 (shifting out the sign keeps
+			// ±0 counted as zero); (m | -m) >> 63 extracts that as a
+			// branch-free 0/1.
+			m := math.Float64bits(v) << 1
+			nz += int64((m | -m) >> 63)
 		}
+		e.relu.Stats.NonZeros += nz
 	}
 	return y
 }

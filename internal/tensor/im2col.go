@@ -95,8 +95,18 @@ func Im2ColInto(x *Tensor, g ConvGeom, dst *Tensor) *Tensor {
 						}
 						rowSrc := src[iy*g.InW : (iy+1)*g.InW]
 						clear(row[:ox0])
-						for ox := ox0; ox < ox1; ox++ {
-							row[ox] = rowSrc[ox*g.Stride+kw-g.Pad]
+						if g.Stride == 1 {
+							// Stride-1 taps read consecutive input pixels, so
+							// the whole tap row is one contiguous copy — the
+							// common case (3×3 stride-1 convs), and the copy
+							// is what feeds the SpMM kernels their activation
+							// panels, so it runs at memmove speed instead of
+							// one element per iteration.
+							copy(row[ox0:ox1], rowSrc[ox0+kw-g.Pad:])
+						} else {
+							for ox := ox0; ox < ox1; ox++ {
+								row[ox] = rowSrc[ox*g.Stride+kw-g.Pad]
+							}
 						}
 						clear(row[ox1:])
 					}

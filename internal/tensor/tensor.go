@@ -248,10 +248,17 @@ func concatShape(ts []*Tensor) []int {
 	return append([]int{lead}, rest...)
 }
 
-// transposeBlock is the square tile edge (in elements) of the cache-blocked
-// transpose: 32×32 float64 tiles are 8 KiB, so one source tile row and one
-// destination tile column both stay resident while the tile is shuffled.
-const transposeBlock = 32
+// CacheBlockF64 is THE cache-block edge for float64 tiling in this repo:
+// the square tile side (in elements) below which two tiles — one read, one
+// written — fit in a 16 KiB half-L1 budget (2·32²·8 B = 16 KiB). The
+// cache-blocked transpose uses it directly, and the sparse blocked-kernel
+// tile partitioner (internal/format) derives its default row/column tiles
+// from it, so both sides of every SpMM (transposed weights in, tiled
+// output out) block at the same granularity. The value is pinned to the
+// hardware model's derivation — accel.CPUHW().CacheBlockF64() — and a test
+// in internal/accel asserts they agree (tensor cannot import accel: accel
+// depends on this package through internal/sparsity).
+const CacheBlockF64 = 32
 
 // Transpose returns mᵀ for a rank-2 tensor.
 func Transpose(m *Tensor) *Tensor {
@@ -274,13 +281,13 @@ func TransposeInto(m, dst *Tensor) *Tensor {
 	if len(dst.Shape) != 2 || dst.Shape[0] != c || dst.Shape[1] != r {
 		panic(fmt.Sprintf("tensor: TransposeInto dst %v, want [%d %d]", dst.Shape, c, r))
 	}
-	for i0 := 0; i0 < r; i0 += transposeBlock {
-		i1 := i0 + transposeBlock
+	for i0 := 0; i0 < r; i0 += CacheBlockF64 {
+		i1 := i0 + CacheBlockF64
 		if i1 > r {
 			i1 = r
 		}
-		for j0 := 0; j0 < c; j0 += transposeBlock {
-			j1 := j0 + transposeBlock
+		for j0 := 0; j0 < c; j0 += CacheBlockF64 {
+			j1 := j0 + CacheBlockF64
 			if j1 > c {
 				j1 = c
 			}
